@@ -1,0 +1,89 @@
+//! Criterion microbenchmarks of the algorithm suite.
+//!
+//! These time the *simulation* (the experiment binaries report the
+//! simulated page I/O; this reports how fast the reproduction itself
+//! runs). One group per paper axis: full closure by algorithm, partial
+//! closure by algorithm, and BTC by buffer size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tc_core::prelude::*;
+use tc_graph::DagGenerator;
+
+fn bench_graph() -> tc_graph::Graph {
+    // A moderate instance of the paper's G5 family for fast iteration.
+    DagGenerator::new(800, 5.0, 100).seed(42).generate()
+}
+
+fn full_closure(c: &mut Criterion) {
+    let g = bench_graph();
+    let mut group = c.benchmark_group("full_closure");
+    group.sample_size(10);
+    for algo in [
+        Algorithm::Btc,
+        Algorithm::Hyb,
+        Algorithm::Spn,
+        Algorithm::Jkb2,
+        Algorithm::Seminaive,
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(algo.name()), |b| {
+            b.iter(|| {
+                let mut db = Database::build(&g, algo.needs_inverse()).unwrap();
+                let res = db
+                    .run(&Query::full(), algo, &SystemConfig::with_buffer(20))
+                    .unwrap();
+                black_box(res.metrics.total_io())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn partial_closure(c: &mut Criterion) {
+    let g = bench_graph();
+    let sources: Vec<u32> = vec![3, 77, 191, 402, 640];
+    let mut group = c.benchmark_group("partial_closure_s5");
+    group.sample_size(10);
+    for algo in [
+        Algorithm::Btc,
+        Algorithm::Bj,
+        Algorithm::Jkb2,
+        Algorithm::Srch,
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(algo.name()), |b| {
+            b.iter(|| {
+                let mut db = Database::build(&g, algo.needs_inverse()).unwrap();
+                let res = db
+                    .run(
+                        &Query::partial(sources.clone()),
+                        algo,
+                        &SystemConfig::with_buffer(10),
+                    )
+                    .unwrap();
+                black_box(res.metrics.total_io())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn buffer_sweep(c: &mut Criterion) {
+    let g = bench_graph();
+    let mut group = c.benchmark_group("btc_by_buffer");
+    group.sample_size(10);
+    for m in [10usize, 20, 50] {
+        group.bench_function(BenchmarkId::from_parameter(m), |b| {
+            b.iter(|| {
+                let mut db = Database::build(&g, false).unwrap();
+                let res = db
+                    .run(&Query::full(), Algorithm::Btc, &SystemConfig::with_buffer(m))
+                    .unwrap();
+                black_box(res.metrics.total_io())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, full_closure, partial_closure, buffer_sweep);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Averaging of metric suites over repeated runs.
+//!
+//! "We generated 5 graphs of each family ... In addition, for selection
+//! queries, we repeated each experiment 5 times, with a different set S
+//! of source nodes. The results presented below show the average of
+//! these experiments" (§5.2).
+
+use tc_core::CostMetrics;
+
+/// Arithmetic means of the cost metrics over a set of runs.
+#[derive(Clone, Debug, Default)]
+pub struct AvgMetrics {
+    /// Runs folded in.
+    pub runs: usize,
+    /// Mean total page I/O.
+    pub total_io: f64,
+    /// Mean restructuring-phase page I/O.
+    pub restructure_io: f64,
+    /// Mean computation-phase page I/O.
+    pub compute_io: f64,
+    /// Mean distinct tuples generated.
+    pub tuples: f64,
+    /// Mean duplicates.
+    pub duplicates: f64,
+    /// Mean source tuples (stc).
+    pub source_tuples: f64,
+    /// Mean successor-list unions.
+    pub unions: f64,
+    /// Mean marking percentage (of processed arcs).
+    pub marking_pct: f64,
+    /// Mean selection efficiency.
+    pub selection_efficiency: f64,
+    /// Mean locality of unmarked (expanded) arcs.
+    pub unmarked_locality: f64,
+    /// Mean computation-phase buffer hit ratio.
+    pub hit_ratio: f64,
+    /// Mean answer size.
+    pub answer: f64,
+    /// Mean list fetches (successor-list I/O).
+    pub list_fetches: f64,
+    /// Mean tuple reads (tuple I/O).
+    pub tuple_reads: f64,
+    /// Mean wall-clock seconds of the simulated run.
+    pub elapsed_s: f64,
+    /// Mean estimated I/O seconds.
+    pub est_io_s: f64,
+}
+
+impl AvgMetrics {
+    /// Folds one run's metrics into the average.
+    pub fn add(&mut self, m: &CostMetrics) {
+        let k = self.runs as f64;
+        let fold = |avg: &mut f64, v: f64| *avg = (*avg * k + v) / (k + 1.0);
+        fold(&mut self.total_io, m.total_io() as f64);
+        fold(&mut self.restructure_io, m.restructure_io.total() as f64);
+        fold(&mut self.compute_io, m.compute_io.total() as f64);
+        fold(&mut self.tuples, m.tuples_generated as f64);
+        fold(&mut self.duplicates, m.duplicates as f64);
+        fold(&mut self.source_tuples, m.source_tuples as f64);
+        fold(&mut self.unions, m.unions as f64);
+        fold(&mut self.marking_pct, m.marking_pct());
+        fold(&mut self.selection_efficiency, m.selection_efficiency());
+        fold(&mut self.unmarked_locality, m.avg_unmarked_locality());
+        fold(&mut self.hit_ratio, m.compute_hit_ratio());
+        fold(&mut self.answer, m.answer_tuples as f64);
+        fold(&mut self.list_fetches, m.list_fetches as f64);
+        fold(&mut self.tuple_reads, m.tuple_reads as f64);
+        fold(&mut self.elapsed_s, m.elapsed.as_secs_f64());
+        fold(&mut self.est_io_s, m.estimated_io_seconds);
+        self.runs += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_core::Algorithm;
+
+    #[test]
+    fn averages_fold_correctly() {
+        let mut a = AvgMetrics::default();
+        let mut m1 = CostMetrics::new(Algorithm::Btc);
+        m1.compute_io.reads = 10;
+        let mut m2 = CostMetrics::new(Algorithm::Btc);
+        m2.compute_io.reads = 20;
+        a.add(&m1);
+        a.add(&m2);
+        assert_eq!(a.runs, 2);
+        assert!((a.total_io - 15.0).abs() < 1e-9);
+        assert!((a.compute_io - 15.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,5 @@
+//! Runs the design-choice ablations (replacement policies, JKB preprocessing).
+fn main() {
+    let opts = tc_bench::ExpOpts::from_env_and_args();
+    println!("{}", tc_bench::experiments::ablations::run(&opts));
+}

@@ -1,0 +1,5 @@
+//! Validates the rectangle-model algorithm advisor against measured bests.
+fn main() {
+    let opts = tc_bench::ExpOpts::from_env_and_args();
+    println!("{}", tc_bench::experiments::advisor::run(&opts));
+}

@@ -1,0 +1,36 @@
+//! Runs the complete experiment suite and prints an EXPERIMENTS.md-ready
+//! report (every table and figure of the paper's evaluation section,
+//! plus the related-work comparison and the ablations).
+use std::time::Instant;
+use tc_bench::experiments as exp;
+
+fn main() {
+    let opts = tc_bench::ExpOpts::from_env_and_args();
+    let started = Instant::now();
+    println!(
+        "# Experiment report — A Performance Study of Transitive Closure Algorithms\n\n\
+         Averaging: {} graph instance(s) per family × {} source set(s) per selection\n\
+         (the paper uses 5 × 5; pass --full to match).\n",
+        opts.instances, opts.source_sets
+    );
+    type Section = (&'static str, fn(&tc_bench::ExpOpts) -> String);
+    let sections: Vec<Section> = vec![
+        ("table2", exp::table2::run),
+        ("table3", exp::table3::run),
+        ("fig6", exp::fig6::run),
+        ("fig7", exp::fig7::run),
+        ("figs8-12", exp::highsel::run),
+        ("table4", exp::table4::run),
+        ("fig13", exp::fig13::run),
+        ("fig14", exp::fig14::run),
+        ("related", exp::related::run),
+        ("ablations", exp::ablations::run),
+        ("advisor", exp::advisor::run),
+    ];
+    for (name, f) in sections {
+        let t = Instant::now();
+        println!("{}\n", f(&opts));
+        eprintln!("[{name} done in {:.1}s]", t.elapsed().as_secs_f64());
+    }
+    eprintln!("[all experiments done in {:.1}s]", started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig14 (see the experiment module docs).
+fn main() {
+    let opts = tc_bench::ExpOpts::from_env_and_args();
+    println!("{}", tc_bench::experiments::fig14::run(&opts));
+}

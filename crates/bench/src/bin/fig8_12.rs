@@ -1,0 +1,5 @@
+//! Regenerates Figures 8-12 (the high-selectivity PTC sweep).
+fn main() {
+    let opts = tc_bench::ExpOpts::from_env_and_args();
+    println!("{}", tc_bench::experiments::highsel::run(&opts));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the related-work (§8) BTC vs. Seminaive comparison.
+fn main() {
+    let opts = tc_bench::ExpOpts::from_env_and_args();
+    println!("{}", tc_bench::experiments::related::run(&opts));
+}

@@ -1,0 +1,73 @@
+//! Ablations — design choices the paper treats as system parameters.
+//!
+//! * **Page replacement policies** (§5.1: "the choice of page and list
+//!   replacement policies had a secondary effect"): BTC full closure on
+//!   G6 across all six policies and the three list policies.
+//! * **JKB preprocessing strategy**: the paper's random-insertion
+//!   derivation of predecessor lists vs. the external-sort alternative,
+//!   against JKB2's dual representation — quantifying how much of JKB's
+//!   cost is the missing inverse clustering.
+
+use crate::corpus::family;
+use crate::experiments::{averaged, run_one, QuerySpec};
+use crate::opts::ExpOpts;
+use crate::table::{num, Table};
+use tc_core::prelude::*;
+
+/// Runs both ablations.
+pub fn run(opts: &ExpOpts) -> String {
+    let fam = family("G6");
+
+    // Page/list replacement policy sweep.
+    let mut pol = Table::new(["page policy", "list policy", "total I/O", "hit ratio"]);
+    for page in PagePolicy::ALL {
+        for list in ListPolicy::ALL {
+            let cfg = SystemConfig::with_buffer(10)
+                .page_policy(page)
+                .list_policy(list);
+            let avg = averaged(fam, Algorithm::Btc, QuerySpec::Full, &cfg, opts);
+            pol.row([
+                page.name().to_string(),
+                list.name().to_string(),
+                num(avg.total_io),
+                format!("{:.3}", avg.hit_ratio),
+            ]);
+        }
+    }
+
+    // JKB preprocessing strategies (restructure+preprocess I/O dominates).
+    let mut jkb = Table::new(["graph", "variant", "total I/O", "restructure I/O"]);
+    for name in ["G5", "G8", "G11"] {
+        let f = family(name);
+        let base = SystemConfig::with_buffer(10);
+        let rand = run_one(f, 0, 0, Algorithm::Jkb, QuerySpec::Ptc(10), &base);
+        let mut sorted_cfg = base.clone();
+        sorted_cfg.jkb_sort_preprocessing = true;
+        let sorted = run_one(f, 0, 0, Algorithm::Jkb, QuerySpec::Ptc(10), &sorted_cfg);
+        let dual = run_one(f, 0, 0, Algorithm::Jkb2, QuerySpec::Ptc(10), &base);
+        for (label, m) in [
+            ("JKB (random insertion)", &rand),
+            ("JKB (external sort)", &sorted),
+            ("JKB2 (dual representation)", &dual),
+        ] {
+            jkb.row([
+                name.to_string(),
+                label.to_string(),
+                num(m.total_io() as f64),
+                num(m.restructure_io.total() as f64),
+            ]);
+        }
+    }
+
+    format!(
+        "## Ablations\n\n### Replacement policies (BTC, G6, full closure, M = 10)\n\n\
+         Expectation (paper §5.1): a secondary effect — small spread across policies\n\
+         compared with the algorithm-level differences.\n\n{}\n\
+         ### JKB preprocessing strategies (PTC, 10 sources, M = 10)\n\n\
+         Expectation: random insertion is the expensive paper behaviour; external sort\n\
+         tames it; the dual representation (JKB2) is cheapest because the inverse\n\
+         relation is already clustered.\n\n{}",
+        pol.render(),
+        jkb.render()
+    )
+}

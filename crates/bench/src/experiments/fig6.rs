@@ -1,0 +1,42 @@
+//! Figure 6 — Hybrid vs. BTC: the effect of blocking (G9, full closure,
+//! M = 10–50, ILIMIT ∈ {0, 0.1, 0.2, 0.3}).
+//!
+//! The paper's surprise result: blocking, useful in the Direct
+//! algorithms, *hurts* the Hybrid algorithm — cost increases with ILIMIT
+//! and the algorithm performs best with no blocking at all (where it is
+//! identical to BTC).
+
+use crate::corpus::family;
+use crate::experiments::{averaged, QuerySpec};
+use crate::opts::ExpOpts;
+use crate::table::{num, Table};
+use tc_core::prelude::*;
+
+/// Regenerates Figure 6 as a table of total I/O.
+pub fn run(opts: &ExpOpts) -> String {
+    let fam = family("G9");
+    let mut t = Table::new(["M", "BTC", "HYB-0", "HYB-0.1", "HYB-0.2", "HYB-0.3"]);
+    for m in [10usize, 20, 50] {
+        let mut cells = vec![m.to_string()];
+        let btc = averaged(
+            fam,
+            Algorithm::Btc,
+            QuerySpec::Full,
+            &SystemConfig::with_buffer(m),
+            opts,
+        );
+        cells.push(num(btc.total_io));
+        for ilimit in [0.0, 0.1, 0.2, 0.3] {
+            let cfg = SystemConfig::with_buffer(m).ilimit(ilimit);
+            let avg = averaged(fam, Algorithm::Hyb, QuerySpec::Full, &cfg, opts);
+            cells.push(num(avg.total_io));
+        }
+        t.row(cells);
+    }
+    format!(
+        "## Figure 6 — Hybrid vs. BTC, effect of blocking (G9, full closure)\n\n\
+         Expectation (paper): HYB's I/O grows as ILIMIT grows; HYB-0 equals BTC; all\n\
+         curves improve with a larger buffer pool.\n\n{}",
+        t.render()
+    )
+}

@@ -1,0 +1,101 @@
+//! Figures 8–12 — high-selectivity partial closure on G4 and G11
+//! (M = 10, s ∈ {2, 5, 10, 20}), algorithms BTC, BJ, JKB2, SRCH.
+//!
+//! One sweep feeds five figures:
+//!
+//! * **Fig 8** total page I/O — JKB2 ~3× better than BTC/BJ on G4 (low
+//!   width), 2–3× *worse* on G11 (high width); SRCH best at tiny s,
+//!   deteriorating as s grows.
+//! * **Fig 9** tuples generated / selection efficiency — SRCH optimal
+//!   (1.0), JKB2 high, BTC/BJ poor.
+//! * **Fig 10** successor-list unions — SRCH grows fastest with s; JKB2
+//!   far above BTC/BJ.
+//! * **Fig 11** marking percentage — near zero for JKB2 and zero for
+//!   SRCH; substantial for BTC/BJ.
+//! * **Fig 12** average locality of unmarked (expanded) arcs — worse for
+//!   JKB2, whose missed markings force distant unions.
+
+use crate::corpus::family;
+use crate::experiments::{averaged, QuerySpec};
+use crate::opts::ExpOpts;
+use crate::table::{num, Table};
+use tc_core::prelude::*;
+
+const ALGOS: [Algorithm; 4] = [
+    Algorithm::Btc,
+    Algorithm::Bj,
+    Algorithm::Jkb2,
+    Algorithm::Srch,
+];
+const SELECTIVITIES: [usize; 4] = [2, 5, 10, 20];
+
+struct Sweep {
+    /// metric rows\[graph]\[s]\[algo]
+    data: Vec<Vec<Vec<crate::avg::AvgMetrics>>>,
+    graphs: Vec<&'static str>,
+}
+
+fn sweep(opts: &ExpOpts) -> Sweep {
+    let graphs = vec!["G4", "G11"];
+    let cfg = SystemConfig::with_buffer(10);
+    let data = graphs
+        .iter()
+        .map(|name| {
+            SELECTIVITIES
+                .iter()
+                .map(|&s| {
+                    ALGOS
+                        .iter()
+                        .map(|&a| averaged(family(name), a, QuerySpec::Ptc(s), &cfg, opts))
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    Sweep { data, graphs }
+}
+
+fn metric_table(sw: &Sweep, f: impl Fn(&crate::avg::AvgMetrics) -> f64) -> String {
+    let mut out = String::new();
+    for (gi, g) in sw.graphs.iter().enumerate() {
+        let mut t = Table::new(["s", "BTC", "BJ", "JKB2", "SRCH"]);
+        for (si, &s) in SELECTIVITIES.iter().enumerate() {
+            let row: Vec<String> = std::iter::once(s.to_string())
+                .chain(sw.data[gi][si].iter().map(|m| num(f(m))))
+                .collect();
+            t.row(row);
+        }
+        out.push_str(&format!("\n**({})**\n\n{}", g, t.render()));
+    }
+    out
+}
+
+/// Regenerates Figures 8–12 from one sweep.
+pub fn run(opts: &ExpOpts) -> String {
+    let sw = sweep(opts);
+    let mut out = String::new();
+    out.push_str(
+        "## Figures 8–12 — High-selectivity PTC (G4 and G11, M = 10)\n\n\
+         Expectation (paper): see each sub-figure's note.\n",
+    );
+    out.push_str("\n### Figure 8 — total page I/O\n");
+    out.push_str(
+        "\nExpected: JKB2 ≈ 1/3 of BTC on G4 but 2–3× BTC on G11; SRCH lowest at s = 2,\nrising quickly.\n",
+    );
+    out.push_str(&metric_table(&sw, |m| m.total_io));
+    out.push_str("\n### Figure 9 — tuples generated (and selection efficiency)\n");
+    out.push_str("\nExpected: JKB2 generates a small fraction of BTC/BJ's tuples; SRCH's selection\nefficiency is optimal (1.0).\n");
+    out.push_str(&metric_table(&sw, |m| m.tuples));
+    out.push_str("\nselection efficiency (stc/tc):\n");
+    out.push_str(&metric_table(&sw, |m| m.selection_efficiency));
+    out.push_str("\n### Figure 10 — successor-list unions\n");
+    out.push_str("\nExpected: SRCH grows fastest with s; JKB2 well above BTC ≈ BJ (BJ slightly\nlower thanks to single-parent reduction).\n");
+    out.push_str(&metric_table(&sw, |m| m.unions));
+    out.push_str("\n### Figure 11 — marking percentage\n");
+    out.push_str("\nExpected: ≈ 0 for JKB2 and 0 for SRCH; substantial for BTC and BJ.\n");
+    out.push_str(&metric_table(&sw, |m| m.marking_pct * 100.0));
+    out.push_str("\n### Figure 12 — average locality of unmarked arcs\n");
+    out.push_str("\nExpected: worse (larger) for JKB2 than for BTC/BJ.\n");
+    out.push_str(&metric_table(&sw, |m| m.unmarked_locality));
+    out
+}

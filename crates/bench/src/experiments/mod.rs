@@ -1,0 +1,121 @@
+//! One module per table/figure of the paper's evaluation section.
+//!
+//! Every module exposes `run(&ExpOpts) -> String`, returning a markdown
+//! report fragment with the paper's expectation stated next to the
+//! measured numbers, so `all_experiments` can assemble the full
+//! EXPERIMENTS.md.
+
+pub mod ablations;
+pub mod advisor;
+pub mod fig13;
+pub mod fig14;
+pub mod fig6;
+pub mod fig7;
+pub mod highsel;
+pub mod related;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+use crate::avg::AvgMetrics;
+use crate::corpus::{build_graph, source_set, GraphFamily};
+use crate::opts::ExpOpts;
+use tc_core::prelude::*;
+use tc_core::CostMetrics;
+
+/// Which query an experiment runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuerySpec {
+    /// Full transitive closure.
+    Full,
+    /// Partial closure with `s` sources.
+    Ptc(usize),
+}
+
+/// Executes one run on a fresh database instance.
+///
+/// A fresh [`Database`] per run keeps the simulated disk from
+/// accumulating scratch files across the sweep and makes every data
+/// point independent, exactly like rerunning the authors' simulator.
+pub fn run_one(
+    fam: &GraphFamily,
+    instance: u64,
+    set: u64,
+    algorithm: Algorithm,
+    query: QuerySpec,
+    cfg: &SystemConfig,
+) -> CostMetrics {
+    let graph = build_graph(fam, instance);
+    let mut db = Database::build(&graph, algorithm.needs_inverse())
+        .expect("database build");
+    let q = match query {
+        QuerySpec::Full => Query::full(),
+        QuerySpec::Ptc(s) => Query::partial(source_set(s, instance, set)),
+    };
+    db.run(&q, algorithm, cfg).expect("run").metrics
+}
+
+/// Averages an experiment point over the configured instances and (for
+/// selections) source sets.
+pub fn averaged(
+    fam: &GraphFamily,
+    algorithm: Algorithm,
+    query: QuerySpec,
+    cfg: &SystemConfig,
+    opts: &ExpOpts,
+) -> AvgMetrics {
+    let mut avg = AvgMetrics::default();
+    let sets = match query {
+        QuerySpec::Full => 1,
+        QuerySpec::Ptc(_) => opts.source_sets,
+    };
+    for instance in 0..opts.instances {
+        for set in 0..sets {
+            avg.add(&run_one(fam, instance, set, algorithm, query, cfg));
+        }
+    }
+    avg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::family;
+
+    #[test]
+    fn run_one_produces_metrics() {
+        let m = run_one(
+            family("G3"),
+            0,
+            0,
+            Algorithm::Btc,
+            QuerySpec::Ptc(2),
+            &SystemConfig::default(),
+        );
+        assert!(m.total_io() > 0);
+    }
+
+    #[test]
+    fn averaged_folds_the_matrix() {
+        let opts = ExpOpts {
+            instances: 2,
+            source_sets: 2,
+        };
+        let avg = averaged(
+            family("G3"),
+            Algorithm::Srch,
+            QuerySpec::Ptc(2),
+            &SystemConfig::default(),
+            &opts,
+        );
+        assert_eq!(avg.runs, 4);
+        let avg_full = averaged(
+            family("G3"),
+            Algorithm::Btc,
+            QuerySpec::Full,
+            &SystemConfig::default(),
+            &opts,
+        );
+        assert_eq!(avg_full.runs, 2, "full closure ignores source sets");
+    }
+}

@@ -1,0 +1,32 @@
+//! Experiment harness: regenerates every table and figure of the
+//! evaluation section (paper §5–§6).
+//!
+//! Each experiment lives in [`experiments`] and is exposed both as a
+//! library function returning its report as a string and as a binary
+//! (`cargo run -p tc-bench --release --bin table2`, `--bin fig6`, ...).
+//! `--bin all_experiments` runs the full suite and emits an
+//! `EXPERIMENTS.md`-ready report.
+//!
+//! The paper averages every data point over 5 generated graph instances
+//! per family and, for selections, 5 source sets per instance. That full
+//! matrix takes a while; the harness defaults to 2×2 and honours
+//!
+//! ```text
+//! TC_INSTANCES=5 TC_SOURCE_SETS=5 cargo run --release -p tc-bench --bin all_experiments
+//! ```
+//!
+//! (or `--instances 5 --sets 5` on each binary's command line).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod avg;
+pub mod corpus;
+pub mod experiments;
+pub mod opts;
+pub mod table;
+
+pub use avg::AvgMetrics;
+pub use corpus::{build_graph, GraphFamily, FAMILIES, N_NODES};
+pub use opts::ExpOpts;
+pub use table::Table;

@@ -1,0 +1,86 @@
+//! Experiment options (repetition counts).
+
+/// How many instances / source sets to average over.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpOpts {
+    /// Graph instances per family (paper: 5).
+    pub instances: u64,
+    /// Source sets per instance for selection queries (paper: 5).
+    pub source_sets: u64,
+}
+
+impl Default for ExpOpts {
+    fn default() -> Self {
+        ExpOpts {
+            instances: 2,
+            source_sets: 2,
+        }
+    }
+}
+
+impl ExpOpts {
+    /// The paper's full 5×5 averaging.
+    pub fn full() -> ExpOpts {
+        ExpOpts {
+            instances: 5,
+            source_sets: 5,
+        }
+    }
+
+    /// A single-run smoke configuration.
+    pub fn quick() -> ExpOpts {
+        ExpOpts {
+            instances: 1,
+            source_sets: 1,
+        }
+    }
+
+    /// Builds options from (in precedence order) command-line arguments
+    /// (`--instances k`, `--sets k`, `--full`, `--quick`) and the
+    /// `TC_INSTANCES` / `TC_SOURCE_SETS` environment variables.
+    pub fn from_env_and_args() -> ExpOpts {
+        let mut o = ExpOpts::default();
+        if let Ok(v) = std::env::var("TC_INSTANCES") {
+            if let Ok(k) = v.parse() {
+                o.instances = k;
+            }
+        }
+        if let Ok(v) = std::env::var("TC_SOURCE_SETS") {
+            if let Ok(k) = v.parse() {
+                o.source_sets = k;
+            }
+        }
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--full" => o = ExpOpts::full(),
+                "--quick" => o = ExpOpts::quick(),
+                "--instances" if i + 1 < args.len() => {
+                    o.instances = args[i + 1].parse().expect("--instances takes a number");
+                    i += 1;
+                }
+                "--sets" if i + 1 < args.len() => {
+                    o.source_sets = args[i + 1].parse().expect("--sets takes a number");
+                    i += 1;
+                }
+                other => panic!("unknown argument {other} (try --full, --quick, --instances k, --sets k)"),
+            }
+            i += 1;
+        }
+        assert!(o.instances >= 1 && o.source_sets >= 1);
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert_eq!(ExpOpts::full().instances, 5);
+        assert_eq!(ExpOpts::quick().source_sets, 1);
+        assert_eq!(ExpOpts::default().instances, 2);
+    }
+}

@@ -1,0 +1,104 @@
+//! Minimal aligned-text / markdown table builder for experiment reports.
+
+/// A simple column-aligned table that renders as GitHub markdown.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Table {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Table {
+        let r: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(r.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(r);
+        self
+    }
+
+    /// Renders as a markdown table with padded columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(width) {
+                line.push_str(&format!(" {c:>w$} |"));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &width));
+        let mut sep = String::from("|");
+        for w in &width {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &width));
+        }
+        out
+    }
+}
+
+/// Formats a float with sensible precision for reports.
+pub fn num(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new(["name", "io"]);
+        t.row(["BTC", "123"]);
+        t.row(["JKB2", "45"]);
+        let s = t.render();
+        assert!(s.starts_with("| name"));
+        assert!(s.contains("BTC"), "{s}");
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn num_formatting() {
+        assert_eq!(num(0.0), "0");
+        assert_eq!(num(0.123), "0.12");
+        assert_eq!(num(12.34), "12.3");
+        assert_eq!(num(12345.6), "12346");
+    }
+}

@@ -1,0 +1,480 @@
+//! The buffer pool.
+
+use crate::policy::{PagePolicy, ReplacementPolicy};
+use crate::stats::BufferStats;
+use std::collections::HashMap;
+use tc_storage::{DiskSim, FileId, FileKind, Page, PageId, Pager, StorageError, StorageResult};
+
+struct Frame {
+    pid: PageId,
+    page: Page,
+    dirty: bool,
+    pins: u32,
+}
+
+/// A fixed-capacity buffer pool wrapping the simulated disk.
+///
+/// All page traffic of a query run goes through the pool: logical requests
+/// are counted in [`BufferStats`], misses read from the wrapped
+/// [`DiskSim`] (counting physical reads), and evicted dirty frames are
+/// written back (counting physical writes). Pages can be *pinned* to keep
+/// them resident — the Hybrid algorithm pins its diagonal block, and the
+/// pool refuses to evict pinned frames, failing with
+/// [`StorageError::AllFramesPinned`] when nothing is evictable (the signal
+/// Hybrid uses to trigger dynamic reblocking).
+pub struct BufferPool {
+    disk: DiskSim,
+    capacity: usize,
+    frames: Vec<Frame>,
+    map: HashMap<PageId, usize>,
+    free: Vec<usize>,
+    policy: Box<dyn ReplacementPolicy>,
+    stats: BufferStats,
+}
+
+impl BufferPool {
+    /// Creates a pool of `capacity` frames over `disk` with the given
+    /// replacement policy.
+    pub fn new(disk: DiskSim, capacity: usize, policy: PagePolicy) -> BufferPool {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        BufferPool {
+            disk,
+            capacity,
+            frames: Vec::with_capacity(capacity),
+            map: HashMap::with_capacity(capacity * 2),
+            free: Vec::new(),
+            policy: policy.build(capacity),
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// Pool capacity in frames (the paper's `M`).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of resident pages.
+    pub fn resident(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Logical request statistics.
+    pub fn stats(&self) -> &BufferStats {
+        &self.stats
+    }
+
+    /// The wrapped disk (for physical I/O counters and file metadata).
+    pub fn disk(&self) -> &DiskSim {
+        &self.disk
+    }
+
+    /// Flushes everything and returns the wrapped disk.
+    pub fn into_disk(mut self) -> StorageResult<DiskSim> {
+        self.flush_all()?;
+        Ok(self.disk)
+    }
+
+    /// Returns the wrapped disk *without* flushing dirty frames.
+    ///
+    /// Used when a run's scratch state (e.g. non-source successor lists of
+    /// a partial-closure query) is deliberately discarded rather than
+    /// written out.
+    pub fn into_disk_discard(self) -> DiskSim {
+        self.disk
+    }
+
+    /// Pins page `pid`, faulting it in if necessary. Pinned pages are
+    /// never evicted. Pins nest; each `pin` needs a matching `unpin`.
+    pub fn pin(&mut self, pid: PageId) -> StorageResult<()> {
+        let f = self.fetch(pid)?;
+        self.frames[f].pins += 1;
+        Ok(())
+    }
+
+    /// Releases one pin on `pid`. Panics if the page is not resident or
+    /// not pinned (a bookkeeping bug, not a data condition).
+    pub fn unpin(&mut self, pid: PageId) {
+        let f = *self.map.get(&pid).expect("unpin of non-resident page");
+        assert!(self.frames[f].pins > 0, "unpin of unpinned page");
+        self.frames[f].pins -= 1;
+    }
+
+    /// Whether `pid` is currently resident.
+    pub fn is_resident(&self, pid: PageId) -> bool {
+        self.map.contains_key(&pid)
+    }
+
+    /// Whether `pid` is currently pinned.
+    pub fn is_pinned(&self, pid: PageId) -> bool {
+        self.map
+            .get(&pid)
+            .is_some_and(|&f| self.frames[f].pins > 0)
+    }
+
+    /// Writes all dirty frames back to disk (they stay resident and clean).
+    pub fn flush_all(&mut self) -> StorageResult<()> {
+        for f in 0..self.frames.len() {
+            if self.frames[f].dirty {
+                self.disk.write_page(self.frames[f].pid, &self.frames[f].page)?;
+                self.frames[f].dirty = false;
+                self.stats.flush_writes += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes back the listed pages if resident and dirty (the
+    /// partial-closure write-out: "only the expanded lists of the query
+    /// source nodes are written out").
+    pub fn flush_pages(&mut self, pages: &[PageId]) -> StorageResult<()> {
+        for &pid in pages {
+            if let Some(&f) = self.map.get(&pid) {
+                if self.frames[f].dirty {
+                    self.disk.write_page(pid, &self.frames[f].page)?;
+                    self.frames[f].dirty = false;
+                    self.stats.flush_writes += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes back dirty frames belonging to `file` only.
+    pub fn flush_file(&mut self, file: FileId) -> StorageResult<()> {
+        for f in 0..self.frames.len() {
+            if self.frames[f].dirty && self.disk.page_file(self.frames[f].pid)? == file {
+                self.disk.write_page(self.frames[f].pid, &self.frames[f].page)?;
+                self.frames[f].dirty = false;
+                self.stats.flush_writes += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deletes `file`: evicts its resident frames without write-back,
+    /// then releases the pages on disk for reuse.
+    pub fn free_file(&mut self, file: FileId) -> StorageResult<()> {
+        let victims: Vec<(PageId, usize)> = self
+            .map
+            .iter()
+            .map(|(&pid, &f)| (pid, f))
+            .filter(|&(pid, _)| self.disk.page_file(pid) == Ok(file))
+            .collect();
+        for (pid, f) in victims {
+            assert_eq!(self.frames[f].pins, 0, "freeing a pinned page");
+            self.map.remove(&pid);
+            self.frames[f].dirty = false;
+            self.policy.on_evict(f);
+            self.free.push(f);
+        }
+        self.disk.free_file(file)
+    }
+
+    /// Drops dirty frames of `file` without writing them back (discarding
+    /// scratch state). The frames become clean so later eviction is free.
+    pub fn discard_file(&mut self, file: FileId) -> StorageResult<()> {
+        for f in 0..self.frames.len() {
+            if self.frames[f].dirty && self.disk.page_file(self.frames[f].pid)? == file {
+                self.frames[f].dirty = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Faults `pid` into a frame (or finds it resident) and returns the
+    /// frame index. Counts the logical request (`read` distinguishes
+    /// read-only requests for the paper's Figure-13 hit ratio).
+    fn fetch_counted(&mut self, pid: PageId, read: bool) -> StorageResult<usize> {
+        self.stats.requests += 1;
+        if read {
+            self.stats.read_requests += 1;
+        }
+        if let Some(&f) = self.map.get(&pid) {
+            self.stats.hits += 1;
+            if read {
+                self.stats.read_hits += 1;
+            }
+            self.policy.on_access(f);
+            return Ok(f);
+        }
+        self.stats.misses += 1;
+        let f = self.take_frame()?;
+        self.disk.read_page(pid, &mut self.frames[f].page)?;
+        self.frames[f].pid = pid;
+        self.frames[f].dirty = false;
+        self.frames[f].pins = 0;
+        self.map.insert(pid, f);
+        self.policy.on_admit(f);
+        Ok(f)
+    }
+
+    fn fetch(&mut self, pid: PageId) -> StorageResult<usize> {
+        self.fetch_counted(pid, false)
+    }
+
+    /// Obtains an empty frame: grows the pool up to capacity, reuses a
+    /// free frame, or evicts a victim.
+    fn take_frame(&mut self) -> StorageResult<usize> {
+        if let Some(f) = self.free.pop() {
+            return Ok(f);
+        }
+        if self.frames.len() < self.capacity {
+            self.frames.push(Frame {
+                pid: PageId(u32::MAX),
+                page: Page::new(),
+                dirty: false,
+                pins: 0,
+            });
+            return Ok(self.frames.len() - 1);
+        }
+        // Evict.
+        let frames = &self.frames;
+        let victim = self
+            .policy
+            .victim(&mut |f: usize| frames[f].pins == 0)
+            .ok_or(StorageError::AllFramesPinned)?;
+        debug_assert_eq!(self.frames[victim].pins, 0);
+        let old_pid = self.frames[victim].pid;
+        if self.frames[victim].dirty {
+            self.disk.write_page(old_pid, &self.frames[victim].page)?;
+            self.stats.dirty_writebacks += 1;
+        }
+        self.stats.evictions += 1;
+        self.map.remove(&old_pid);
+        self.policy.on_evict(victim);
+        Ok(victim)
+    }
+}
+
+impl Pager for BufferPool {
+    fn with_page<R>(&mut self, pid: PageId, f: &mut dyn FnMut(&Page) -> R) -> StorageResult<R> {
+        let fr = self.fetch_counted(pid, true)?;
+        Ok(f(&self.frames[fr].page))
+    }
+
+    fn with_page_mut<R>(
+        &mut self,
+        pid: PageId,
+        f: &mut dyn FnMut(&mut Page) -> R,
+    ) -> StorageResult<R> {
+        let fr = self.fetch(pid)?;
+        self.frames[fr].dirty = true;
+        Ok(f(&mut self.frames[fr].page))
+    }
+
+    /// Allocates a page on disk and materializes it dirty in the pool, so
+    /// the physical write is charged when the page is evicted or flushed
+    /// (matching how a real buffer manager defers new-page writes).
+    fn alloc_page(&mut self, file: FileId) -> StorageResult<PageId> {
+        let pid = self.disk.alloc(file)?;
+        // Install a zeroed frame without reading from disk.
+        self.stats.requests += 1;
+        self.stats.misses += 1;
+        let f = self.take_frame()?;
+        self.frames[f].page.clear();
+        self.frames[f].pid = pid;
+        self.frames[f].dirty = true;
+        self.frames[f].pins = 0;
+        self.map.insert(pid, f);
+        self.policy.on_admit(f);
+        Ok(pid)
+    }
+
+    fn create_file(&mut self, kind: FileKind) -> FileId {
+        self.disk.create_file(kind)
+    }
+
+    fn free_file(&mut self, file: FileId) -> StorageResult<()> {
+        BufferPool::free_file(self, file)
+    }
+
+    fn file_page_ids(&self, file: FileId) -> Vec<PageId> {
+        self.disk.file_pages(file).to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(pages: usize) -> (BufferPool, Vec<PageId>) {
+        let mut disk = DiskSim::new();
+        let file = disk.create_file(FileKind::Temp);
+        let mut pids = Vec::new();
+        for i in 0..pages {
+            let pid = disk.alloc(file).unwrap();
+            let mut p = Page::new();
+            p.put_u32(0, i as u32);
+            disk.write_page(pid, &p).unwrap();
+            pids.push(pid);
+        }
+        disk.reset_stats();
+        (BufferPool::new(disk, 3, PagePolicy::Lru), pids)
+    }
+
+    #[test]
+    fn hits_and_misses() {
+        let (mut pool, pids) = setup(2);
+        let v = pool
+            .with_page(pids[0], &mut |p: &Page| p.get_u32(0))
+            .unwrap();
+        assert_eq!(v, 0);
+        pool.with_page(pids[0], &mut |_p: &Page| ()).unwrap();
+        pool.with_page(pids[1], &mut |_p: &Page| ()).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(pool.disk().stats().reads, 2);
+    }
+
+    #[test]
+    fn capacity_is_respected_and_lru_evicts() {
+        let (mut pool, pids) = setup(5);
+        for &pid in &pids[..4] {
+            pool.with_page(pid, &mut |_p: &Page| ()).unwrap();
+        }
+        assert_eq!(pool.resident(), 3);
+        assert!(!pool.is_resident(pids[0]), "LRU should have evicted page 0");
+        assert_eq!(pool.stats().evictions, 1);
+    }
+
+    #[test]
+    fn dirty_pages_write_back_on_eviction() {
+        let (mut pool, pids) = setup(5);
+        pool.with_page_mut(pids[0], &mut |p: &mut Page| p.put_u32(0, 99))
+            .unwrap();
+        for &pid in &pids[1..4] {
+            pool.with_page(pid, &mut |_p: &Page| ()).unwrap();
+        }
+        assert_eq!(pool.stats().dirty_writebacks, 1);
+        assert_eq!(pool.disk().stats().writes, 1);
+        // Refetching sees the written-back value.
+        let v = pool
+            .with_page(pids[0], &mut |p: &Page| p.get_u32(0))
+            .unwrap();
+        assert_eq!(v, 99);
+    }
+
+    #[test]
+    fn clean_evictions_cost_no_write() {
+        let (mut pool, pids) = setup(5);
+        for &pid in &pids {
+            pool.with_page(pid, &mut |_p: &Page| ()).unwrap();
+        }
+        assert_eq!(pool.disk().stats().writes, 0);
+    }
+
+    #[test]
+    fn pinned_pages_survive_pressure() {
+        let (mut pool, pids) = setup(5);
+        pool.pin(pids[0]).unwrap();
+        for &pid in &pids[1..5] {
+            pool.with_page(pid, &mut |_p: &Page| ()).unwrap();
+        }
+        assert!(pool.is_resident(pids[0]));
+        pool.unpin(pids[0]);
+        for &pid in &pids[1..5] {
+            pool.with_page(pid, &mut |_p: &Page| ()).unwrap();
+        }
+        assert!(!pool.is_resident(pids[0]));
+    }
+
+    #[test]
+    fn all_pinned_errors() {
+        let (mut pool, pids) = setup(4);
+        pool.pin(pids[0]).unwrap();
+        pool.pin(pids[1]).unwrap();
+        pool.pin(pids[2]).unwrap();
+        let err = pool.with_page(pids[3], &mut |_p: &Page| ()).unwrap_err();
+        assert_eq!(err, StorageError::AllFramesPinned);
+    }
+
+    #[test]
+    fn nested_pins() {
+        let (mut pool, pids) = setup(1);
+        pool.pin(pids[0]).unwrap();
+        pool.pin(pids[0]).unwrap();
+        pool.unpin(pids[0]);
+        assert!(pool.is_pinned(pids[0]));
+        pool.unpin(pids[0]);
+        assert!(!pool.is_pinned(pids[0]));
+    }
+
+    #[test]
+    fn flush_all_writes_dirty_frames_once() {
+        let (mut pool, pids) = setup(2);
+        pool.with_page_mut(pids[0], &mut |p: &mut Page| p.put_u32(4, 1))
+            .unwrap();
+        pool.with_page_mut(pids[1], &mut |p: &mut Page| p.put_u32(4, 2))
+            .unwrap();
+        pool.flush_all().unwrap();
+        assert_eq!(pool.disk().stats().writes, 2);
+        pool.flush_all().unwrap();
+        assert_eq!(pool.disk().stats().writes, 2, "clean frames not rewritten");
+    }
+
+    #[test]
+    fn alloc_page_defers_physical_write() {
+        let (mut pool, _) = setup(0);
+        let file = pool.create_file(FileKind::SuccessorList);
+        let pid = pool.alloc_page(file).unwrap();
+        assert_eq!(pool.disk().stats().writes, 0);
+        pool.with_page_mut(pid, &mut |p: &mut Page| p.put_u32(0, 7))
+            .unwrap();
+        pool.flush_all().unwrap();
+        assert_eq!(pool.disk().stats().writes, 1);
+    }
+
+    #[test]
+    fn discard_file_drops_dirty_state() {
+        let (mut pool, _) = setup(0);
+        let file = pool.create_file(FileKind::SuccessorList);
+        let pid = pool.alloc_page(file).unwrap();
+        pool.with_page_mut(pid, &mut |p: &mut Page| p.put_u32(0, 7))
+            .unwrap();
+        pool.discard_file(file).unwrap();
+        pool.flush_all().unwrap();
+        assert_eq!(pool.disk().stats().writes, 0);
+    }
+
+    #[test]
+    fn into_disk_flushes() {
+        let (mut pool, pids) = setup(1);
+        pool.with_page_mut(pids[0], &mut |p: &mut Page| p.put_u32(0, 123))
+            .unwrap();
+        let mut disk = pool.into_disk().unwrap();
+        let mut p = Page::new();
+        disk.read_page(pids[0], &mut p).unwrap();
+        assert_eq!(p.get_u32(0), 123);
+    }
+
+    #[test]
+    fn works_with_every_policy() {
+        for policy in PagePolicy::ALL {
+            let mut disk = DiskSim::new();
+            let file = disk.create_file(FileKind::Temp);
+            let mut pids = Vec::new();
+            for i in 0..20 {
+                let pid = disk.alloc(file).unwrap();
+                let mut p = Page::new();
+                p.put_u32(0, i);
+                disk.write_page(pid, &p).unwrap();
+                pids.push(pid);
+            }
+            let mut pool = BufferPool::new(disk, 4, policy);
+            // Mixed access pattern; every read must return the right data.
+            for round in 0..3 {
+                for (i, &pid) in pids.iter().enumerate() {
+                    if (i + round) % 3 == 0 {
+                        let v = pool
+                            .with_page(pid, &mut |p: &Page| p.get_u32(0))
+                            .unwrap();
+                        assert_eq!(v, i as u32, "{}", policy.name());
+                    }
+                }
+            }
+            assert!(pool.resident() <= 4);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Buffer pool statistics.
+
+use std::fmt;
+
+/// Logical request and replacement counters for a [`crate::BufferPool`].
+///
+/// Physical I/O lives on the wrapped disk's [`tc_storage::DiskStats`];
+/// together they give the paper's buffered-I/O picture: `misses` become
+/// physical reads, `dirty_writebacks` plus final flushes become physical
+/// writes, and the hit ratio (Figure 13 (c)/(d)) is `hits / requests`.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct BufferStats {
+    /// Logical page requests (`with_page` + `with_page_mut` + pins).
+    pub requests: u64,
+    /// Requests satisfied from the pool.
+    pub hits: u64,
+    /// Requests that had to read the page from disk.
+    pub misses: u64,
+    /// Read-only page requests (`with_page`): the paper's "successor
+    /// list page requests". Write requests (appends) are almost always
+    /// hot and would drown the signal.
+    pub read_requests: u64,
+    /// Read-only requests satisfied from the pool.
+    pub read_hits: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Evictions that had to write a dirty page back first.
+    pub dirty_writebacks: u64,
+    /// Pages written by an explicit flush (end-of-run write-out).
+    pub flush_writes: u64,
+}
+
+impl BufferStats {
+    /// Fraction of requests satisfied from the pool (0 when idle).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+
+    /// Fraction of *read* requests satisfied from the pool — the paper's
+    /// Figure 13 hit ratio ("the percentage of successor list page
+    /// requests ... satisfied from the buffer pool").
+    pub fn read_hit_ratio(&self) -> f64 {
+        if self.read_requests == 0 {
+            0.0
+        } else {
+            self.read_hits as f64 / self.read_requests as f64
+        }
+    }
+
+    /// Counter-wise difference `self - earlier` for phase attribution.
+    pub fn since(&self, earlier: &BufferStats) -> BufferStats {
+        BufferStats {
+            requests: self.requests - earlier.requests,
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            read_requests: self.read_requests - earlier.read_requests,
+            read_hits: self.read_hits - earlier.read_hits,
+            evictions: self.evictions - earlier.evictions,
+            dirty_writebacks: self.dirty_writebacks - earlier.dirty_writebacks,
+            flush_writes: self.flush_writes - earlier.flush_writes,
+        }
+    }
+}
+
+impl fmt::Display for BufferStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} requests, {} hits ({:.1}%), {} misses, {} evictions ({} dirty)",
+            self.requests,
+            self.hits,
+            self.hit_ratio() * 100.0,
+            self.misses,
+            self.evictions,
+            self.dirty_writebacks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio() {
+        let s = BufferStats {
+            requests: 10,
+            hits: 7,
+            misses: 3,
+            ..Default::default()
+        };
+        assert!((s.hit_ratio() - 0.7).abs() < 1e-12);
+        assert_eq!(BufferStats::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let a = BufferStats {
+            requests: 10,
+            hits: 7,
+            misses: 3,
+            read_requests: 4,
+            read_hits: 2,
+            evictions: 1,
+            dirty_writebacks: 1,
+            flush_writes: 0,
+        };
+        let b = BufferStats {
+            requests: 25,
+            hits: 15,
+            misses: 10,
+            read_requests: 9,
+            read_hits: 6,
+            evictions: 4,
+            dirty_writebacks: 2,
+            flush_writes: 5,
+        };
+        let d = b.since(&a);
+        assert_eq!(d.requests, 15);
+        assert_eq!(d.hits, 8);
+        assert_eq!(d.read_requests, 5);
+        assert_eq!(d.read_hits, 4);
+        assert_eq!(d.flush_writes, 5);
+        assert!((d.read_hit_ratio() - 0.8).abs() < 1e-12);
+    }
+}

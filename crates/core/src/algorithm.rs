@@ -1,0 +1,93 @@
+//! The algorithm suite under study.
+
+use std::fmt;
+
+/// The candidate algorithms (paper §3/§4.1) plus the Seminaive baseline.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Algorithm {
+    /// BTC — the basic graph-based algorithm \[Ioannidis, Ramakrishnan &
+    /// Winger\]: reverse-topological expansion of flat successor lists
+    /// with the immediate-successor and marking optimizations.
+    Btc,
+    /// HYB — Agrawal & Jagadish's Hybrid algorithm: BTC plus *blocking*
+    /// of successor lists (a pinned diagonal block, dynamic reblocking).
+    Hyb,
+    /// BJ — Jiang's BFS algorithm: BTC plus the single-parent
+    /// optimization on the magic graph (PTC only; identical to BTC for
+    /// full closure).
+    Bj,
+    /// SRCH — per-source search without the immediate-successor
+    /// optimization; a k-source query is k single-source searches.
+    Srch,
+    /// SPN — the Spanning Tree algorithm \[Dar & Jagadish, Jakobsson\]:
+    /// successor *trees*, whose unions prune already-present subtrees.
+    Spn,
+    /// JKB — Jakobsson's Compute_Tree with a single (source-clustered)
+    /// relation: special-node predecessor trees; immediate predecessor
+    /// lists must be derived the hard way.
+    Jkb,
+    /// JKB2 — Compute_Tree with the dual representation: an inverse
+    /// relation clustered and indexed on the destination attribute.
+    Jkb2,
+    /// Seminaive delta iteration — the iterative baseline the
+    /// graph-based algorithms were shown to dominate (related work, §8).
+    Seminaive,
+}
+
+impl Algorithm {
+    /// All algorithms, in the paper's presentation order.
+    pub const ALL: [Algorithm; 8] = [
+        Algorithm::Btc,
+        Algorithm::Hyb,
+        Algorithm::Bj,
+        Algorithm::Srch,
+        Algorithm::Spn,
+        Algorithm::Jkb,
+        Algorithm::Jkb2,
+        Algorithm::Seminaive,
+    ];
+
+    /// The implementation label used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Btc => "BTC",
+            Algorithm::Hyb => "HYB",
+            Algorithm::Bj => "BJ",
+            Algorithm::Srch => "SRCH",
+            Algorithm::Spn => "SPN",
+            Algorithm::Jkb => "JKB",
+            Algorithm::Jkb2 => "JKB2",
+            Algorithm::Seminaive => "SEMINAIVE",
+        }
+    }
+
+    /// Whether the algorithm needs the dual graph representation (an
+    /// inverse relation clustered on the destination attribute).
+    pub fn needs_inverse(self) -> bool {
+        matches!(self, Algorithm::Jkb2)
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_unique() {
+        let set: std::collections::HashSet<_> = Algorithm::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(set.len(), Algorithm::ALL.len());
+    }
+
+    #[test]
+    fn only_jkb2_needs_inverse() {
+        for a in Algorithm::ALL {
+            assert_eq!(a.needs_inverse(), a == Algorithm::Jkb2);
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! HYB — the Hybrid algorithm (paper §3.2).
+//!
+//! Successor lists are expanded a *block* at a time: a diagonal block of
+//! consecutive (in topological order) lists is pinned in memory, and each
+//! off-diagonal list fetched is unioned with every diagonal list that has
+//! it as an unmarked child, amortizing one fetch over several unions.
+//! `ILIMIT` is the fraction of the buffer pool reserved for the diagonal
+//! block; when expansion overflows memory the block is shrunk (*dynamic
+//! reblocking*).
+//!
+//! The paper's finding (Figure 6) is that blocking *hurts* here: unlike
+//! the Direct algorithms, HYB uses the immediate-successor optimization,
+//! so each off-diagonal list joins far fewer diagonal lists, while the
+//! pinned block shrinks the effective pool, reblocking discards useful
+//! pages, and processing off-diagonal parts before diagonal parts
+//! forfeits markings. All four effects are mechanical consequences of
+//! this implementation.
+
+use crate::algorithms::btc;
+use crate::algorithms::AnswerCollector;
+use crate::metrics::CostMetrics;
+use crate::restructure::Restructured;
+use std::collections::HashMap;
+use tc_buffer::BufferPool;
+use tc_graph::NodeId;
+use tc_storage::{PageId, StorageError, StorageResult};
+use tc_succ::{ListCursor, NodeBitVec};
+
+/// Expands all lists with blocking at the given `ILIMIT`.
+///
+/// `ilimit == 0` disables blocking, which "is identical to BTC" (§6.2).
+pub fn expand_all(
+    pool: &mut BufferPool,
+    r: &mut Restructured,
+    metrics: &mut CostMetrics,
+    answer: &mut AnswerCollector,
+    ilimit: f64,
+) -> StorageResult<()> {
+    if ilimit <= 0.0 {
+        return btc::expand_all(pool, r, metrics, answer);
+    }
+    let m = pool.capacity();
+    // Reserve a few working frames: one for the off-diagonal list being
+    // scanned, one for the growing tail, one for splits.
+    let budget = (((ilimit * m as f64).floor() as usize).max(1)).min(m.saturating_sub(3).max(1));
+
+    let order = r.order.clone();
+    let n = r.children.len();
+    let mut idx = order.len();
+
+    while idx > 0 {
+        // Carve the next diagonal block off the tail of the order.
+        let mut block: Vec<NodeId> = Vec::new();
+        let mut pages: Vec<PageId> = Vec::new();
+        while idx > 0 {
+            let u = order[idx - 1];
+            let upages = r.store.pages_of(u);
+            let new: Vec<PageId> = upages
+                .into_iter()
+                .filter(|p| !pages.contains(p))
+                .collect();
+            if !block.is_empty() && pages.len() + new.len() > budget {
+                break;
+            }
+            block.push(u);
+            pages.extend(new);
+            idx -= 1;
+            if pages.len() >= budget {
+                break;
+            }
+        }
+
+        // Process the block, shrinking it on memory pressure (dynamic
+        // reblocking): nodes dropped from the block are pushed back onto
+        // the unprocessed tail.
+        let mut state = BlockState::new(r, &block, n);
+        loop {
+            match process_block(pool, r, metrics, answer, &block, &mut state) {
+                Ok(()) => break,
+                Err(StorageError::AllFramesPinned) if block.len() > 1 => {
+                    // Shrink: give the lowest-position node back to the
+                    // unprocessed tail. It is the newest addition, so no
+                    // other block node has it as a child (children sit
+                    // *later* in topological order), making the drop safe.
+                    let dropped = block.pop().expect("non-empty block");
+                    idx += 1;
+                    debug_assert_eq!(order[idx - 1], dropped);
+                    state.in_block[dropped as usize] = false;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Per-block expansion state that survives dynamic-reblocking restarts:
+/// which child arcs are done or marked.
+struct BlockState {
+    /// done/marked flags per block node, aligned with its child list.
+    done: HashMap<NodeId, Vec<bool>>,
+    marked: HashMap<NodeId, Vec<bool>>,
+    in_block: Vec<bool>,
+}
+
+impl BlockState {
+    fn new(r: &Restructured, block: &[NodeId], n: usize) -> BlockState {
+        let mut in_block = vec![false; n];
+        let mut done = HashMap::new();
+        let mut marked = HashMap::new();
+        for &u in block {
+            in_block[u as usize] = true;
+            done.insert(u, vec![false; r.children(u).len()]);
+            marked.insert(u, vec![false; r.children(u).len()]);
+        }
+        BlockState {
+            done,
+            marked,
+            in_block,
+        }
+    }
+}
+
+/// One attempt at expanding a diagonal block. On
+/// [`StorageError::AllFramesPinned`] the caller shrinks the block and
+/// retries; `state` carries completed work across attempts.
+fn process_block(
+    pool: &mut BufferPool,
+    r: &mut Restructured,
+    metrics: &mut CostMetrics,
+    answer: &mut AnswerCollector,
+    block: &[NodeId],
+    state: &mut BlockState,
+) -> StorageResult<()> {
+    // Pin the block's current pages (faulting them in together — the
+    // "block of successor lists at a time is read into memory").
+    let mut pinned: Vec<PageId> = Vec::new();
+    let result = (|| -> StorageResult<()> {
+        for &u in block {
+            for p in r.store.pages_of(u) {
+                if !pinned.contains(&p) {
+                    pool.pin(p)?;
+                    pinned.push(p);
+                }
+            }
+        }
+
+        // Seed a duplicate filter per diagonal list from its current
+        // contents, and index children for marking.
+        let n = r.children.len();
+        let mut bitvecs: HashMap<NodeId, NodeBitVec> = HashMap::new();
+        let mut child_pos: HashMap<NodeId, HashMap<NodeId, usize>> = HashMap::new();
+        for &u in block {
+            let mut bv = NodeBitVec::new(n);
+            metrics.list_fetches += 1;
+            for e in ListCursor::new(&r.store, u).collect_entries(pool)? {
+                metrics.tuple_reads += 1;
+                bv.insert(e.node);
+            }
+            bitvecs.insert(u, bv);
+            child_pos.insert(
+                u,
+                r.children(u)
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| (c, i))
+                    .collect(),
+            );
+        }
+
+        // ---- Off-diagonal phase. ----
+        // Distinct off-diagonal children in ascending topological order
+        // (nearest first), the same order BTC processes children in: a
+        // union of a near list can still mark arcs to far lists and save
+        // their fetches. Markings are lost only across the off-diagonal /
+        // diagonal split — the paper's "expand redundant arcs" effect.
+        let mut off: Vec<NodeId> = block
+            .iter()
+            .flat_map(|&u| r.children(u).iter().copied())
+            .filter(|&c| !state.in_block[c as usize])
+            .collect();
+        off.sort_unstable_by_key(|&c| r.pos[c as usize]);
+        off.dedup();
+
+        for &j in &off {
+            // Which diagonal lists still want this child?
+            let takers: Vec<(NodeId, usize)> = block
+                .iter()
+                .filter_map(|&u| child_pos[&u].get(&j).map(|&ci| (u, ci)))
+                .filter(|&(u, ci)| !state.done[&u][ci] && !state.marked[&u][ci])
+                .collect();
+            if takers.is_empty() {
+                continue;
+            }
+            // One fetch of S_j serves every taker — blocking's benefit.
+            metrics.list_fetches += 1;
+            let entries = ListCursor::new(&r.store, j).collect_entries(pool)?;
+            for (u, ci) in takers {
+                metrics.arcs_processed += 1;
+                metrics.unions += 1;
+                metrics.unmarked_locality_sum += r.arc_locality(u, j);
+                metrics.unmarked_locality_count += 1;
+                let is_source = r.is_source[u as usize];
+                let bv = bitvecs.get_mut(&u).expect("block bitvec");
+                for e in &entries {
+                    metrics.tuple_reads += 1;
+                    let x = e.node;
+                    if bv.insert(x) {
+                        r.store.append_flat(pool, u, x)?;
+                        metrics.tuples_generated += 1;
+                        if is_source {
+                            metrics.source_tuples += 1;
+                            answer.emit(u, x);
+                        }
+                    } else {
+                        metrics.duplicates += 1;
+                        if let Some(&cj) = child_pos[&u].get(&x) {
+                            let done_u = &state.done[&u];
+                            let marked_u = state.marked.get_mut(&u).expect("marked");
+                            if !done_u[cj] && !marked_u[cj] {
+                                marked_u[cj] = true;
+                            }
+                        }
+                    }
+                }
+                state.done.get_mut(&u).expect("done")[ci] = true;
+            }
+        }
+
+        // ---- Diagonal phase: intra-block arcs, reverse topo order. ----
+        for &u in block {
+            let children = r.children(u).to_vec();
+            for (ci, &c) in children.iter().enumerate() {
+                if !state.in_block[c as usize] {
+                    continue; // off-diagonal, handled above
+                }
+                if state.done[&u][ci] {
+                    continue;
+                }
+                metrics.arcs_processed += 1;
+                if state.marked[&u][ci] {
+                    metrics.arcs_marked += 1;
+                    state.done.get_mut(&u).expect("done")[ci] = true;
+                    continue;
+                }
+                metrics.unions += 1;
+                metrics.list_fetches += 1;
+                metrics.unmarked_locality_sum += r.arc_locality(u, c);
+                metrics.unmarked_locality_count += 1;
+                let is_source = r.is_source[u as usize];
+                let entries = ListCursor::new(&r.store, c).collect_entries(pool)?;
+                let bv = bitvecs.get_mut(&u).expect("block bitvec");
+                for e in entries {
+                    metrics.tuple_reads += 1;
+                    let x = e.node;
+                    if bv.insert(x) {
+                        r.store.append_flat(pool, u, x)?;
+                        metrics.tuples_generated += 1;
+                        if is_source {
+                            metrics.source_tuples += 1;
+                            answer.emit(u, x);
+                        }
+                    } else {
+                        metrics.duplicates += 1;
+                        if let Some(&cj) = child_pos[&u].get(&x) {
+                            let done_u = &state.done[&u];
+                            let marked_u = state.marked.get_mut(&u).expect("marked");
+                            if !done_u[cj] && !marked_u[cj] {
+                                marked_u[cj] = true;
+                            }
+                        }
+                    }
+                }
+                state.done.get_mut(&u).expect("done")[ci] = true;
+            }
+            // Also account marked off-diagonal arcs never unioned.
+            for (ci, _) in children.iter().enumerate() {
+                if state.marked[&u][ci] && !state.done[&u][ci] {
+                    metrics.arcs_processed += 1;
+                    metrics.arcs_marked += 1;
+                    state.done.get_mut(&u).expect("done")[ci] = true;
+                }
+            }
+        }
+        Ok(())
+    })();
+
+    // Always release our pins, success or failure.
+    for p in pinned {
+        if pool.is_pinned(p) {
+            pool.unpin(p);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::Algorithm;
+    use crate::database::Database;
+    use crate::query::Query;
+    use crate::restructure::{restructure, RestructureOptions};
+    use tc_buffer::PagePolicy;
+    use tc_graph::{closure, DagGenerator, Graph};
+    use tc_succ::ListPolicy;
+
+    fn run_hyb(g: &Graph, query: &Query, m: usize, ilimit: f64) -> (CostMetrics, Vec<(u32, u32)>) {
+        let mut db = Database::build(g, false).unwrap();
+        let disk = db.disk.take().unwrap();
+        let mut pool = BufferPool::new(disk, m, PagePolicy::Lru);
+        let mut metrics = CostMetrics::new(Algorithm::Hyb);
+        let mut r = restructure(
+            &db,
+            &mut pool,
+            query,
+            &RestructureOptions {
+                single_parent_reduction: false,
+                build_lists: true,
+                tree_format: false,
+                list_policy: ListPolicy::Spill,
+            },
+            &mut metrics,
+        )
+        .unwrap();
+        let mut answer = AnswerCollector::new(true);
+        for &s in &r.sources.clone() {
+            for &c in r.children(s) {
+                answer.emit(s, c);
+            }
+        }
+        expand_all(&mut pool, &mut r, &mut metrics, &mut answer, ilimit).unwrap();
+        (metrics, answer.into_pairs())
+    }
+
+    #[test]
+    fn matches_oracle_at_various_ilimits() {
+        let g = DagGenerator::new(300, 4.0, 80).seed(29).generate();
+        let expect = closure::ptc_answer(&g, &(0..300).collect::<Vec<_>>());
+        for ilimit in [0.0, 0.1, 0.2, 0.3, 0.5] {
+            let (_, pairs) = run_hyb(&g, &Query::full(), 10, ilimit);
+            assert_eq!(pairs, expect, "ILIMIT {ilimit}");
+        }
+    }
+
+    #[test]
+    fn ilimit_zero_is_btc() {
+        let g = DagGenerator::new(200, 3.0, 50).seed(3).generate();
+        let (hyb_m, _) = run_hyb(&g, &Query::full(), 10, 0.0);
+        // Same union/marking profile as BTC by construction.
+        let tr = tc_graph::transitive_reduction(&g);
+        assert_eq!(hyb_m.unions as usize, tr.arc_count());
+    }
+
+    #[test]
+    fn blocking_amortizes_fetches_but_loses_markings() {
+        let g = DagGenerator::new(400, 5.0, 100).seed(11).generate();
+        let (btc_m, _) = run_hyb(&g, &Query::full(), 20, 0.0);
+        let (hyb_m, _) = run_hyb(&g, &Query::full(), 20, 0.3);
+        // Off-diagonal-first processing can only lose markings.
+        assert!(hyb_m.arcs_marked <= btc_m.arcs_marked);
+        // And therefore performs at least as many unions.
+        assert!(hyb_m.unions >= btc_m.unions);
+    }
+
+    #[test]
+    fn ptc_matches_oracle() {
+        let g = DagGenerator::new(300, 3.0, 60).seed(17).generate();
+        let sources = vec![1, 25, 60];
+        let (_, pairs) = run_hyb(&g, &Query::partial(sources.clone()), 10, 0.2);
+        assert_eq!(pairs, closure::ptc_answer(&g, &sources));
+    }
+
+    #[test]
+    fn tiny_pool_still_completes() {
+        // Dynamic reblocking path: a pool barely bigger than the reserve.
+        let g = DagGenerator::new(300, 5.0, 300).seed(5).generate();
+        let (_, pairs) = run_hyb(&g, &Query::full(), 5, 0.9);
+        assert_eq!(
+            pairs,
+            closure::ptc_answer(&g, &(0..300).collect::<Vec<_>>())
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! System configuration (paper §5.1).
+
+use tc_buffer::PagePolicy;
+use tc_storage::IoCostModel;
+use tc_succ::ListPolicy;
+
+/// The system parameters of one experiment: buffer pool size, page and
+/// list replacement policies, the Hybrid algorithm's blocking ratio, and
+/// the I/O latency model.
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Buffer pool size in pages (the paper's `M`; 10, 20 or 50).
+    pub buffer_pages: usize,
+    /// Page replacement policy.
+    pub page_policy: PagePolicy,
+    /// Successor-list replacement policy.
+    pub list_policy: ListPolicy,
+    /// HYB only: fraction of the buffer pool reserved for the diagonal
+    /// block (the paper's `ILIMIT`, swept 0–0.3 in Figure 6). 0 disables
+    /// blocking, making HYB identical to BTC.
+    pub ilimit: f64,
+    /// JKB only: derive predecessor lists by external-sorting the magic
+    /// arcs instead of random-order insertion. The paper's JKB behaviour
+    /// (preprocessing "prohibitively expensive" at high out-degree)
+    /// corresponds to `false`; the sort variant is provided as an
+    /// ablation.
+    pub jkb_sort_preprocessing: bool,
+    /// I/O latency model for estimated I/O time (20 ms/page in the paper).
+    pub io_model: IoCostModel,
+    /// Cross-check every answer against the in-memory oracle (used by the
+    /// test suite; adds CPU, no I/O).
+    pub validate: bool,
+    /// Keep the answer tuples in memory on the [`crate::RunResult`]
+    /// (costs memory, no I/O; implied by `validate`).
+    pub collect_answer: bool,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            buffer_pages: 10,
+            page_policy: PagePolicy::Lru,
+            // The paper reports "the best combination of list and page
+            // replacement policies" (§5.1); the ablation bench finds that
+            // to be LRU + MOVE-SHORTEST across the corpus.
+            list_policy: ListPolicy::MoveShortest,
+            ilimit: 0.2,
+            jkb_sort_preprocessing: false,
+            io_model: IoCostModel::default(),
+            validate: false,
+            collect_answer: false,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// A config with the given buffer size and defaults elsewhere.
+    pub fn with_buffer(m: usize) -> SystemConfig {
+        SystemConfig {
+            buffer_pages: m,
+            ..SystemConfig::default()
+        }
+    }
+
+    /// Builder-style: set the page policy.
+    pub fn page_policy(mut self, p: PagePolicy) -> Self {
+        self.page_policy = p;
+        self
+    }
+
+    /// Builder-style: set the list policy.
+    pub fn list_policy(mut self, p: ListPolicy) -> Self {
+        self.list_policy = p;
+        self
+    }
+
+    /// Builder-style: set HYB's blocking ratio.
+    pub fn ilimit(mut self, ilimit: f64) -> Self {
+        assert!((0.0..=1.0).contains(&ilimit), "ILIMIT must be in [0,1]");
+        self.ilimit = ilimit;
+        self
+    }
+
+    /// Builder-style: enable oracle validation.
+    pub fn validated(mut self) -> Self {
+        self.validate = true;
+        self
+    }
+
+    /// Builder-style: keep the answer tuples on the [`crate::RunResult`].
+    pub fn collecting(mut self) -> Self {
+        self.collect_answer = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_smallest_config() {
+        let c = SystemConfig::default();
+        assert_eq!(c.buffer_pages, 10);
+        assert_eq!(c.page_policy, PagePolicy::Lru);
+        assert_eq!(c.list_policy, ListPolicy::MoveShortest);
+        assert!((c.io_model.ms_per_io - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = SystemConfig::with_buffer(50)
+            .page_policy(PagePolicy::Clock)
+            .list_policy(ListPolicy::MoveShortest)
+            .ilimit(0.3)
+            .validated();
+        assert_eq!(c.buffer_pages, 50);
+        assert_eq!(c.page_policy, PagePolicy::Clock);
+        assert_eq!(c.list_policy, ListPolicy::MoveShortest);
+        assert!(c.validate);
+    }
+
+    #[test]
+    #[should_panic(expected = "ILIMIT")]
+    fn rejects_bad_ilimit() {
+        let _ = SystemConfig::default().ilimit(1.5);
+    }
+}

@@ -1,0 +1,340 @@
+//! Query execution: phases, write-out, metric assembly, validation.
+
+use crate::algorithm::Algorithm;
+use crate::algorithms::{btc, hybrid, jkb, search, seminaive, spn, AnswerCollector};
+use crate::config::SystemConfig;
+use crate::database::Database;
+use crate::metrics::{CostMetrics, PhaseIo};
+use crate::query::Query;
+use crate::restructure::{restructure, RestructureOptions};
+use std::time::Instant;
+use tc_buffer::{BufferPool, BufferStats};
+use tc_graph::{closure, MagicGraph, NodeId};
+use tc_storage::{DiskStats, FileKind, StorageResult, TupleWriter};
+
+/// The outcome of one query execution.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// The full metric suite.
+    pub metrics: CostMetrics,
+    /// The answer tuples `(source, successor)`, if collection was enabled
+    /// in the [`SystemConfig`]. Sorted and duplicate-free.
+    pub answer: Option<Vec<(NodeId, NodeId)>>,
+}
+
+impl RunResult {
+    /// Number of distinct answer tuples.
+    pub fn answer_len(&self) -> u64 {
+        self.metrics.answer_tuples
+    }
+}
+
+pub(crate) fn run(
+    db: &mut Database,
+    query: &Query,
+    algorithm: Algorithm,
+    cfg: &SystemConfig,
+) -> StorageResult<RunResult> {
+    let start = Instant::now();
+    let disk = db.disk.take().expect("database disk present");
+    let mut pool = BufferPool::new(disk, cfg.buffer_pages, cfg.page_policy);
+    let mut metrics = CostMetrics::new(algorithm);
+    let mut answer = AnswerCollector::new(cfg.validate || cfg.collect_answer);
+
+    let disk_base = pool.disk().stats().clone();
+    let outcome = execute(db, &mut pool, query, algorithm, cfg, &mut metrics, &mut answer);
+
+    // Finalize: the disk must return to the database even on error.
+    let disk_stats_total = pool.disk().stats().clone();
+    metrics.buffer = pool.stats().clone();
+    let disk = pool.into_disk_discard();
+    db.disk = Some(disk);
+    let snapshot = outcome?;
+
+    // All counters are deltas against this run's starting point: the
+    // simulated disk's counters are cumulative across a database's runs.
+    let run_total = disk_stats_total.since(&disk_base);
+    metrics.restructure_io =
+        PhaseIo::from_disk(&snapshot.disk_at_phase_end.since(&disk_base));
+    metrics.compute_io =
+        PhaseIo::from_disk(&disk_stats_total.since(&snapshot.disk_at_phase_end));
+    for (i, slot) in metrics.io_by_kind.iter_mut().enumerate() {
+        *slot = (run_total.reads_by_kind[i], run_total.writes_by_kind[i]);
+    }
+    metrics.buffer_compute = metrics.buffer.since(&snapshot.buffer_at_phase_end);
+    if algorithm == Algorithm::Srch {
+        // SRCH does all its work in what is normally the preprocessing
+        // phase; its hit ratio covers the whole run (the paper excludes
+        // preprocessing only "for BTC and JKB2").
+        metrics.buffer_compute = metrics.buffer.clone();
+    }
+    metrics.answer_tuples = answer.count();
+    metrics.elapsed = start.elapsed();
+    metrics.estimated_io_seconds = cfg.io_model.estimate_seconds(metrics.total_io());
+
+    let answer_pairs = if cfg.validate || cfg.collect_answer {
+        let pairs = answer.into_pairs();
+        if cfg.validate {
+            validate(db, query, algorithm, &pairs);
+        }
+        Some(pairs)
+    } else {
+        None
+    };
+
+    Ok(RunResult {
+        metrics,
+        answer: answer_pairs,
+    })
+}
+
+/// Phase-boundary snapshot: end of restructuring / preprocessing.
+struct PhaseSnapshot {
+    disk_at_phase_end: DiskStats,
+    buffer_at_phase_end: BufferStats,
+}
+
+fn execute(
+    db: &mut Database,
+    pool: &mut BufferPool,
+    query: &Query,
+    algorithm: Algorithm,
+    cfg: &SystemConfig,
+    metrics: &mut CostMetrics,
+    answer: &mut AnswerCollector,
+) -> StorageResult<PhaseSnapshot> {
+    let snapshot = |pool: &BufferPool| PhaseSnapshot {
+        disk_at_phase_end: pool.disk().stats().clone(),
+        buffer_at_phase_end: pool.stats().clone(),
+    };
+
+    match algorithm {
+        Algorithm::Btc | Algorithm::Hyb | Algorithm::Bj | Algorithm::Spn => {
+            let mut r = restructure(
+                db,
+                pool,
+                query,
+                &RestructureOptions {
+                    single_parent_reduction: algorithm == Algorithm::Bj,
+                    build_lists: true,
+                    tree_format: algorithm == Algorithm::Spn,
+                    list_policy: cfg.list_policy,
+                },
+                metrics,
+            )?;
+            // The immediate children of sources are answer tuples.
+            for &s in &r.sources.clone() {
+                for &c in r.children(s) {
+                    answer.emit(s, c);
+                }
+            }
+            let snap = snapshot(pool);
+            match algorithm {
+                Algorithm::Spn => spn::expand_all(pool, &mut r, metrics, answer)?,
+                Algorithm::Hyb => {
+                    hybrid::expand_all(pool, &mut r, metrics, answer, cfg.ilimit)?
+                }
+                _ => btc::expand_all(pool, &mut r, metrics, answer)?,
+            }
+            write_out_lists(pool, &r.store, &r.sources, query)?;
+            metrics.tuple_writes = r.store.stats().entries_written;
+            Ok(snap)
+        }
+        Algorithm::Srch => {
+            let sources = query.effective_sources(db.n());
+            // Node levels for the locality metric: pure bookkeeping
+            // derived from the workload description (never charged).
+            let magic = MagicGraph::of(db.graph(), &sources);
+            let levels = tc_graph::model::node_levels(&magic.graph);
+            let store = search::run_search(
+                db,
+                pool,
+                &sources,
+                &levels,
+                cfg.list_policy,
+                metrics,
+                answer,
+            )?;
+            // SRCH's work happens in the preprocessing phase; the
+            // computation phase is only the write-out.
+            let snap = snapshot(pool);
+            pool.flush_file(store.file_id())?;
+            metrics.tuple_writes = store.stats().entries_written;
+            Ok(snap)
+        }
+        Algorithm::Jkb | Algorithm::Jkb2 => {
+            let r = restructure(
+                db,
+                pool,
+                query,
+                &RestructureOptions {
+                    single_parent_reduction: false,
+                    build_lists: false,
+                    tree_format: false,
+                    list_policy: cfg.list_policy,
+                },
+                metrics,
+            )?;
+            let mode = if algorithm == Algorithm::Jkb2 {
+                jkb::Preprocessing::DualRepresentation
+            } else if cfg.jkb_sort_preprocessing {
+                jkb::Preprocessing::SortedInsertion
+            } else {
+                jkb::Preprocessing::RandomInsertion
+            };
+            let pred = jkb::preprocess(db, pool, &r, mode, cfg.list_policy, metrics)?;
+            let snap = snapshot(pool);
+            let mut output = TupleWriter::new(pool, FileKind::Output);
+            let trees = jkb::compute(pool, &r, &pred, metrics, answer, &mut output)?;
+            // Write out the answer; the trees and predecessor lists are
+            // scratch state.
+            let out_file = output.finish();
+            pool.flush_file(out_file.file_id())?;
+            pool.discard_file(trees.file_id())?;
+            pool.discard_file(pred.file_id())?;
+            metrics.tuple_writes =
+                pred.stats().entries_written + trees.stats().entries_written;
+            Ok(snap)
+        }
+        Algorithm::Seminaive => {
+            // No restructuring phase at all.
+            let snap = snapshot(pool);
+            let sources = query.effective_sources(db.n());
+            let tc_file = seminaive::run_seminaive(db, pool, &sources, metrics, answer)?;
+            pool.flush_file(tc_file.file_id())?;
+            metrics.tuple_writes = tc_file.tuple_count() as u64;
+            Ok(snap)
+        }
+    }
+}
+
+/// End-of-run write-out for the list-based algorithms: full closure
+/// flushes the whole successor file; a selection writes out only the
+/// pages holding source lists and discards the rest (paper §4: "only the
+/// expanded lists of the query source nodes are written out").
+fn write_out_lists(
+    pool: &mut BufferPool,
+    store: &tc_succ::SuccStore,
+    sources: &[NodeId],
+    query: &Query,
+) -> StorageResult<()> {
+    if query.is_full() {
+        pool.flush_file(store.file_id())
+    } else {
+        let mut pages: Vec<tc_storage::PageId> = Vec::new();
+        for &s in sources {
+            for p in store.pages_of(s) {
+                if !pages.contains(&p) {
+                    pages.push(p);
+                }
+            }
+        }
+        pool.flush_pages(&pages)?;
+        pool.discard_file(store.file_id())
+    }
+}
+
+/// Oracle validation: the answer must equal the in-memory PTC answer.
+fn validate(db: &Database, query: &Query, algorithm: Algorithm, pairs: &[(NodeId, NodeId)]) {
+    let sources = query.effective_sources(db.n());
+    let expect = closure::ptc_answer(db.graph(), &sources);
+    assert_eq!(
+        pairs.len(),
+        expect.len(),
+        "{algorithm}: answer size {} != oracle {}",
+        pairs.len(),
+        expect.len()
+    );
+    assert_eq!(pairs, &expect[..], "{algorithm}: answer differs from oracle");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_graph::DagGenerator;
+
+    fn db_for(seed: u64) -> Database {
+        let g = DagGenerator::new(300, 4.0, 80).seed(seed).generate();
+        Database::build(&g, true).unwrap()
+    }
+
+    #[test]
+    fn every_algorithm_validates_on_full_closure() {
+        let mut db = db_for(1);
+        let cfg = SystemConfig::default().validated();
+        for algo in Algorithm::ALL {
+            let res = db.run(&Query::full(), algo, &cfg).unwrap();
+            assert!(res.metrics.total_io() > 0, "{algo}");
+            assert_eq!(
+                res.metrics.answer_tuples,
+                res.answer.as_ref().unwrap().len() as u64
+            );
+        }
+    }
+
+    #[test]
+    fn every_algorithm_validates_on_ptc() {
+        let mut db = db_for(2);
+        let cfg = SystemConfig::default().validated();
+        let q = Query::partial(vec![3, 50, 120]);
+        let mut answers = Vec::new();
+        for algo in Algorithm::ALL {
+            let res = db.run(&q, algo, &cfg).unwrap();
+            answers.push(res.answer.unwrap());
+        }
+        // All eight agree (validation already checked vs oracle).
+        for w in answers.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn phases_partition_total_io() {
+        let mut db = db_for(3);
+        let cfg = SystemConfig::default();
+        let res = db.run(&Query::full(), Algorithm::Btc, &cfg).unwrap();
+        let m = &res.metrics;
+        let by_kind: u64 = m.io_by_kind.iter().map(|&(r, w)| r + w).sum();
+        assert_eq!(m.total_io(), by_kind, "kind breakdown sums to total");
+        assert!(m.restructure_io.total() > 0);
+        assert!(m.compute_io.total() > 0);
+    }
+
+    #[test]
+    fn repeated_runs_are_deterministic() {
+        let mut db = db_for(4);
+        let cfg = SystemConfig::default();
+        let a = db.run(&Query::full(), Algorithm::Btc, &cfg).unwrap();
+        let b = db.run(&Query::full(), Algorithm::Btc, &cfg).unwrap();
+        assert_eq!(a.metrics.total_io(), b.metrics.total_io());
+        assert_eq!(a.metrics.unions, b.metrics.unions);
+        assert_eq!(a.metrics.tuples_generated, b.metrics.tuples_generated);
+    }
+
+    #[test]
+    fn ptc_writes_less_than_full_closure() {
+        let mut db = db_for(5);
+        let cfg = SystemConfig::default();
+        let full = db.run(&Query::full(), Algorithm::Btc, &cfg).unwrap();
+        let ptc = db
+            .run(&Query::partial(vec![7]), Algorithm::Btc, &cfg)
+            .unwrap();
+        assert!(ptc.metrics.total_io() < full.metrics.total_io());
+    }
+
+    #[test]
+    fn larger_buffers_do_not_increase_io() {
+        let mut db = db_for(6);
+        let mut last = u64::MAX;
+        for m in [10, 20, 50] {
+            let cfg = SystemConfig::with_buffer(m);
+            let res = db.run(&Query::full(), Algorithm::Btc, &cfg).unwrap();
+            assert!(
+                res.metrics.total_io() <= last,
+                "M={m}: {} > {last}",
+                res.metrics.total_io()
+            );
+            last = res.metrics.total_io();
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! The SIGMOD '94 transitive-closure algorithms and query engine.
+//!
+//! This crate implements the paper's uniform two-phase framework (§4) over
+//! the simulated storage substrate:
+//!
+//! 1. **Restructuring phase** (common to all algorithms,
+//!    [`restructure`]): topologically sort the input, convert relation
+//!    tuples into paged successor lists, identify the magic subgraph for
+//!    selection queries, and collect the rectangle-model statistics in the
+//!    same pass.
+//! 2. **Computation phase** (per algorithm, [`algorithms`]): expand the
+//!    successor lists and write the expanded lists out.
+//!
+//! The seven candidate implementations from the paper, plus a paged
+//! Seminaive baseline from its related-work survey:
+//!
+//! | [`Algorithm`] | Paper name | Distinguishing idea |
+//! |---|---|---|
+//! | `Btc` | BTC \[12\] | marking + immediate successor optimization |
+//! | `Hyb` | Hybrid \[2\] | blocking with a pinned diagonal block |
+//! | `Bj`  | BFS \[18\] | single-parent reduction for PTC |
+//! | `Srch`| Search \[15\] | per-source search, no restructuring payoff |
+//! | `Spn` | Spanning Tree \[6,14\] | successor trees with subtree pruning |
+//! | `Jkb` | Compute_Tree \[15\] | special-node predecessor trees |
+//! | `Jkb2`| Compute_Tree + dual representation | inverse relation clustered on destination |
+//! | `Seminaive` | baseline \[19\] | delta iteration over the relation |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tc_core::prelude::*;
+//! use tc_graph::DagGenerator;
+//!
+//! let graph = DagGenerator::new(500, 3.0, 100).seed(7).generate();
+//! let mut db = Database::build(&graph, true).unwrap();
+//! let cfg = SystemConfig::default(); // M = 10 pages, LRU
+//!
+//! // Full transitive closure with BTC.
+//! let full = db.run(&Query::full(), Algorithm::Btc, &cfg).unwrap();
+//! println!("page I/O: {}", full.metrics.total_io());
+//!
+//! // Partial closure from three sources with Compute_Tree.
+//! let ptc = db.run(&Query::partial(vec![1, 2, 3]), Algorithm::Jkb2, &cfg).unwrap();
+//! assert!(ptc.metrics.total_io() < full.metrics.total_io());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod advisor;
+pub mod algorithm;
+pub mod algorithms;
+pub mod config;
+pub mod cyclic;
+pub mod database;
+pub mod engine;
+pub mod metrics;
+pub mod paths;
+pub mod query;
+pub mod restructure;
+
+pub use advisor::{Advisor, WorkloadProfile};
+pub use algorithm::Algorithm;
+pub use config::SystemConfig;
+pub use cyclic::{run_cyclic, CyclicResult};
+pub use database::Database;
+pub use engine::RunResult;
+pub use metrics::{CostMetrics, PhaseIo};
+pub use paths::PathIndex;
+pub use query::Query;
+
+/// Convenient glob-import surface: the types needed to load a graph and
+/// run queries.
+pub mod prelude {
+    pub use crate::algorithm::Algorithm;
+    pub use crate::config::SystemConfig;
+    pub use crate::database::Database;
+    pub use crate::engine::RunResult;
+    pub use crate::metrics::CostMetrics;
+    pub use crate::advisor::{Advisor, WorkloadProfile};
+    pub use crate::cyclic::{run_cyclic, CyclicResult};
+    pub use crate::paths::PathIndex;
+    pub use crate::query::Query;
+    pub use tc_buffer::PagePolicy;
+    pub use tc_succ::ListPolicy;
+}

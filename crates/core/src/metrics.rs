@@ -1,0 +1,258 @@
+//! The full cost-metric suite (paper §7).
+//!
+//! The paper's central methodological point is that transitive-closure
+//! studies have used many different cost metrics — tuples generated,
+//! distinct tuples, tuple I/O, successor-list I/O, union counts, page
+//! I/O — and that the cheaper-to-model metrics do *not* predict page I/O.
+//! To reproduce that comparison we record all of them on every run.
+
+use crate::algorithm::Algorithm;
+use std::fmt;
+use std::time::Duration;
+use tc_buffer::BufferStats;
+use tc_graph::RectangleModel;
+use tc_storage::DiskStats;
+
+/// Physical page I/O of one execution phase.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct PhaseIo {
+    /// Physical page reads.
+    pub reads: u64,
+    /// Physical page writes.
+    pub writes: u64,
+}
+
+impl PhaseIo {
+    /// Builds from a disk-counter delta.
+    pub fn from_disk(d: &DiskStats) -> PhaseIo {
+        PhaseIo {
+            reads: d.reads,
+            writes: d.writes,
+        }
+    }
+
+    /// Total page transfers.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// Everything measured about one query execution.
+#[derive(Clone, Debug)]
+pub struct CostMetrics {
+    /// Which algorithm ran.
+    pub algorithm: Algorithm,
+
+    // ---- Page I/O (the primary metric) ----
+    /// Physical I/O of the restructuring (preprocessing) phase.
+    pub restructure_io: PhaseIo,
+    /// Physical I/O of the computation (expansion) phase, including the
+    /// final write-out.
+    pub compute_io: PhaseIo,
+    /// Physical I/O by file kind over the whole run (reads, writes),
+    /// indexed by [`tc_storage::FileKind::idx`].
+    pub io_by_kind: [(u64, u64); 6],
+
+    // ---- The "misleading" metrics (§7) ----
+    /// Distinct tuples generated (insertions into successor structures);
+    /// the `tc` of selection efficiency.
+    pub tuples_generated: u64,
+    /// Duplicate derivations (scanned entries already present).
+    pub duplicates: u64,
+    /// Generated tuples that belong to source-node results; the `stc` of
+    /// selection efficiency (§6.3.2).
+    pub source_tuples: u64,
+    /// Successor-list unions performed (§6.3.3, Figure 10).
+    pub unions: u64,
+    /// Arcs considered for expansion (marked + unmarked).
+    pub arcs_processed: u64,
+    /// Arcs skipped by the marking optimization (Figure 11).
+    pub arcs_marked: u64,
+    /// Entries read from successor structures ("tuple I/O" in).
+    pub tuple_reads: u64,
+    /// Entries appended to successor structures ("tuple I/O" out).
+    pub tuple_writes: u64,
+    /// Entries a tree union pruned without processing (SPN/JKB savings).
+    pub entries_pruned: u64,
+    /// Successor lists fetched ("successor list I/O").
+    pub list_fetches: u64,
+
+    // ---- Locality (Figure 12) ----
+    /// Sum of `level(i) − level(j)` over unmarked (expanded) arcs.
+    pub unmarked_locality_sum: f64,
+    /// Number of unmarked arcs in that sum.
+    pub unmarked_locality_count: u64,
+
+    // ---- Buffer behaviour (Figure 13) ----
+    /// Buffer statistics of the whole run.
+    pub buffer: BufferStats,
+    /// Buffer statistics of the computation phase only (the paper's hit
+    /// ratio "does not take into account the preprocessing phase").
+    pub buffer_compute: BufferStats,
+
+    // ---- Workload characterization ----
+    /// Nodes in the (magic) graph processed.
+    pub magic_nodes: u64,
+    /// Arcs in the (magic) graph processed.
+    pub magic_arcs: u64,
+    /// Rectangle model of the (magic) graph, when the run computed one.
+    pub rect: Option<RectangleModel>,
+
+    // ---- Result & time ----
+    /// Distinct answer tuples produced.
+    pub answer_tuples: u64,
+    /// Wall-clock time of the simulated run (the paper's "user time"
+    /// analogue; the simulation itself is the CPU work).
+    pub elapsed: Duration,
+    /// Estimated I/O time at the configured ms-per-I/O (Table 3).
+    pub estimated_io_seconds: f64,
+}
+
+impl CostMetrics {
+    /// Fresh zeroed metrics for `algorithm`.
+    pub fn new(algorithm: Algorithm) -> CostMetrics {
+        CostMetrics {
+            algorithm,
+            restructure_io: PhaseIo::default(),
+            compute_io: PhaseIo::default(),
+            io_by_kind: [(0, 0); 6],
+            tuples_generated: 0,
+            duplicates: 0,
+            source_tuples: 0,
+            unions: 0,
+            arcs_processed: 0,
+            arcs_marked: 0,
+            tuple_reads: 0,
+            tuple_writes: 0,
+            entries_pruned: 0,
+            list_fetches: 0,
+            unmarked_locality_sum: 0.0,
+            unmarked_locality_count: 0,
+            buffer: BufferStats::default(),
+            buffer_compute: BufferStats::default(),
+            magic_nodes: 0,
+            magic_arcs: 0,
+            rect: None,
+            answer_tuples: 0,
+            elapsed: Duration::ZERO,
+            estimated_io_seconds: 0.0,
+        }
+    }
+
+    /// Total physical page I/O — the paper's primary cost measure.
+    pub fn total_io(&self) -> u64 {
+        self.restructure_io.total() + self.compute_io.total()
+    }
+
+    /// Marking percentage: fraction of processed arcs that were marked
+    /// (Figure 11).
+    pub fn marking_pct(&self) -> f64 {
+        if self.arcs_processed == 0 {
+            0.0
+        } else {
+            self.arcs_marked as f64 / self.arcs_processed as f64
+        }
+    }
+
+    /// Selection efficiency `stc / tc` (§6.3.2, Figure 9): 1.0 means
+    /// every generated tuple contributed to the answer.
+    pub fn selection_efficiency(&self) -> f64 {
+        if self.tuples_generated == 0 {
+            0.0
+        } else {
+            self.source_tuples as f64 / self.tuples_generated as f64
+        }
+    }
+
+    /// Mean locality of the arcs actually expanded (Figure 12).
+    pub fn avg_unmarked_locality(&self) -> f64 {
+        if self.unmarked_locality_count == 0 {
+            0.0
+        } else {
+            self.unmarked_locality_sum / self.unmarked_locality_count as f64
+        }
+    }
+
+    /// Buffer hit ratio of the computation phase (Figure 13 (c)/(d)):
+    /// read-request granularity, matching the paper's "successor list
+    /// page requests ... satisfied from the buffer pool".
+    pub fn compute_hit_ratio(&self) -> f64 {
+        self.buffer_compute.read_hit_ratio()
+    }
+}
+
+impl fmt::Display for CostMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: total I/O {} (restructure {}r+{}w, compute {}r+{}w), est. {:.1}s",
+            self.algorithm,
+            self.total_io(),
+            self.restructure_io.reads,
+            self.restructure_io.writes,
+            self.compute_io.reads,
+            self.compute_io.writes,
+            self.estimated_io_seconds,
+        )?;
+        writeln!(
+            f,
+            "  tuples {} (+{} dup), unions {}, marked {}/{} ({:.0}%), list fetches {}",
+            self.tuples_generated,
+            self.duplicates,
+            self.unions,
+            self.arcs_marked,
+            self.arcs_processed,
+            self.marking_pct() * 100.0,
+            self.list_fetches,
+        )?;
+        write!(
+            f,
+            "  answer {} tuples, sel.eff {:.2}, hit ratio {:.2}, elapsed {:.3}s",
+            self.answer_tuples,
+            self.selection_efficiency(),
+            self.compute_hit_ratio(),
+            self.elapsed.as_secs_f64(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_ratios() {
+        let mut m = CostMetrics::new(Algorithm::Btc);
+        assert_eq!(m.marking_pct(), 0.0);
+        assert_eq!(m.selection_efficiency(), 0.0);
+        m.arcs_processed = 10;
+        m.arcs_marked = 4;
+        m.tuples_generated = 100;
+        m.source_tuples = 25;
+        m.unmarked_locality_sum = 18.0;
+        m.unmarked_locality_count = 6;
+        assert!((m.marking_pct() - 0.4).abs() < 1e-12);
+        assert!((m.selection_efficiency() - 0.25).abs() < 1e-12);
+        assert!((m.avg_unmarked_locality() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_io_sums_phases() {
+        let mut m = CostMetrics::new(Algorithm::Btc);
+        m.restructure_io = PhaseIo { reads: 3, writes: 2 };
+        m.compute_io = PhaseIo {
+            reads: 10,
+            writes: 5,
+        };
+        assert_eq!(m.total_io(), 20);
+    }
+
+    #[test]
+    fn display_is_multiline_and_complete() {
+        let m = CostMetrics::new(Algorithm::Spn);
+        let s = format!("{m}");
+        assert!(s.contains("SPN"));
+        assert!(s.contains("total I/O"));
+        assert!(s.contains("sel.eff"));
+    }
+}

@@ -1,0 +1,221 @@
+//! Path extraction from successor spanning trees.
+//!
+//! The paper's concession to the Spanning Tree algorithm (§6.2): "in
+//! addition to determining reachability between two nodes in the graph,
+//! the successor tree algorithms also establish a path between the two
+//! nodes. This additional information, if needed, may justify the higher
+//! I/O cost of these algorithms."
+//!
+//! [`PathIndex`] materializes exactly that trade: it runs the SPN
+//! expansion, keeps the tree store and the buffer pool alive, and answers
+//! `path(u, v)` queries by reading `u`'s stored spanning tree (charged
+//! page I/O, like any other access) and walking `v` up to the root.
+
+use crate::algorithm::Algorithm;
+use crate::algorithms::{spn, AnswerCollector};
+use crate::config::SystemConfig;
+use crate::database::Database;
+use crate::metrics::CostMetrics;
+use crate::query::Query;
+use crate::restructure::{restructure, Restructured, RestructureOptions};
+use std::collections::HashMap;
+use tc_buffer::BufferPool;
+use tc_graph::NodeId;
+use tc_storage::StorageResult;
+use tc_succ::tree::read_tree;
+
+/// A queryable index of spanning-tree paths, produced by
+/// [`Database::build_path_index`].
+///
+/// Holds the expanded successor trees on the simulated disk (through a
+/// live buffer pool); every `path` query pays the page I/O of reading the
+/// source's tree.
+pub struct PathIndex {
+    pool: BufferPool,
+    r: Restructured,
+    metrics: CostMetrics,
+}
+
+impl PathIndex {
+    /// Metrics of the SPN run that built the index.
+    pub fn build_metrics(&self) -> &CostMetrics {
+        &self.metrics
+    }
+
+    /// Physical page I/O performed so far (build + queries).
+    pub fn total_io(&self) -> u64 {
+        self.pool.disk().stats().total()
+    }
+
+    /// Returns a concrete arc path `from -> ... -> to`, or `None` if `to`
+    /// is not reachable from `from` (or `from` is outside the indexed
+    /// magic graph).
+    ///
+    /// Reads `from`'s spanning tree through the buffer pool (charged) and
+    /// walks the parent chain.
+    pub fn path(&mut self, from: NodeId, to: NodeId) -> StorageResult<Option<Vec<NodeId>>> {
+        if from == to {
+            return Ok(Some(vec![from]));
+        }
+        if self.r.pos[from as usize] == usize::MAX {
+            return Ok(None);
+        }
+        // The tree stores each reachable node once with its tree parent.
+        let pairs = read_tree(&self.r.store, &mut self.pool, from)?;
+        let mut parent: HashMap<NodeId, NodeId> = HashMap::with_capacity(pairs.len());
+        for (p, v) in pairs {
+            parent.insert(v, p);
+        }
+        if !parent.contains_key(&to) {
+            return Ok(None);
+        }
+        let mut path = vec![to];
+        let mut cur = to;
+        while cur != from {
+            let p = *parent.get(&cur).expect("tree parents are reachable too");
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Ok(Some(path))
+    }
+}
+
+impl Database {
+    /// Runs the Spanning Tree algorithm for `query` and returns a
+    /// [`PathIndex`] over the expanded successor trees — the "pay more
+    /// I/O, keep the paths" side of the paper's §6.2 trade-off.
+    ///
+    /// The index takes ownership of the database's simulated disk, so the
+    /// database cannot run other queries while the index is alive; hand
+    /// the disk back with [`PathIndex::into_database_disk`] when done.
+    pub fn build_path_index(
+        &mut self,
+        query: &Query,
+        cfg: &SystemConfig,
+    ) -> StorageResult<PathIndex> {
+        let disk = self.take_disk();
+        let mut pool = BufferPool::new(disk, cfg.buffer_pages, cfg.page_policy);
+        let base = pool.disk().stats().clone();
+        let mut metrics = CostMetrics::new(Algorithm::Spn);
+        let mut r = restructure(
+            self,
+            &mut pool,
+            query,
+            &RestructureOptions {
+                single_parent_reduction: false,
+                build_lists: true,
+                tree_format: true,
+                list_policy: cfg.list_policy,
+            },
+            &mut metrics,
+        )?;
+        let restructure_end = pool.disk().stats().clone();
+        let mut answer = AnswerCollector::new(false);
+        for &s in &r.sources.clone() {
+            for &c in r.children(s) {
+                answer.emit(s, c);
+            }
+        }
+        spn::expand_all(&mut pool, &mut r, &mut metrics, &mut answer)?;
+        metrics.answer_tuples = answer.count();
+        metrics.restructure_io =
+            crate::metrics::PhaseIo::from_disk(&restructure_end.since(&base));
+        metrics.compute_io = crate::metrics::PhaseIo::from_disk(
+            &pool.disk().stats().since(&restructure_end),
+        );
+        metrics.buffer = pool.stats().clone();
+        Ok(PathIndex { pool, r, metrics })
+    }
+}
+
+impl PathIndex {
+    /// Dissolves the index, handing the simulated disk back to `db` so it
+    /// can run further queries.
+    pub fn into_database_disk(self, db: &mut Database) {
+        db.restore_disk(self.pool.into_disk_discard());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_graph::{closure, DagGenerator, Graph};
+
+    fn check_path(g: &Graph, path: &[NodeId], from: NodeId, to: NodeId) {
+        assert_eq!(*path.first().unwrap(), from);
+        assert_eq!(*path.last().unwrap(), to);
+        for w in path.windows(2) {
+            assert!(g.has_arc(w[0], w[1]), "({}, {}) is not an arc", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn every_reachable_pair_has_a_valid_path() {
+        let g = DagGenerator::new(200, 4.0, 50).seed(21).generate();
+        let mut db = Database::build(&g, false).unwrap();
+        let mut idx = db
+            .build_path_index(&Query::full(), &SystemConfig::default())
+            .unwrap();
+        let tc = closure::dfs_closure(&g);
+        for u in (0..200u32).step_by(17) {
+            for v in tc.row_ones(u) {
+                let p = idx.path(u, v).unwrap().expect("reachable pair has path");
+                check_path(&g, &p, u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_pairs_have_no_path() {
+        let g = Graph::from_arcs(4, [(0, 1), (2, 3)]);
+        let mut db = Database::build(&g, false).unwrap();
+        let mut idx = db
+            .build_path_index(&Query::full(), &SystemConfig::default())
+            .unwrap();
+        assert!(idx.path(0, 3).unwrap().is_none());
+        assert!(idx.path(1, 0).unwrap().is_none());
+        assert_eq!(idx.path(2, 2).unwrap(), Some(vec![2]));
+    }
+
+    #[test]
+    fn ptc_index_only_covers_magic_nodes() {
+        let g = Graph::from_arcs(5, [(0, 1), (1, 2), (3, 4)]);
+        let mut db = Database::build(&g, false).unwrap();
+        let mut idx = db
+            .build_path_index(&Query::partial(vec![0]), &SystemConfig::default())
+            .unwrap();
+        assert_eq!(idx.path(0, 2).unwrap(), Some(vec![0, 1, 2]));
+        assert!(idx.path(3, 4).unwrap().is_none(), "3 outside the magic graph");
+    }
+
+    #[test]
+    fn path_queries_cost_io() {
+        let g = DagGenerator::new(500, 5.0, 120).seed(9).generate();
+        let mut db = Database::build(&g, false).unwrap();
+        let mut idx = db
+            .build_path_index(&Query::full(), &SystemConfig::default())
+            .unwrap();
+        let before = idx.total_io();
+        // Query a node whose tree is certainly not fully resident (pool
+        // is only 10 pages).
+        let tc = closure::dfs_closure(&g);
+        let busiest = (0..500u32).max_by_key(|&u| tc.row_count(u)).unwrap();
+        let target = *tc.row_ones(busiest).last().unwrap();
+        let _ = idx.path(busiest, target).unwrap().unwrap();
+        assert!(idx.total_io() > before, "tree read was charged");
+    }
+
+    #[test]
+    fn disk_hands_back_to_database() {
+        let g = DagGenerator::new(100, 3.0, 25).seed(2).generate();
+        let mut db = Database::build(&g, false).unwrap();
+        let idx = db
+            .build_path_index(&Query::full(), &SystemConfig::default())
+            .unwrap();
+        idx.into_database_disk(&mut db);
+        // Database usable again.
+        db.run(&Query::full(), Algorithm::Btc, &SystemConfig::default())
+            .unwrap();
+    }
+}

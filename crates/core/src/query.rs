@@ -1,0 +1,84 @@
+//! Queries: full or partial transitive closure.
+
+use tc_graph::NodeId;
+
+/// A reachability query.
+///
+/// A *full* query computes the complete transitive closure (every node's
+/// successor set). A *partial* query (PTC, \[18\]) computes the successor
+/// sets of a given set of source nodes; the size of the set is the
+/// paper's selectivity parameter `s` (§5.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Query {
+    sources: Option<Vec<NodeId>>,
+}
+
+impl Query {
+    /// The full transitive closure (CTC).
+    pub fn full() -> Query {
+        Query { sources: None }
+    }
+
+    /// A partial transitive closure from the given source nodes.
+    ///
+    /// Sources are deduplicated and sorted.
+    pub fn partial(mut sources: Vec<NodeId>) -> Query {
+        sources.sort_unstable();
+        sources.dedup();
+        Query {
+            sources: Some(sources),
+        }
+    }
+
+    /// Whether this is a full-closure query.
+    pub fn is_full(&self) -> bool {
+        self.sources.is_none()
+    }
+
+    /// The source set: `None` for full closure.
+    pub fn sources(&self) -> Option<&[NodeId]> {
+        self.sources.as_deref()
+    }
+
+    /// The source set a query effectively uses on an `n`-node graph:
+    /// every node for full closure, the given set otherwise.
+    pub fn effective_sources(&self, n: usize) -> Vec<NodeId> {
+        match &self.sources {
+            Some(s) => s.clone(),
+            None => (0..n as NodeId).collect(),
+        }
+    }
+
+    /// The paper's selectivity parameter `s` (number of sources).
+    pub fn selectivity(&self, n: usize) -> usize {
+        self.sources.as_ref().map_or(n, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partial_sorts_and_dedups() {
+        let q = Query::partial(vec![5, 1, 5, 3]);
+        assert_eq!(q.sources(), Some(&[1, 3, 5][..]));
+        assert!(!q.is_full());
+        assert_eq!(q.selectivity(100), 3);
+    }
+
+    #[test]
+    fn full_covers_all_nodes() {
+        let q = Query::full();
+        assert!(q.is_full());
+        assert_eq!(q.effective_sources(3), vec![0, 1, 2]);
+        assert_eq!(q.selectivity(3), 3);
+    }
+
+    #[test]
+    fn empty_partial_is_valid() {
+        let q = Query::partial(vec![]);
+        assert!(!q.is_full());
+        assert_eq!(q.selectivity(10), 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Error types for the storage substrate.
+
+use crate::page::PageId;
+use std::fmt;
+
+/// Errors raised by the simulated disk, page layouts and file structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A page id did not refer to an allocated page.
+    PageOutOfBounds(PageId),
+    /// A file id did not refer to a created file.
+    UnknownFile(u32),
+    /// A slot/block offset within a page was out of range for its layout.
+    SlotOutOfBounds {
+        /// The offending slot or block index.
+        slot: usize,
+        /// The layout's capacity.
+        capacity: usize,
+    },
+    /// An operation needed a free page slot on a full structure.
+    PageFull(PageId),
+    /// The buffer pool (or another pager) could not make room because every
+    /// frame is pinned.
+    AllFramesPinned,
+    /// A page was requested through a pager with an unexpected file kind
+    /// (indicates a bookkeeping bug in a caller).
+    WrongFileKind {
+        /// Kind the caller expected.
+        expected: &'static str,
+        /// Kind actually recorded for the page.
+        actual: &'static str,
+    },
+    /// Input to a bulk operation violated its ordering contract
+    /// (e.g. a clustered bulk load with unsorted tuples).
+    UnsortedInput,
+    /// The external sort was configured with too little working memory.
+    InsufficientSortMemory {
+        /// Pages made available.
+        got: usize,
+        /// Minimum required.
+        need: usize,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::PageOutOfBounds(pid) => {
+                write!(f, "page {pid:?} is not allocated")
+            }
+            StorageError::UnknownFile(id) => write!(f, "file {id} does not exist"),
+            StorageError::SlotOutOfBounds { slot, capacity } => {
+                write!(f, "slot {slot} out of bounds for capacity {capacity}")
+            }
+            StorageError::PageFull(pid) => write!(f, "page {pid:?} is full"),
+            StorageError::AllFramesPinned => {
+                write!(f, "cannot evict: all buffer frames are pinned")
+            }
+            StorageError::WrongFileKind { expected, actual } => {
+                write!(f, "expected a {expected} page but found {actual}")
+            }
+            StorageError::UnsortedInput => {
+                write!(f, "bulk-loaded tuples must be sorted on the clustering key")
+            }
+            StorageError::InsufficientSortMemory { got, need } => {
+                write!(f, "external sort needs at least {need} pages, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Convenience alias used throughout the storage crate.
+pub type StorageResult<T> = Result<T, StorageError>;

@@ -1,0 +1,249 @@
+//! External merge sort of tuple files.
+//!
+//! `JKB` — the Compute_Tree implementation that does *not* assume a dual
+//! representation of the graph — has to derive immediate-predecessor lists
+//! from a relation clustered on the source attribute. We model the natural
+//! way a database would do that: extract the (magic) arcs, then
+//! external-sort them on the destination attribute with the limited memory
+//! the buffer pool provides. The page traffic of run generation and merge
+//! passes is exactly the "very high preprocessing cost" the paper observes
+//! for `JKB` on high out-degree graphs (§6.2).
+//!
+//! The sort is a textbook B-page external merge sort: runs of B pages are
+//! sorted in memory, then merged (B−1)-way until one run remains. All page
+//! traffic goes through the supplied [`Pager`].
+
+use crate::disk::FileKind;
+use crate::error::{StorageError, StorageResult};
+use crate::layout::tuple::{TuplePage, TUPLES_PER_PAGE};
+use crate::page::Page;
+use crate::pager::Pager;
+use crate::relation::{RelationFile, Tuple, TupleWriter};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Sorts `input` on the first tuple component (ties broken on the second)
+/// using at most `mem_pages` pages of working memory, writing the result
+/// to a fresh file of kind `out_kind`.
+///
+/// Returns the sorted file. Requires `mem_pages >= 3` (one output page and
+/// at least a 2-way merge).
+pub fn external_sort<P: Pager>(
+    pager: &mut P,
+    input: &RelationFile,
+    mem_pages: usize,
+    out_kind: FileKind,
+) -> StorageResult<RelationFile> {
+    if mem_pages < 3 {
+        return Err(StorageError::InsufficientSortMemory {
+            got: mem_pages,
+            need: 3,
+        });
+    }
+
+    // Phase 1: run generation.
+    let mut runs: Vec<RelationFile> = Vec::new();
+    {
+        let run_capacity = mem_pages * TUPLES_PER_PAGE;
+        let mut buf: Vec<Tuple> = Vec::with_capacity(run_capacity);
+        let pages = input.pages().to_vec();
+        for (i, &pid) in pages.iter().enumerate() {
+            let count = input.tuples_on_page(i);
+            pager.with_page(pid, &mut |pg: &Page| {
+                TuplePage::read_all(pg, count, &mut buf);
+            })?;
+            if buf.len() >= run_capacity {
+                runs.push(write_run(pager, &mut buf)?);
+            }
+        }
+        if !buf.is_empty() {
+            runs.push(write_run(pager, &mut buf)?);
+        }
+    }
+
+    if runs.is_empty() {
+        // Empty input: produce an empty output file.
+        let w = TupleWriter::new(pager, out_kind);
+        return Ok(w.finish());
+    }
+
+    // Phase 2: (mem_pages - 1)-way merge passes. Consumed runs are
+    // deleted so the scratch footprint stays at ~2× the input.
+    let fan_in = mem_pages - 1;
+    while runs.len() > 1 {
+        let mut next: Vec<RelationFile> = Vec::new();
+        let last_pass = runs.len() <= fan_in;
+        for group in runs.chunks(fan_in) {
+            let kind = if last_pass { out_kind } else { FileKind::Temp };
+            next.push(merge_runs(pager, group, kind)?);
+            for run in group {
+                pager.free_file(run.file_id())?;
+            }
+        }
+        runs = next;
+    }
+    let mut out = runs;
+    Ok(out.pop().expect("at least one run"))
+}
+
+fn write_run<P: Pager>(pager: &mut P, buf: &mut Vec<Tuple>) -> StorageResult<RelationFile> {
+    buf.sort_unstable();
+    let mut w = TupleWriter::new(pager, FileKind::Temp);
+    for &t in buf.iter() {
+        w.push(pager, t)?;
+    }
+    buf.clear();
+    Ok(w.finish())
+}
+
+/// Page-at-a-time cursor over a sorted run.
+struct RunCursor {
+    run: RelationFile,
+    page_idx: usize,
+    buf: Vec<Tuple>,
+    pos: usize,
+}
+
+impl RunCursor {
+    fn new(run: RelationFile) -> RunCursor {
+        RunCursor {
+            run,
+            page_idx: 0,
+            buf: Vec::with_capacity(TUPLES_PER_PAGE),
+            pos: 0,
+        }
+    }
+
+    /// Loads the next page if the buffer is exhausted. Returns false at EOF.
+    fn refill<P: Pager>(&mut self, pager: &mut P) -> StorageResult<bool> {
+        if self.pos < self.buf.len() {
+            return Ok(true);
+        }
+        if self.page_idx >= self.run.page_count() {
+            return Ok(false);
+        }
+        self.buf.clear();
+        self.pos = 0;
+        let count = self.run.tuples_on_page(self.page_idx);
+        let pid = self.run.pages()[self.page_idx];
+        let buf = &mut self.buf;
+        pager.with_page(pid, &mut |pg: &Page| {
+            TuplePage::read_all(pg, count, buf);
+        })?;
+        self.page_idx += 1;
+        Ok(!self.buf.is_empty())
+    }
+
+    fn peek(&self) -> Tuple {
+        self.buf[self.pos]
+    }
+
+    fn advance(&mut self) {
+        self.pos += 1;
+    }
+}
+
+fn merge_runs<P: Pager>(
+    pager: &mut P,
+    group: &[RelationFile],
+    out_kind: FileKind,
+) -> StorageResult<RelationFile> {
+    let mut cursors: Vec<RunCursor> = group.iter().cloned().map(RunCursor::new).collect();
+    let mut heap: BinaryHeap<Reverse<(Tuple, usize)>> = BinaryHeap::new();
+    for (i, c) in cursors.iter_mut().enumerate() {
+        if c.refill(pager)? {
+            heap.push(Reverse((c.peek(), i)));
+        }
+    }
+    let mut w = TupleWriter::new(pager, out_kind);
+    while let Some(Reverse((t, i))) = heap.pop() {
+        w.push(pager, t)?;
+        let c = &mut cursors[i];
+        c.advance();
+        if c.refill(pager)? {
+            heap.push(Reverse((c.peek(), i)));
+        }
+    }
+    debug_assert!(w.is_sorted());
+    Ok(w.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskSim;
+
+    fn sort_case(n: usize, mem_pages: usize) {
+        let mut disk = DiskSim::new();
+        // Deterministic pseudo-random input.
+        let mut x = 12345u64;
+        let mut data: Vec<Tuple> = Vec::with_capacity(n);
+        for _ in 0..n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            data.push(((x >> 33) as u32 % 5000, (x >> 11) as u32 % 5000));
+        }
+        let mut w = TupleWriter::new(&mut disk, FileKind::Temp);
+        for &t in &data {
+            w.push(&mut disk, t).unwrap();
+        }
+        let input = w.finish();
+        let sorted = external_sort(&mut disk, &input, mem_pages, FileKind::Temp).unwrap();
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        assert_eq!(sorted.scan(&mut disk).unwrap(), expect);
+    }
+
+    #[test]
+    fn sorts_single_run() {
+        sort_case(100, 4);
+    }
+
+    #[test]
+    fn sorts_multiple_runs_single_pass() {
+        sort_case(3000, 4); // 12 input pages, runs of 4, 3-way merge.
+    }
+
+    #[test]
+    fn sorts_multiple_passes() {
+        sort_case(20_000, 3); // 79 pages, runs of 3, 2-way merges, several passes.
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut disk = DiskSim::new();
+        let w = TupleWriter::new(&mut disk, FileKind::Temp);
+        let input = w.finish();
+        let sorted = external_sort(&mut disk, &input, 4, FileKind::Temp).unwrap();
+        assert_eq!(sorted.tuple_count(), 0);
+    }
+
+    #[test]
+    fn rejects_tiny_memory() {
+        let mut disk = DiskSim::new();
+        let w = TupleWriter::new(&mut disk, FileKind::Temp);
+        let input = w.finish();
+        assert!(matches!(
+            external_sort(&mut disk, &input, 2, FileKind::Temp),
+            Err(StorageError::InsufficientSortMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn charges_io_proportional_to_passes() {
+        let mut disk = DiskSim::new();
+        let n = 10_000usize;
+        let mut w = TupleWriter::new(&mut disk, FileKind::Temp);
+        for i in 0..n {
+            w.push(&mut disk, ((n - i) as u32, 0)).unwrap();
+        }
+        let input = w.finish();
+        disk.reset_stats();
+        let _ = external_sort(&mut disk, &input, 5, FileKind::Temp).unwrap();
+        let stats = disk.stats();
+        // With a direct (unbuffered) pager every TupleWriter::push is a
+        // read-modify-write, so we only sanity-check the lower bound: each
+        // pass must at least read and write every data page once.
+        let pages = input.page_count() as u64;
+        assert!(stats.reads >= 2 * pages, "reads {} pages {}", stats.reads, pages);
+    }
+}

@@ -1,0 +1,51 @@
+//! Sparse clustered-index page layout.
+//!
+//! The paper assumes "the existence of a clustered index on the source
+//! attribute" (§4). Because the relation is clustered, a sparse index
+//! suffices: one entry per data page, recording the first key on that
+//! page. Index pages hold 512 four-byte keys; the position of a key within
+//! the index determines the data page it describes, so no page pointers
+//! are stored.
+
+use crate::page::{Page, PAGE_SIZE};
+
+/// Keys per index page (4-byte keys, no header needed).
+pub const KEYS_PER_INDEX_PAGE: usize = PAGE_SIZE / 4;
+
+/// Read/write view of a sparse index page.
+pub struct IndexPage;
+
+impl IndexPage {
+    /// Reads the key in slot `slot`.
+    #[inline]
+    pub fn get(page: &Page, slot: usize) -> u32 {
+        debug_assert!(slot < KEYS_PER_INDEX_PAGE);
+        page.get_u32(slot * 4)
+    }
+
+    /// Writes `key` into slot `slot`.
+    #[inline]
+    pub fn put(page: &mut Page, slot: usize, key: u32) {
+        debug_assert!(slot < KEYS_PER_INDEX_PAGE);
+        page.put_u32(slot * 4, key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity() {
+        assert_eq!(KEYS_PER_INDEX_PAGE, 512);
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut p = Page::new();
+        IndexPage::put(&mut p, 0, 10);
+        IndexPage::put(&mut p, 511, 20_000);
+        assert_eq!(IndexPage::get(&p, 0), 10);
+        assert_eq!(IndexPage::get(&p, 511), 20_000);
+    }
+}

@@ -1,0 +1,25 @@
+//! Byte-exact page layouts for the study's on-disk formats.
+//!
+//! Three formats appear in the paper (§5.1):
+//!
+//! * **Tuple pages** — the input relation stores 8-byte tuples (two
+//!   integers), 256 per 2048-byte page ([`mod@tuple`]).
+//! * **Index pages** — a sparse clustered index recording the first key of
+//!   each data page ([`index`]).
+//! * **Successor-list pages** — after restructuring, "450 successors may be
+//!   stored on each page. (A successor list page is divided into 30 blocks,
+//!   each holding up to 15 successor nodes.)" ([`succ`]).
+//!
+//! The layout types are zero-cost *views*: they borrow a [`crate::Page`]
+//! and interpret its bytes. All capacities are compile-time constants so
+//! the harness numbers line up with the paper's.
+
+pub mod index;
+pub mod succ;
+pub mod tuple;
+
+pub use index::{IndexPage, KEYS_PER_INDEX_PAGE};
+pub use succ::{
+    SuccBlockRef, SuccEntry, SuccPage, BLOCKS_PER_PAGE, ENTRIES_PER_BLOCK, SUCCESSORS_PER_PAGE,
+};
+pub use tuple::{TuplePage, TUPLES_PER_PAGE};

@@ -1,0 +1,58 @@
+//! Simulated paged storage substrate for the transitive-closure study.
+//!
+//! Dar and Ramakrishnan's SIGMOD '94 performance study measures *page I/O*
+//! against a simulated disk and buffer manager. This crate provides that
+//! disk: fixed-size 2048-byte pages ([`page::PAGE_SIZE`]), a page-granular
+//! simulated disk with full I/O accounting ([`DiskSim`]), file/extent
+//! management tagged by [`FileKind`], byte-exact page layouts for the
+//! paper's formats (8-byte tuples at 256 per page, sparse clustered index
+//! pages, and 30-block successor-list pages), clustered relation files, and
+//! an external merge sort used to build inverse relations.
+//!
+//! Everything above the disk performs its page accesses through the
+//! [`Pager`] trait so that the same access paths can run either directly
+//! against the disk (every access is a physical I/O) or through the buffer
+//! pool in the `tc-buffer` crate (accesses hit the pool and only misses
+//! become physical I/O). The paper's cost metrics fall directly out of the
+//! counters maintained here and in the pool.
+//!
+//! # Example
+//!
+//! ```
+//! use tc_storage::{DiskSim, FileKind, Pager, RelationFile};
+//!
+//! let mut disk = DiskSim::new();
+//! // A tiny relation: arcs of a graph as (source, destination) tuples,
+//! // clustered on the source attribute.
+//! let arcs = vec![(0, 1), (0, 2), (1, 2)];
+//! let rel = RelationFile::bulk_load(&mut disk, FileKind::Relation, &arcs).unwrap();
+//! assert_eq!(rel.tuple_count(), 3);
+//! let scanned: Vec<_> = rel.scan(&mut disk).unwrap();
+//! assert_eq!(scanned, arcs);
+//! // Every page the scan touched was counted as a physical read.
+//! assert!(disk.stats().reads > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod disk;
+pub mod error;
+pub mod extsort;
+pub mod index;
+pub mod layout;
+pub mod page;
+pub mod pager;
+pub mod relation;
+
+pub use disk::{DiskSim, DiskStats, FileId, FileKind, IoCostModel};
+pub use error::{StorageError, StorageResult};
+pub use index::ClusteredIndex;
+pub use page::{Page, PageId, PAGE_SIZE};
+pub use pager::Pager;
+pub use extsort::external_sort;
+pub use layout::{
+    IndexPage, SuccBlockRef, SuccEntry, SuccPage, TuplePage, BLOCKS_PER_PAGE, ENTRIES_PER_BLOCK,
+    SUCCESSORS_PER_PAGE, TUPLES_PER_PAGE,
+};
+pub use relation::{RelationFile, Tuple, TupleWriter};

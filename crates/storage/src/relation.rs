@@ -1,0 +1,379 @@
+//! Clustered relation files of `(src, dst)` arc tuples.
+//!
+//! The paper assumes "the corresponding relation is stored on disk as a
+//! set of tuples clustered on the source attribute" (§4). A
+//! [`RelationFile`] is such a file: tuples sorted on a clustering key
+//! (source for the graph relation, destination for the inverse relation
+//! used by `JKB2`), packed 256 per page in key order.
+//!
+//! Scans and probes go through a [`Pager`], so they are charged to the
+//! buffer pool / disk exactly like any other page access.
+
+use crate::disk::{DiskSim, FileId, FileKind};
+use crate::error::{StorageError, StorageResult};
+use crate::layout::tuple::{TuplePage, TUPLES_PER_PAGE};
+use crate::page::{Page, PageId};
+use crate::pager::Pager;
+
+/// An arc tuple: `(src, dst)` — or `(dst, src)` in the inverse relation,
+/// where the first component is always the clustering key.
+pub type Tuple = (u32, u32);
+
+/// A relation file clustered on the first tuple component.
+///
+/// The struct itself is a small catalog entry (page list and counts); the
+/// data lives on the simulated disk and is reached through a [`Pager`].
+#[derive(Clone, Debug)]
+pub struct RelationFile {
+    file: FileId,
+    pages: Vec<PageId>,
+    tuple_count: usize,
+    /// First clustering key on each page, kept for the sparse index build.
+    first_keys: Vec<u32>,
+}
+
+impl RelationFile {
+    /// Bulk-loads `tuples` (which must be sorted on the first component)
+    /// into a fresh file of the given kind, bypassing the buffer pool.
+    ///
+    /// Bulk-load writes are charged to the disk; callers typically reset
+    /// the disk counters afterwards because the paper does not charge
+    /// database loading to the queries it measures.
+    pub fn bulk_load(
+        disk: &mut DiskSim,
+        kind: FileKind,
+        tuples: &[Tuple],
+    ) -> StorageResult<RelationFile> {
+        if tuples.windows(2).any(|w| w[0].0 > w[1].0) {
+            return Err(StorageError::UnsortedInput);
+        }
+        let file = disk.create_file(kind);
+        let mut rel = RelationFile {
+            file,
+            pages: Vec::new(),
+            tuple_count: 0,
+            first_keys: Vec::new(),
+        };
+        let mut page = Page::new();
+        let mut slot = 0usize;
+        for &(k, v) in tuples {
+            if slot == 0 {
+                rel.first_keys.push(k);
+            }
+            TuplePage::put(&mut page, slot, k, v);
+            slot += 1;
+            if slot == TUPLES_PER_PAGE {
+                let pid = disk.alloc(file)?;
+                disk.write_page(pid, &page)?;
+                rel.pages.push(pid);
+                page.clear();
+                slot = 0;
+            }
+        }
+        if slot > 0 {
+            let pid = disk.alloc(file)?;
+            disk.write_page(pid, &page)?;
+            rel.pages.push(pid);
+        }
+        rel.tuple_count = tuples.len();
+        Ok(rel)
+    }
+
+    /// The file id on the simulated disk.
+    pub fn file_id(&self) -> FileId {
+        self.file
+    }
+
+    /// Total tuples stored.
+    pub fn tuple_count(&self) -> usize {
+        self.tuple_count
+    }
+
+    /// Number of data pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The data pages in key order.
+    pub fn pages(&self) -> &[PageId] {
+        &self.pages
+    }
+
+    /// First clustering key of each data page (for sparse index builds).
+    pub fn first_keys(&self) -> &[u32] {
+        &self.first_keys
+    }
+
+    /// Number of valid tuples on page index `i` (all pages are full except
+    /// possibly the last).
+    pub fn tuples_on_page(&self, i: usize) -> usize {
+        debug_assert!(i < self.pages.len());
+        if i + 1 < self.pages.len() {
+            TUPLES_PER_PAGE
+        } else {
+            let rem = self.tuple_count % TUPLES_PER_PAGE;
+            if rem == 0 && self.tuple_count > 0 {
+                TUPLES_PER_PAGE
+            } else {
+                rem
+            }
+        }
+    }
+
+    /// Sequentially scans the whole relation, returning all tuples.
+    ///
+    /// Charges one page access per data page to the pager.
+    pub fn scan<P: Pager>(&self, pager: &mut P) -> StorageResult<Vec<Tuple>> {
+        let mut out = Vec::with_capacity(self.tuple_count);
+        for (i, &pid) in self.pages.iter().enumerate() {
+            let count = self.tuples_on_page(i);
+            pager.with_page(pid, &mut |pg: &Page| {
+                TuplePage::read_all(pg, count, &mut out);
+            })?;
+        }
+        Ok(out)
+    }
+
+    /// Streams the relation page by page through `sink`, which receives
+    /// each page's tuples. Avoids materializing the whole relation when
+    /// the caller only needs one pass.
+    pub fn scan_pages<P: Pager>(
+        &self,
+        pager: &mut P,
+        sink: &mut dyn FnMut(&[Tuple]),
+    ) -> StorageResult<()> {
+        let mut buf: Vec<Tuple> = Vec::with_capacity(TUPLES_PER_PAGE);
+        for (i, &pid) in self.pages.iter().enumerate() {
+            let count = self.tuples_on_page(i);
+            buf.clear();
+            pager.with_page(pid, &mut |pg: &Page| {
+                TuplePage::read_all(pg, count, &mut buf);
+            })?;
+            sink(&buf);
+        }
+        Ok(())
+    }
+
+    /// Reads the tuples with clustering key `key` from the page range
+    /// `[lo, hi]` (as produced by a [`crate::ClusteredIndex`] probe),
+    /// appending the non-key components to `out`.
+    ///
+    /// Charges one access per page actually touched; stops early once the
+    /// key range is passed (tuples are clustered).
+    pub fn probe_range<P: Pager>(
+        &self,
+        pager: &mut P,
+        key: u32,
+        lo: usize,
+        hi: usize,
+        out: &mut Vec<u32>,
+    ) -> StorageResult<()> {
+        for i in lo..=hi.min(self.pages.len().saturating_sub(1)) {
+            let count = self.tuples_on_page(i);
+            let mut past_key = false;
+            pager.with_page(self.pages[i], &mut |pg: &Page| {
+                for slot in 0..count {
+                    let (k, v) = TuplePage::get(pg, slot);
+                    if k == key {
+                        out.push(v);
+                    } else if k > key {
+                        past_key = true;
+                        break;
+                    }
+                }
+            })?;
+            if past_key {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental writer of a tuple file through a [`Pager`].
+///
+/// Used wherever tuples are produced a few at a time against the buffer
+/// pool — query output files, external-sort runs, the arc-extraction pass
+/// of `JKB`'s preprocessing. Unlike [`RelationFile::bulk_load`], the input
+/// need not be sorted; [`TupleWriter::finish`] records whether it was, and
+/// only sorted files may later be indexed.
+pub struct TupleWriter {
+    file: FileId,
+    pages: Vec<PageId>,
+    first_keys: Vec<u32>,
+    count: usize,
+    slot: usize,
+    sorted: bool,
+    last_key: Option<u32>,
+}
+
+impl TupleWriter {
+    /// Starts writing a fresh file of the given kind.
+    pub fn new<P: Pager>(pager: &mut P, kind: FileKind) -> TupleWriter {
+        let file = pager.create_file(kind);
+        TupleWriter {
+            file,
+            pages: Vec::new(),
+            first_keys: Vec::new(),
+            count: 0,
+            slot: 0,
+            sorted: true,
+            last_key: None,
+        }
+    }
+
+    /// Appends one tuple.
+    pub fn push<P: Pager>(&mut self, pager: &mut P, t: Tuple) -> StorageResult<()> {
+        if self.slot == 0 {
+            let pid = pager.alloc_page(self.file)?;
+            self.pages.push(pid);
+            self.first_keys.push(t.0);
+        }
+        let pid = *self.pages.last().expect("page allocated above");
+        let slot = self.slot;
+        pager.with_page_mut(pid, &mut |pg: &mut Page| {
+            TuplePage::put(pg, slot, t.0, t.1);
+        })?;
+        if let Some(prev) = self.last_key {
+            if t.0 < prev {
+                self.sorted = false;
+            }
+        }
+        self.last_key = Some(t.0);
+        self.count += 1;
+        self.slot += 1;
+        if self.slot == TUPLES_PER_PAGE {
+            self.slot = 0;
+        }
+        Ok(())
+    }
+
+    /// Tuples written so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether every tuple so far arrived in key order.
+    pub fn is_sorted(&self) -> bool {
+        self.sorted
+    }
+
+    /// Finishes the file and returns its catalog entry.
+    pub fn finish(self) -> RelationFile {
+        RelationFile {
+            file: self.file,
+            pages: self.pages,
+            tuple_count: self.count,
+            first_keys: self.first_keys,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arcs(n: usize) -> Vec<Tuple> {
+        (0..n).map(|i| ((i / 3) as u32, (i % 7) as u32)).collect()
+    }
+
+    #[test]
+    fn bulk_load_and_scan_round_trip() {
+        let mut disk = DiskSim::new();
+        let data = arcs(1000);
+        let rel = RelationFile::bulk_load(&mut disk, FileKind::Relation, &data).unwrap();
+        assert_eq!(rel.tuple_count(), 1000);
+        assert_eq!(rel.page_count(), 1000_usize.div_ceil(256));
+        let back = rel.scan(&mut disk).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn rejects_unsorted_input() {
+        let mut disk = DiskSim::new();
+        let data = vec![(5, 1), (3, 2)];
+        assert_eq!(
+            RelationFile::bulk_load(&mut disk, FileKind::Relation, &data).unwrap_err(),
+            StorageError::UnsortedInput
+        );
+    }
+
+    #[test]
+    fn exact_page_boundary() {
+        let mut disk = DiskSim::new();
+        let data: Vec<Tuple> = (0..512).map(|i| (i as u32, 0)).collect();
+        let rel = RelationFile::bulk_load(&mut disk, FileKind::Relation, &data).unwrap();
+        assert_eq!(rel.page_count(), 2);
+        assert_eq!(rel.tuples_on_page(0), 256);
+        assert_eq!(rel.tuples_on_page(1), 256);
+        assert_eq!(rel.scan(&mut disk).unwrap().len(), 512);
+    }
+
+    #[test]
+    fn partial_last_page() {
+        let mut disk = DiskSim::new();
+        let data: Vec<Tuple> = (0..300).map(|i| (i as u32, 1)).collect();
+        let rel = RelationFile::bulk_load(&mut disk, FileKind::Relation, &data).unwrap();
+        assert_eq!(rel.page_count(), 2);
+        assert_eq!(rel.tuples_on_page(1), 44);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let mut disk = DiskSim::new();
+        let rel = RelationFile::bulk_load(&mut disk, FileKind::Relation, &[]).unwrap();
+        assert_eq!(rel.page_count(), 0);
+        assert!(rel.scan(&mut disk).unwrap().is_empty());
+    }
+
+    #[test]
+    fn probe_range_finds_key_and_stops_early() {
+        let mut disk = DiskSim::new();
+        // Key 100 spans a page boundary: keys 0..=99 fill ~2.3 pages.
+        let mut data: Vec<Tuple> = Vec::new();
+        for k in 0..150u32 {
+            for d in 0..6u32 {
+                data.push((k, k * 10 + d));
+            }
+        }
+        let rel = RelationFile::bulk_load(&mut disk, FileKind::Relation, &data).unwrap();
+        let mut out = Vec::new();
+        rel.probe_range(&mut disk, 100, 0, rel.page_count() - 1, &mut out)
+            .unwrap();
+        assert_eq!(out, vec![1000, 1001, 1002, 1003, 1004, 1005]);
+    }
+
+    #[test]
+    fn tuple_writer_matches_bulk_load() {
+        let mut disk = DiskSim::new();
+        let data = arcs(600);
+        let mut w = TupleWriter::new(&mut disk, FileKind::Temp);
+        for &t in &data {
+            w.push(&mut disk, t).unwrap();
+        }
+        assert_eq!(w.count(), 600);
+        assert!(w.is_sorted());
+        let rel = w.finish();
+        assert_eq!(rel.scan(&mut disk).unwrap(), data);
+    }
+
+    #[test]
+    fn tuple_writer_detects_unsorted() {
+        let mut disk = DiskSim::new();
+        let mut w = TupleWriter::new(&mut disk, FileKind::Temp);
+        w.push(&mut disk, (5, 0)).unwrap();
+        w.push(&mut disk, (3, 0)).unwrap();
+        assert!(!w.is_sorted());
+    }
+
+    #[test]
+    fn scan_pages_streams_all() {
+        let mut disk = DiskSim::new();
+        let data = arcs(700);
+        let rel = RelationFile::bulk_load(&mut disk, FileKind::Relation, &data).unwrap();
+        let mut n = 0usize;
+        rel.scan_pages(&mut disk, &mut |chunk| n += chunk.len())
+            .unwrap();
+        assert_eq!(n, 700);
+    }
+}

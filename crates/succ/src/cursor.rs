@@ -1,0 +1,190 @@
+//! Sequential readers over stored successor lists.
+//!
+//! A [`ListCursor`] walks one node's block chain in order, fetching each
+//! page once per contiguous run of blocks (the access pattern the paper's
+//! clustering is designed for) and yielding the entries of that run as a
+//! batch. The snapshot is taken at construction, so the common pattern of
+//! scanning a list's original prefix while appending expanded successors
+//! to the *same* list (BTC expanding `S_i` over `S_i`'s own immediate
+//! children) is well-defined.
+
+use crate::store::SuccStore;
+use tc_storage::layout::succ::{SuccEntry, SuccPage, ENTRIES_PER_BLOCK};
+use tc_storage::{Page, PageId, Pager, StorageResult, SuccBlockRef};
+
+/// A page-batched cursor over one list.
+pub struct ListCursor {
+    /// (block, entries-in-block) in chain order.
+    blocks: Vec<(SuccBlockRef, u8)>,
+    /// Next chain position to read.
+    pos: usize,
+}
+
+impl ListCursor {
+    /// Snapshots `node`'s current list in `store`.
+    pub fn new(store: &SuccStore, node: u32) -> ListCursor {
+        let chain = store.chain(node);
+        let len = store.len(node);
+        let blocks = chain
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                let used = if i + 1 < chain.len() {
+                    ENTRIES_PER_BLOCK
+                } else {
+                    let rem = len % ENTRIES_PER_BLOCK;
+                    if rem == 0 && len > 0 {
+                        ENTRIES_PER_BLOCK
+                    } else {
+                        rem
+                    }
+                };
+                (r, used as u8)
+            })
+            .collect();
+        ListCursor { blocks, pos: 0 }
+    }
+
+    /// Total entries the cursor will yield.
+    pub fn remaining_entries(&self) -> usize {
+        self.blocks[self.pos..]
+            .iter()
+            .map(|&(_, u)| u as usize)
+            .sum()
+    }
+
+    /// The page the next batch will touch, if any (used by callers that
+    /// pin pages ahead of reads).
+    pub fn next_page(&self) -> Option<PageId> {
+        self.blocks.get(self.pos).map(|&(r, _)| r.page)
+    }
+
+    /// Reads the next contiguous same-page run of blocks; returns `None`
+    /// at end of list. One pager access per call.
+    pub fn next_batch<P: Pager>(&mut self, pager: &mut P) -> StorageResult<Option<Vec<SuccEntry>>> {
+        if self.pos >= self.blocks.len() {
+            return Ok(None);
+        }
+        let page = self.blocks[self.pos].0.page;
+        let mut end = self.pos;
+        while end < self.blocks.len() && self.blocks[end].0.page == page {
+            end += 1;
+        }
+        let run = &self.blocks[self.pos..end];
+        let mut out = Vec::with_capacity(run.len() * ENTRIES_PER_BLOCK);
+        pager.with_page(page, &mut |pg: &Page| {
+            for &(r, used) in run {
+                for k in 0..used as usize {
+                    out.push(SuccPage::entry(pg, r.block as usize, k));
+                }
+            }
+        })?;
+        self.pos = end;
+        Ok(Some(out))
+    }
+
+    /// Convenience: drains the cursor into a vector of node ids (tags
+    /// dropped).
+    pub fn collect_nodes<P: Pager>(mut self, pager: &mut P) -> StorageResult<Vec<u32>> {
+        let mut out = Vec::new();
+        while let Some(batch) = self.next_batch(pager)? {
+            out.extend(batch.iter().map(|e| e.node));
+        }
+        Ok(out)
+    }
+
+    /// Drains the cursor into raw entries (tags preserved).
+    ///
+    /// The algorithms *materialize* a list before unioning it into a
+    /// growing target: appends during the union may trigger page splits,
+    /// and a split is allowed to relocate any list's blocks — including
+    /// the one being scanned. Materializing first (still one pager access
+    /// per page, charged identically) makes the union immune to such
+    /// relocation, the way a real system's latching would.
+    pub fn collect_entries<P: Pager>(mut self, pager: &mut P) -> StorageResult<Vec<SuccEntry>> {
+        let mut out = Vec::with_capacity(self.remaining_entries());
+        while let Some(batch) = self.next_batch(pager)? {
+            out.extend(batch);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::ListPolicy;
+    use tc_storage::DiskSim;
+
+    #[test]
+    fn batches_group_same_page_blocks() {
+        let mut disk = DiskSim::new();
+        let mut store = SuccStore::new(&mut disk, 4, ListPolicy::Spill);
+        // 100 entries = 7 blocks, all on one page.
+        for v in 0..100u32 {
+            store
+                .append(&mut disk, 0, SuccEntry::plain(v))
+                .unwrap();
+        }
+        disk.reset_stats();
+        let mut cur = ListCursor::new(&store, 0);
+        assert_eq!(cur.remaining_entries(), 100);
+        let batch = cur.next_batch(&mut disk).unwrap().unwrap();
+        assert_eq!(batch.len(), 100, "single page read in one batch");
+        assert!(cur.next_batch(&mut disk).unwrap().is_none());
+        assert_eq!(disk.stats().reads, 1);
+    }
+
+    #[test]
+    fn empty_list_yields_nothing() {
+        let mut disk = DiskSim::new();
+        let store = SuccStore::new(&mut disk, 2, ListPolicy::Spill);
+        let mut cur = ListCursor::new(&store, 1);
+        assert!(cur.next_batch(&mut disk).unwrap().is_none());
+        assert_eq!(cur.remaining_entries(), 0);
+        assert_eq!(cur.next_page(), None);
+    }
+
+    #[test]
+    fn snapshot_ignores_later_appends() {
+        let mut disk = DiskSim::new();
+        let mut store = SuccStore::new(&mut disk, 2, ListPolicy::Spill);
+        for v in 0..5u32 {
+            store.append(&mut disk, 0, SuccEntry::plain(v)).unwrap();
+        }
+        let cur = ListCursor::new(&store, 0);
+        for v in 5..10u32 {
+            store.append(&mut disk, 0, SuccEntry::plain(v)).unwrap();
+        }
+        assert_eq!(cur.collect_nodes(&mut disk).unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn multi_page_lists_batch_per_page() {
+        let mut disk = DiskSim::new();
+        let mut store = SuccStore::new(&mut disk, 2, ListPolicy::Spill);
+        for v in 0..900u32 {
+            store.append(&mut disk, 0, SuccEntry::plain(v)).unwrap();
+        }
+        let mut cur = ListCursor::new(&store, 0);
+        let mut batches = 0;
+        let mut total = 0;
+        while let Some(b) = cur.next_batch(&mut disk).unwrap() {
+            batches += 1;
+            total += b.len();
+        }
+        assert_eq!(total, 900);
+        assert_eq!(batches, 2, "two pages, two batches");
+    }
+
+    #[test]
+    fn preserves_tags() {
+        let mut disk = DiskSim::new();
+        let mut store = SuccStore::new(&mut disk, 2, ListPolicy::Spill);
+        store.append(&mut disk, 0, SuccEntry::tagged(5)).unwrap();
+        store.append(&mut disk, 0, SuccEntry::plain(6)).unwrap();
+        let mut cur = ListCursor::new(&store, 0);
+        let batch = cur.next_batch(&mut disk).unwrap().unwrap();
+        assert_eq!(batch, vec![SuccEntry::tagged(5), SuccEntry::plain(6)]);
+    }
+}

@@ -1,0 +1,637 @@
+//! The paged successor-list store.
+
+use crate::policy::ListPolicy;
+use std::collections::HashMap;
+use tc_storage::layout::succ::{SuccEntry, SuccPage, BLOCKS_PER_PAGE, ENTRIES_PER_BLOCK};
+use tc_storage::{FileId, FileKind, Page, PageId, Pager, StorageResult, SuccBlockRef};
+
+/// Allocation and maintenance counters of a [`SuccStore`].
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct SuccStats {
+    /// Entries appended to lists.
+    pub entries_written: u64,
+    /// Blocks allocated.
+    pub blocks_allocated: u64,
+    /// Pages allocated for the store.
+    pub pages_allocated: u64,
+    /// Page splits performed by the list replacement policy.
+    pub page_splits: u64,
+    /// Blocks copied to another page during splits.
+    pub blocks_moved: u64,
+}
+
+#[derive(Clone, Default, Debug)]
+struct ListMeta {
+    blocks: Vec<SuccBlockRef>,
+    len: u32,
+}
+
+/// A store of per-node successor lists in the paper's 30-block page
+/// format, allocated through a [`Pager`] so every touch is charged to the
+/// buffer pool.
+///
+/// The store keeps a small in-memory catalog (block chains and lengths
+/// per node, free-block counts per page) — the moral equivalent of the
+/// node table the paper's implementation keeps in memory — while all
+/// entry data lives on pages.
+///
+/// Lists grow by appending. Intra-list clustering: a list prefers free
+/// blocks on its current tail page. Inter-list clustering: first blocks
+/// are packed onto a shared fill page in creation (topological) order.
+/// When a list must grow past a full page, the [`ListPolicy`] decides how
+/// the page is split.
+pub struct SuccStore {
+    file: FileId,
+    dir: Vec<ListMeta>,
+    fill_page: Option<PageId>,
+    free_cache: HashMap<PageId, u8>,
+    policy: ListPolicy,
+    stats: SuccStats,
+}
+
+impl SuccStore {
+    /// Creates a store for nodes `0..n` backed by a fresh file.
+    pub fn new<P: Pager>(pager: &mut P, n: usize, policy: ListPolicy) -> SuccStore {
+        let file = pager.create_file(FileKind::SuccessorList);
+        SuccStore {
+            file,
+            dir: vec![ListMeta::default(); n],
+            fill_page: None,
+            free_cache: HashMap::new(),
+            policy,
+            stats: SuccStats::default(),
+        }
+    }
+
+    /// The backing file.
+    pub fn file_id(&self) -> FileId {
+        self.file
+    }
+
+    /// Number of nodes the store covers.
+    pub fn node_count(&self) -> usize {
+        self.dir.len()
+    }
+
+    /// Entries currently in `node`'s list.
+    pub fn len(&self, node: u32) -> usize {
+        self.dir[node as usize].len as usize
+    }
+
+    /// Whether `node`'s list is empty.
+    pub fn is_empty(&self, node: u32) -> bool {
+        self.len(node) == 0
+    }
+
+    /// Number of blocks in `node`'s chain.
+    pub fn block_count(&self, node: u32) -> usize {
+        self.dir[node as usize].blocks.len()
+    }
+
+    /// The distinct pages holding `node`'s list, in chain order.
+    pub fn pages_of(&self, node: u32) -> Vec<PageId> {
+        let mut out: Vec<PageId> = Vec::new();
+        for b in &self.dir[node as usize].blocks {
+            if out.last() != Some(&b.page) && !out.contains(&b.page) {
+                out.push(b.page);
+            }
+        }
+        out
+    }
+
+    /// The block chain of `node` (for cursors).
+    pub(crate) fn chain(&self, node: u32) -> &[SuccBlockRef] {
+        &self.dir[node as usize].blocks
+    }
+
+    /// Allocation counters.
+    pub fn stats(&self) -> &SuccStats {
+        &self.stats
+    }
+
+    /// Total pages allocated to the store.
+    pub fn page_count(&self) -> usize {
+        self.stats.pages_allocated as usize
+    }
+
+    /// Exhaustively cross-checks the in-memory catalog against the
+    /// on-page state: every chain block must be owned by its node with a
+    /// used count matching the chain position, and every owned block on
+    /// every page must appear in exactly one chain. Intended for tests
+    /// and debugging; reads every page of the store through `pager`.
+    pub fn verify_integrity<P: Pager>(&self, pager: &mut P) -> StorageResult<()> {
+        use std::collections::HashMap as Map;
+        let mut chained: Map<(PageId, u8), u32> = Map::new();
+        for node in 0..self.dir.len() as u32 {
+            let meta = &self.dir[node as usize];
+            let len = meta.len as usize;
+            assert!(
+                len <= meta.blocks.len() * ENTRIES_PER_BLOCK,
+                "node {node}: length {len} exceeds chain capacity"
+            );
+            if !meta.blocks.is_empty() {
+                assert!(
+                    len > (meta.blocks.len() - 1) * ENTRIES_PER_BLOCK,
+                    "node {node}: dangling tail block"
+                );
+            }
+            for (i, &r) in meta.blocks.iter().enumerate() {
+                let dup = chained.insert((r.page, r.block), node);
+                assert!(dup.is_none(), "block {r:?} in two chains");
+                let expect_used = if i + 1 < meta.blocks.len() {
+                    ENTRIES_PER_BLOCK
+                } else {
+                    len - (meta.blocks.len() - 1) * ENTRIES_PER_BLOCK
+                };
+                pager.with_page(r.page, &mut |pg: &Page| {
+                    assert_eq!(
+                        SuccPage::owner(pg, r.block as usize),
+                        Some(node),
+                        "block {r:?} owner mismatch"
+                    );
+                    assert_eq!(
+                        SuccPage::used(pg, r.block as usize),
+                        expect_used,
+                        "block {r:?} used-count mismatch"
+                    );
+                })?;
+            }
+        }
+        // Reverse direction: owned blocks on pages must be chained, and
+        // the free cache must agree with the pages.
+        for (&page, &free) in &self.free_cache {
+            let on_page_free = pager.with_page(page, &mut |pg: &Page| {
+                for b in 0..BLOCKS_PER_PAGE {
+                    if let Some(owner) = SuccPage::owner(pg, b) {
+                        assert_eq!(
+                            chained.get(&(page, b as u8)),
+                            Some(&owner),
+                            "orphaned block {page:?}/{b}"
+                        );
+                    }
+                }
+                SuccPage::free_blocks(pg)
+            })?;
+            assert_eq!(on_page_free, free as usize, "free cache stale for {page:?}");
+        }
+        Ok(())
+    }
+
+    /// Appends `entry` to `node`'s list.
+    pub fn append<P: Pager>(
+        &mut self,
+        pager: &mut P,
+        node: u32,
+        entry: SuccEntry,
+    ) -> StorageResult<()> {
+        let meta = &self.dir[node as usize];
+        // A new block is needed for the first entry and at every
+        // 15-entry boundary thereafter.
+        let needs_block = meta.blocks.is_empty() || (meta.len as usize) % ENTRIES_PER_BLOCK == 0;
+        let target = if needs_block {
+            self.alloc_block(pager, node)?
+        } else {
+            *meta.blocks.last().expect("non-empty chain")
+        };
+        let slot = (self.dir[node as usize].len as usize) % ENTRIES_PER_BLOCK;
+        pager.with_page_mut(target.page, &mut |pg: &mut Page| {
+            SuccPage::set_entry(pg, target.block as usize, slot, entry);
+            SuccPage::set_used(pg, target.block as usize, slot + 1);
+        })?;
+        self.dir[node as usize].len += 1;
+        self.stats.entries_written += 1;
+        Ok(())
+    }
+
+    /// Appends a *flat-list* entry, maintaining the paper's convention
+    /// that the last entry of a list is stored negated: the new entry is
+    /// written tagged and the previous tail is untagged.
+    pub fn append_flat<P: Pager>(
+        &mut self,
+        pager: &mut P,
+        node: u32,
+        value: u32,
+    ) -> StorageResult<()> {
+        let len = self.dir[node as usize].len as usize;
+        if len > 0 {
+            // Untag the previous last entry (almost always a buffer hit:
+            // it is on the page we are about to append to, or the one
+            // before it).
+            let prev_block = self.dir[node as usize].blocks[(len - 1) / ENTRIES_PER_BLOCK];
+            let prev_slot = (len - 1) % ENTRIES_PER_BLOCK;
+            pager.with_page_mut(prev_block.page, &mut |pg: &mut Page| {
+                let e = SuccPage::entry(pg, prev_block.block as usize, prev_slot);
+                SuccPage::set_entry(
+                    pg,
+                    prev_block.block as usize,
+                    prev_slot,
+                    SuccEntry::plain(e.node),
+                );
+            })?;
+        }
+        self.append(pager, node, SuccEntry::tagged(value))
+    }
+
+    /// Allocates the next block for `node` per the clustering rules and
+    /// the list replacement policy.
+    fn alloc_block<P: Pager>(&mut self, pager: &mut P, node: u32) -> StorageResult<SuccBlockRef> {
+        if let Some(&tail) = self.dir[node as usize].blocks.last() {
+            // Intra-list clustering: stay on the tail page if possible.
+            if self.free_on(tail.page) > 0 {
+                return self.claim_block(pager, tail.page, node);
+            }
+            // Tail page full: list replacement policy decides.
+            match self.policy {
+                ListPolicy::Spill => self.alloc_on_fill_page(pager, node),
+                ListPolicy::MoveShortest => self.split_move_shortest(pager, tail.page, node),
+                ListPolicy::MoveGrowing => self.split_move_growing(pager, tail.page, node),
+            }
+        } else {
+            // First block: inter-list clustering on the shared fill page.
+            self.alloc_on_fill_page(pager, node)
+        }
+    }
+
+    fn free_on(&self, page: PageId) -> u8 {
+        *self.free_cache.get(&page).unwrap_or(&0)
+    }
+
+    /// Claims a free block on `page` for `node`.
+    fn claim_block<P: Pager>(
+        &mut self,
+        pager: &mut P,
+        page: PageId,
+        node: u32,
+    ) -> StorageResult<SuccBlockRef> {
+        debug_assert!(self.free_on(page) > 0);
+        let block = pager.with_page_mut(page, &mut |pg: &mut Page| {
+            let b = SuccPage::find_free_block(pg).expect("free cache out of sync");
+            SuccPage::set_owner(pg, b, node);
+            b as u8
+        })?;
+        *self.free_cache.get_mut(&page).expect("cached page") -= 1;
+        let r = SuccBlockRef { page, block };
+        self.dir[node as usize].blocks.push(r);
+        self.stats.blocks_allocated += 1;
+        Ok(r)
+    }
+
+    /// Allocates on the shared fill page, opening a new one when full.
+    fn alloc_on_fill_page<P: Pager>(
+        &mut self,
+        pager: &mut P,
+        node: u32,
+    ) -> StorageResult<SuccBlockRef> {
+        let page = match self.fill_page {
+            Some(p) if self.free_on(p) > 0 => p,
+            _ => {
+                let p = self.fresh_page(pager)?;
+                self.fill_page = Some(p);
+                p
+            }
+        };
+        self.claim_block(pager, page, node)
+    }
+
+    fn fresh_page<P: Pager>(&mut self, pager: &mut P) -> StorageResult<PageId> {
+        let p = pager.alloc_page(self.file)?;
+        self.free_cache.insert(p, BLOCKS_PER_PAGE as u8);
+        self.stats.pages_allocated += 1;
+        Ok(p)
+    }
+
+    /// MOVE-SHORTEST split: relocate the shortest other list on `page`,
+    /// then grow into a freed block. Falls back to the fill page when the
+    /// page holds only the growing list.
+    fn split_move_shortest<P: Pager>(
+        &mut self,
+        pager: &mut P,
+        page: PageId,
+        node: u32,
+    ) -> StorageResult<SuccBlockRef> {
+        // Inventory the page's owners.
+        let mut by_owner: HashMap<u32, Vec<u8>> = HashMap::new();
+        pager.with_page(page, &mut |pg: &Page| {
+            for b in 0..BLOCKS_PER_PAGE {
+                if let Some(o) = SuccPage::owner(pg, b) {
+                    by_owner.entry(o).or_default().push(b as u8);
+                }
+            }
+        })?;
+        by_owner.remove(&node);
+        let victim = by_owner
+            .iter()
+            .min_by_key(|(o, blocks)| (blocks.len(), **o))
+            .map(|(&o, _)| o);
+        let Some(victim) = victim else {
+            // Page holds only the growing list.
+            return self.alloc_on_fill_page(pager, node);
+        };
+        self.relocate_blocks(pager, victim, page)?;
+        self.stats.page_splits += 1;
+        self.claim_block(pager, page, node)
+    }
+
+    /// MOVE-GROWING split: relocate the growing list's blocks on `page`
+    /// to a dedicated fresh page and grow there.
+    fn split_move_growing<P: Pager>(
+        &mut self,
+        pager: &mut P,
+        page: PageId,
+        node: u32,
+    ) -> StorageResult<SuccBlockRef> {
+        let ours_on_page = self.dir[node as usize]
+            .blocks
+            .iter()
+            .filter(|r| r.page == page)
+            .count();
+        if ours_on_page >= BLOCKS_PER_PAGE {
+            // The page is entirely ours; nothing to split — continue the
+            // list on a dedicated fresh page (still intra-clustered).
+            let p = self.fresh_page(pager)?;
+            return self.claim_block(pager, p, node);
+        }
+        let dest = self.fresh_page(pager)?;
+        self.relocate_blocks_to(pager, node, page, dest)?;
+        self.stats.page_splits += 1;
+        self.claim_block(pager, dest, node)
+    }
+
+    /// Moves all of `owner`'s blocks that live on `from` to fill-page
+    /// space.
+    fn relocate_blocks<P: Pager>(
+        &mut self,
+        pager: &mut P,
+        owner: u32,
+        from: PageId,
+    ) -> StorageResult<()> {
+        let positions: Vec<usize> = self.dir[owner as usize]
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.page == from)
+            .map(|(i, _)| i)
+            .collect();
+        for pos in positions {
+            let old = self.dir[owner as usize].blocks[pos];
+            // Destination: fill page (never `from`, which has no free
+            // blocks).
+            let dest_page = match self.fill_page {
+                Some(p) if self.free_on(p) > 0 && p != from => p,
+                _ => {
+                    let p = self.fresh_page(pager)?;
+                    self.fill_page = Some(p);
+                    p
+                }
+            };
+            let new = self.move_block(pager, owner, old, dest_page)?;
+            self.dir[owner as usize].blocks[pos] = new;
+        }
+        Ok(())
+    }
+
+    /// Moves all of `owner`'s blocks on `from` to the specific page `to`.
+    fn relocate_blocks_to<P: Pager>(
+        &mut self,
+        pager: &mut P,
+        owner: u32,
+        from: PageId,
+        to: PageId,
+    ) -> StorageResult<()> {
+        let positions: Vec<usize> = self.dir[owner as usize]
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.page == from)
+            .map(|(i, _)| i)
+            .collect();
+        for pos in positions {
+            let old = self.dir[owner as usize].blocks[pos];
+            let new = self.move_block(pager, owner, old, to)?;
+            self.dir[owner as usize].blocks[pos] = new;
+        }
+        Ok(())
+    }
+
+    /// Copies one block to `dest_page`, freeing the original. Returns the
+    /// new block ref. Does not touch the chain (caller updates it).
+    fn move_block<P: Pager>(
+        &mut self,
+        pager: &mut P,
+        owner: u32,
+        old: SuccBlockRef,
+        dest_page: PageId,
+    ) -> StorageResult<SuccBlockRef> {
+        debug_assert!(self.free_on(dest_page) > 0);
+        // Read the old block.
+        let mut entries: Vec<SuccEntry> = Vec::with_capacity(ENTRIES_PER_BLOCK);
+        let mut used = 0usize;
+        pager.with_page(old.page, &mut |pg: &Page| {
+            used = SuccPage::used(pg, old.block as usize);
+            entries.clear();
+            for k in 0..used {
+                entries.push(SuccPage::entry(pg, old.block as usize, k));
+            }
+        })?;
+        // Write it to the destination.
+        let new_block = pager.with_page_mut(dest_page, &mut |pg: &mut Page| {
+            let b = SuccPage::find_free_block(pg).expect("free cache out of sync");
+            SuccPage::set_owner(pg, b, owner);
+            SuccPage::set_used(pg, b, used);
+            for (k, &e) in entries.iter().enumerate() {
+                SuccPage::set_entry(pg, b, k, e);
+            }
+            b as u8
+        })?;
+        *self.free_cache.get_mut(&dest_page).expect("cached") -= 1;
+        // Free the original.
+        pager.with_page_mut(old.page, &mut |pg: &mut Page| {
+            SuccPage::free_block(pg, old.block as usize);
+        })?;
+        *self.free_cache.entry(old.page).or_insert(0) += 1;
+        self.stats.blocks_moved += 1;
+        Ok(SuccBlockRef {
+            page: dest_page,
+            block: new_block,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cursor::ListCursor;
+    use tc_storage::DiskSim;
+
+    fn store_with(policy: ListPolicy, n: usize) -> (DiskSim, SuccStore) {
+        let mut disk = DiskSim::new();
+        let store = SuccStore::new(&mut disk, n, policy);
+        (disk, store)
+    }
+
+    fn read_all(disk: &mut DiskSim, store: &SuccStore, node: u32) -> Vec<u32> {
+        let mut cur = ListCursor::new(store, node);
+        let mut out = Vec::new();
+        while let Some(batch) = cur.next_batch(disk).unwrap() {
+            out.extend(batch.iter().map(|e| e.node));
+        }
+        out
+    }
+
+    #[test]
+    fn append_and_read_round_trip() {
+        let (mut disk, mut store) = store_with(ListPolicy::Spill, 4);
+        for v in 0..40u32 {
+            store.append(&mut disk, 1, SuccEntry::plain(v)).unwrap();
+        }
+        assert_eq!(store.len(1), 40);
+        assert_eq!(store.block_count(1), 3); // ceil(40/15)
+        assert_eq!(read_all(&mut disk, &store, 1), (0..40).collect::<Vec<_>>());
+        assert_eq!(read_all(&mut disk, &store, 0), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn inter_list_clustering_packs_small_lists() {
+        let (mut disk, mut store) = store_with(ListPolicy::Spill, 100);
+        // 30 single-entry lists must share one page.
+        for node in 0..30u32 {
+            store.append(&mut disk, node, SuccEntry::plain(node)).unwrap();
+        }
+        assert_eq!(store.page_count(), 1);
+        store.append(&mut disk, 30, SuccEntry::plain(1)).unwrap();
+        assert_eq!(store.page_count(), 2);
+    }
+
+    #[test]
+    fn intra_list_clustering_prefers_tail_page() {
+        let (mut disk, mut store) = store_with(ListPolicy::Spill, 10);
+        // One list growing alone stays on one page for 450 entries.
+        for v in 0..450u32 {
+            store.append(&mut disk, 0, SuccEntry::plain(v)).unwrap();
+        }
+        assert_eq!(store.page_count(), 1);
+        assert_eq!(store.pages_of(0).len(), 1);
+        store.append(&mut disk, 0, SuccEntry::plain(999)).unwrap();
+        assert_eq!(store.pages_of(0).len(), 2);
+    }
+
+    #[test]
+    fn flat_append_maintains_negation_convention() {
+        let (mut disk, mut store) = store_with(ListPolicy::Spill, 4);
+        for v in [7u32, 8, 9] {
+            store.append_flat(&mut disk, 2, v).unwrap();
+        }
+        let mut cur = ListCursor::new(&store, 2);
+        let mut entries = Vec::new();
+        while let Some(batch) = cur.next_batch(&mut disk).unwrap() {
+            entries.extend(batch);
+        }
+        assert_eq!(entries.len(), 3);
+        assert!(!entries[0].tagged && !entries[1].tagged);
+        assert!(entries[2].tagged, "last entry must be negated");
+        assert_eq!(entries[2].node, 9);
+    }
+
+    #[test]
+    fn spill_policy_spills_without_moving() {
+        let (mut disk, mut store) = store_with(ListPolicy::Spill, 10);
+        // Fill page 0 with two lists (15 blocks each = 225 entries each).
+        for v in 0..225u32 {
+            store.append(&mut disk, 0, SuccEntry::plain(v)).unwrap();
+        }
+        for v in 0..225u32 {
+            store.append(&mut disk, 1, SuccEntry::plain(v)).unwrap();
+        }
+        assert_eq!(store.page_count(), 1);
+        // Growing list 0 must spill to a new page; nothing moves.
+        store.append(&mut disk, 0, SuccEntry::plain(999)).unwrap();
+        assert_eq!(store.stats().blocks_moved, 0);
+        assert_eq!(store.stats().page_splits, 0);
+        assert_eq!(store.pages_of(0).len(), 2);
+        assert_eq!(store.pages_of(1).len(), 1);
+        assert_eq!(read_all(&mut disk, &store, 0).len(), 226);
+    }
+
+    #[test]
+    fn move_shortest_relocates_victim() {
+        let (mut disk, mut store) = store_with(ListPolicy::MoveShortest, 10);
+        for v in 0..420u32 {
+            store.append(&mut disk, 0, SuccEntry::plain(v)).unwrap();
+        }
+        for v in 0..30u32 {
+            store.append(&mut disk, 1, SuccEntry::plain(100 + v)).unwrap();
+        }
+        assert_eq!(store.page_count(), 1, "28 + 2 blocks share the page");
+        // Growing list 0 past its page forces list 1 (the shortest other)
+        // off the page.
+        for v in 0..60u32 {
+            store.append(&mut disk, 0, SuccEntry::plain(500 + v)).unwrap();
+        }
+        assert!(store.stats().page_splits >= 1);
+        assert!(store.stats().blocks_moved >= 2);
+        // Both lists still read back intact.
+        assert_eq!(read_all(&mut disk, &store, 0).len(), 480);
+        assert_eq!(
+            read_all(&mut disk, &store, 1),
+            (100..130).collect::<Vec<_>>()
+        );
+        // List 0 stayed on its page (fully clustered).
+        assert_eq!(store.pages_of(0).len(), 2); // 480 entries = 32 blocks > 30
+    }
+
+    #[test]
+    fn move_growing_relocates_self() {
+        let (mut disk, mut store) = store_with(ListPolicy::MoveGrowing, 10);
+        // Two lists interleaved on page 0.
+        for v in 0..210u32 {
+            store.append(&mut disk, 0, SuccEntry::plain(v)).unwrap();
+        }
+        for v in 0..240u32 {
+            store.append(&mut disk, 1, SuccEntry::plain(1000 + v)).unwrap();
+        }
+        assert_eq!(store.page_count(), 1);
+        // Growing list 0 moves itself to a fresh page.
+        store.append(&mut disk, 0, SuccEntry::plain(9999)).unwrap();
+        assert!(store.stats().blocks_moved >= 14);
+        assert_eq!(store.pages_of(0).len(), 1, "list 0 fully on its new page");
+        assert_eq!(read_all(&mut disk, &store, 0).len(), 211);
+        assert_eq!(read_all(&mut disk, &store, 1).len(), 240);
+    }
+
+    #[test]
+    fn many_lists_many_policies_round_trip() {
+        for policy in ListPolicy::ALL {
+            let (mut disk, mut store) = store_with(policy, 50);
+            // Deterministic interleaved growth.
+            let mut x = 7u64;
+            let mut expect: Vec<Vec<u32>> = vec![Vec::new(); 50];
+            for i in 0..5000u32 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let node = (x >> 33) as u32 % 50;
+                store.append(&mut disk, node, SuccEntry::plain(i)).unwrap();
+                expect[node as usize].push(i);
+            }
+            for node in 0..50u32 {
+                assert_eq!(
+                    read_all(&mut disk, &store, node),
+                    expect[node as usize],
+                    "{} node {node}",
+                    policy.name()
+                );
+            }
+            store.verify_integrity(&mut disk).unwrap();
+        }
+    }
+
+    #[test]
+    fn stats_track_allocation() {
+        let (mut disk, mut store) = store_with(ListPolicy::Spill, 4);
+        for v in 0..31u32 {
+            store.append(&mut disk, 0, SuccEntry::plain(v)).unwrap();
+        }
+        let s = store.stats();
+        assert_eq!(s.entries_written, 31);
+        assert_eq!(s.blocks_allocated, 3);
+        assert_eq!(s.pages_allocated, 1);
+    }
+}

@@ -1,0 +1,345 @@
+//! Successor spanning-tree encoding and scanning (paper §3.5, §4.1).
+//!
+//! "Successor spanning trees are represented by storing each parent
+//! (internal node) once, followed by a list of its children. Parent nodes
+//! are distinguished by negating their values."
+//!
+//! In store terms: a tree list is a sequence of entries where a *tagged*
+//! entry opens a group (the parent) and the following plain entries are
+//! that parent's children; plain entries before the first tagged entry
+//! are children of the list's owner (the tree root, which is not stored).
+//!
+//! The Spanning Tree algorithm's union exploits the structure: when a
+//! scanned node is already present in the target tree, its entire subtree
+//! is *pruned* — those entries are not processed (no bit-vector tests, no
+//! appends, no duplicates generated). The pages holding them are still
+//! fetched, because group boundaries are only discoverable by reading —
+//! which is precisely the paper's finding that tuple-I/O savings do not
+//! become page-I/O savings (§6.2).
+//!
+//! The same encoding stores Compute_Tree's special-node predecessor trees.
+
+use crate::bitvec::NodeBitVec;
+use crate::cursor::ListCursor;
+use crate::store::SuccStore;
+use tc_storage::layout::succ::SuccEntry;
+use tc_storage::{Pager, StorageResult};
+
+/// Counters from one tree scan.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct TreeScanStats {
+    /// Entries read from pages (tuple I/O).
+    pub scanned: u64,
+    /// Entries actually processed (offered to the visitor).
+    pub processed: u64,
+    /// Entries pruned because an ancestor was skipped.
+    pub pruned: u64,
+}
+
+/// Incremental writer of tree-encoded lists: groups consecutive appends
+/// by parent, emitting one tagged parent marker per group.
+pub struct TreeAppender {
+    owner: u32,
+    current_parent: Option<u32>,
+    any_group: bool,
+}
+
+impl TreeAppender {
+    /// Starts appending to `owner`'s tree.
+    pub fn new(owner: u32) -> TreeAppender {
+        TreeAppender {
+            owner,
+            current_parent: None,
+            any_group: false,
+        }
+    }
+
+    /// Appends `value` as a child of `parent` in `owner`'s tree list.
+    pub fn append<P: Pager>(
+        &mut self,
+        pager: &mut P,
+        store: &mut SuccStore,
+        parent: u32,
+        value: u32,
+    ) -> StorageResult<()> {
+        let need_marker = match self.current_parent {
+            Some(p) => p != parent,
+            // Children of the owner need no marker while we are still in
+            // the implicit leading root group.
+            None => parent != self.owner || self.any_group,
+        };
+        if need_marker {
+            store.append(pager, self.owner, SuccEntry::tagged(parent))?;
+            self.any_group = true;
+        }
+        self.current_parent = Some(parent);
+        store.append(pager, self.owner, SuccEntry::plain(value))
+    }
+}
+
+/// One step of a tree scan: what a raw entry turned out to be.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TreeStep {
+    /// A parent marker (structural; nothing to process).
+    Marker,
+    /// A child entry pruned because its group's parent is skipped; the
+    /// node id is reported so callers can count the saving.
+    Pruned(u32),
+    /// A child entry to process: `(parent, node)`.
+    Visit {
+        /// The group's parent (the tree owner for root-level entries).
+        parent: u32,
+        /// The scanned node.
+        node: u32,
+    },
+}
+
+/// Caller-driven tree-scan state machine.
+///
+/// [`scan_tree`] is convenient when the visitor needs no other mutable
+/// state; the algorithms instead drive the scan themselves (they must
+/// append to the target tree through the same pager), feeding raw entries
+/// through [`TreeScanState::step`]. Skip feedback flows through the
+/// shared `skips` bit vector: when the caller decides a visited node's
+/// subtree is redundant it inserts the node into `skips`, and any later
+/// group opened by that node is pruned.
+pub struct TreeScanState {
+    current_parent: u32,
+    group_skipped: bool,
+}
+
+impl TreeScanState {
+    /// Starts scanning `owner`'s tree (root-level entries report `owner`
+    /// as their parent).
+    pub fn new(owner: u32) -> TreeScanState {
+        TreeScanState {
+            current_parent: owner,
+            group_skipped: false,
+        }
+    }
+
+    /// Classifies the next raw entry.
+    #[inline]
+    pub fn step(&mut self, e: SuccEntry, skips: &mut NodeBitVec) -> TreeStep {
+        if e.tagged {
+            self.current_parent = e.node;
+            self.group_skipped = skips.contains(e.node);
+            return TreeStep::Marker;
+        }
+        if self.group_skipped {
+            skips.insert(e.node);
+            return TreeStep::Pruned(e.node);
+        }
+        TreeStep::Visit {
+            parent: self.current_parent,
+            node: e.node,
+        }
+    }
+}
+
+/// Scans `owner`'s tree via `cursor`, calling
+/// `visit(parent, node) -> skip?` for every non-pruned entry in preorder
+/// stream order. When `visit` returns `true`, or when the entry's group
+/// parent was itself skipped, the node is added to `skips` and its later
+/// group (its own children) is pruned.
+///
+/// `skips` must be clear on entry; it is left populated so callers can
+/// inspect which nodes were pruned.
+pub fn scan_tree<P: Pager>(
+    mut cursor: ListCursor,
+    pager: &mut P,
+    owner: u32,
+    skips: &mut NodeBitVec,
+    visit: &mut dyn FnMut(u32, u32) -> bool,
+) -> StorageResult<TreeScanStats> {
+    let mut stats = TreeScanStats::default();
+    let mut state = TreeScanState::new(owner);
+    while let Some(batch) = cursor.next_batch(pager)? {
+        for e in batch {
+            stats.scanned += 1;
+            match state.step(e, skips) {
+                TreeStep::Marker => {}
+                TreeStep::Pruned(_) => stats.pruned += 1,
+                TreeStep::Visit { parent, node } => {
+                    stats.processed += 1;
+                    if visit(parent, node) {
+                        skips.insert(node);
+                    }
+                }
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// Reads a whole tree into `(parent, child)` pairs (testing/debugging).
+pub fn read_tree<P: Pager>(
+    store: &SuccStore,
+    pager: &mut P,
+    owner: u32,
+) -> StorageResult<Vec<(u32, u32)>> {
+    let mut cur = ListCursor::new(store, owner);
+    let mut out = Vec::new();
+    let mut parent = owner;
+    while let Some(batch) = cur.next_batch(pager)? {
+        for e in batch {
+            if e.tagged {
+                parent = e.node;
+            } else {
+                out.push((parent, e.node));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::ListPolicy;
+    use tc_storage::DiskSim;
+
+    fn setup() -> (DiskSim, SuccStore) {
+        let mut disk = DiskSim::new();
+        let store = SuccStore::new(&mut disk, 32, ListPolicy::Spill);
+        (disk, store)
+    }
+
+    #[test]
+    fn appender_groups_by_parent() {
+        let (mut disk, mut store) = setup();
+        let mut app = TreeAppender::new(0);
+        // Root children 1, 2; then 1's children 3, 4; then 2's child 5.
+        for (p, v) in [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5)] {
+            app.append(&mut disk, &mut store, p, v).unwrap();
+        }
+        assert_eq!(
+            read_tree(&store, &mut disk, 0).unwrap(),
+            vec![(0, 1), (0, 2), (1, 3), (1, 4), (2, 5)]
+        );
+        // Storage: 2 root entries + marker(1) + 2 + marker(2) + 1 = 7.
+        assert_eq!(store.len(0), 7);
+    }
+
+    #[test]
+    fn late_root_children_get_explicit_marker() {
+        let (mut disk, mut store) = setup();
+        let mut app = TreeAppender::new(7);
+        app.append(&mut disk, &mut store, 7, 1).unwrap();
+        app.append(&mut disk, &mut store, 1, 2).unwrap();
+        app.append(&mut disk, &mut store, 7, 3).unwrap(); // back to root
+        assert_eq!(
+            read_tree(&store, &mut disk, 7).unwrap(),
+            vec![(7, 1), (1, 2), (7, 3)]
+        );
+    }
+
+    #[test]
+    fn scan_without_skips_visits_everything() {
+        let (mut disk, mut store) = setup();
+        let mut app = TreeAppender::new(0);
+        for (p, v) in [(0, 1), (0, 2), (1, 3), (3, 4)] {
+            app.append(&mut disk, &mut store, p, v).unwrap();
+        }
+        let mut skips = NodeBitVec::new(32);
+        let mut seen = Vec::new();
+        let stats = scan_tree(
+            ListCursor::new(&store, 0),
+            &mut disk,
+            0,
+            &mut skips,
+            &mut |p, v| {
+                seen.push((p, v));
+                false
+            },
+        )
+        .unwrap();
+        assert_eq!(seen, vec![(0, 1), (0, 2), (1, 3), (3, 4)]);
+        assert_eq!(stats.processed, 4);
+        assert_eq!(stats.pruned, 0);
+        // 4 children + 2 markers scanned.
+        assert_eq!(stats.scanned, 6);
+    }
+
+    #[test]
+    fn skipping_a_node_prunes_its_subtree() {
+        let (mut disk, mut store) = setup();
+        let mut app = TreeAppender::new(0);
+        // 0 -> {1, 2}; 1 -> {3}; 3 -> {4, 5}; 2 -> {6}.
+        for (p, v) in [(0, 1), (0, 2), (1, 3), (3, 4), (3, 5), (2, 6)] {
+            app.append(&mut disk, &mut store, p, v).unwrap();
+        }
+        let mut skips = NodeBitVec::new(32);
+        let mut seen = Vec::new();
+        let stats = scan_tree(
+            ListCursor::new(&store, 0),
+            &mut disk,
+            0,
+            &mut skips,
+            &mut |p, v| {
+                seen.push((p, v));
+                v == 3 // prune 3's subtree
+            },
+        )
+        .unwrap();
+        assert_eq!(seen, vec![(0, 1), (0, 2), (1, 3), (2, 6)]);
+        assert_eq!(stats.pruned, 2, "4 and 5 pruned");
+        assert!(skips.contains(4) && skips.contains(5));
+    }
+
+    #[test]
+    fn pruning_cascades_through_descendant_groups() {
+        let (mut disk, mut store) = setup();
+        let mut app = TreeAppender::new(0);
+        // 0 -> 1 -> 2 -> 3 (deep chain).
+        for (p, v) in [(0, 1), (1, 2), (2, 3)] {
+            app.append(&mut disk, &mut store, p, v).unwrap();
+        }
+        let mut skips = NodeBitVec::new(32);
+        let mut processed = 0;
+        let stats = scan_tree(
+            ListCursor::new(&store, 0),
+            &mut disk,
+            0,
+            &mut skips,
+            &mut |_p, v| {
+                processed += 1;
+                v == 1
+            },
+        )
+        .unwrap();
+        assert_eq!(processed, 1, "only node 1 offered");
+        assert_eq!(stats.pruned, 2, "2 and 3 pruned transitively");
+    }
+
+    #[test]
+    fn pages_still_fetched_when_everything_pruned() {
+        // The paper's key SPN observation: pruning saves entry reads, not
+        // page reads.
+        let (mut disk, mut store) = setup();
+        let mut app = TreeAppender::new(0);
+        app.append(&mut disk, &mut store, 0, 1).unwrap();
+        for v in 2..600u32 {
+            // all under node 1 -> its subtree spans multiple pages
+            app.append(&mut disk, &mut store, 1, v % 32).unwrap();
+        }
+        let pages = store.pages_of(0).len();
+        assert!(pages >= 2);
+        disk.reset_stats();
+        let mut skips = NodeBitVec::new(32);
+        let stats = scan_tree(
+            ListCursor::new(&store, 0),
+            &mut disk,
+            0,
+            &mut skips,
+            &mut |_p, v| v == 1,
+        )
+        .unwrap();
+        assert_eq!(stats.processed, 1);
+        assert_eq!(
+            disk.stats().reads,
+            pages as u64,
+            "every page fetched despite pruning"
+        );
+    }
+}

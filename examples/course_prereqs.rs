@@ -1,0 +1,84 @@
+//! Curriculum planning over a prerequisite DAG.
+//!
+//! A registrar's query: given a set of entry courses a transfer student
+//! has credit for, which advanced courses are (transitively) unlocked?
+//! Prerequisite chains are long and mostly linear — exactly the shape
+//! where Jiang's single-parent optimization (the `BJ` algorithm) and the
+//! rectangle model's "height" dimension earn their keep.
+//!
+//! ```text
+//! cargo run --release --example course_prereqs
+//! ```
+
+use tc_study::core::prelude::*;
+use tc_study::graph::{Graph, NodeId, RectangleModel};
+
+/// Builds a synthetic curriculum: `tracks` parallel specializations of
+/// `depth` courses each, hanging off a few shared intro courses, with
+/// occasional cross-track electives.
+fn curriculum(tracks: usize, depth: usize) -> Graph {
+    let intro = 4usize;
+    let n = intro + tracks * depth;
+    let mut arcs: Vec<(NodeId, NodeId)> = Vec::new();
+    for t in 0..tracks {
+        let base = intro + t * depth;
+        // The track's first course requires an intro course.
+        arcs.push(((t % intro) as NodeId, base as NodeId));
+        // A linear chain of prerequisites.
+        for d in 1..depth {
+            arcs.push(((base + d - 1) as NodeId, (base + d) as NodeId));
+        }
+        // A cross-track elective every few levels.
+        if t > 0 {
+            for d in (3..depth).step_by(5) {
+                arcs.push(((base - depth + d - 1) as NodeId, (base + d) as NodeId));
+            }
+        }
+    }
+    Graph::from_arcs(n, arcs)
+}
+
+fn main() {
+    let g = curriculum(40, 24);
+    println!(
+        "curriculum: {} courses, {} prerequisite edges",
+        g.n(),
+        g.arc_count()
+    );
+    let model = RectangleModel::of(&g);
+    println!(
+        "rectangle model: height {:.1} (long chains), width {:.1} (little redundancy)",
+        model.height, model.width
+    );
+
+    let mut db = Database::build(&g, true).expect("load");
+    let cfg = SystemConfig::with_buffer(10);
+
+    // The student enters with credit for intro courses 0 and 2.
+    let query = Query::partial(vec![0, 2]);
+    println!("\nunlocked-courses query from 2 entry courses:");
+    for algo in [Algorithm::Btc, Algorithm::Bj, Algorithm::Jkb2, Algorithm::Srch] {
+        let res = db.run(&query, algo, &cfg).expect("run");
+        println!(
+            "  {:>5}: {:>5} page I/O, {:>6} unions, marking {:>5.1}%, answer {} courses",
+            algo.name(),
+            res.metrics.total_io(),
+            res.metrics.unions,
+            res.metrics.marking_pct() * 100.0,
+            res.metrics.answer_tuples
+        );
+    }
+
+    // The single-parent optimization's effect is visible in how much of
+    // the chain structure BJ never expands.
+    let mut c = cfg.clone();
+    c.collect_answer = true;
+    let btc = db.run(&query, Algorithm::Btc, &c).expect("btc");
+    let bj = db.run(&query, Algorithm::Bj, &c).expect("bj");
+    assert_eq!(btc.answer, bj.answer, "same answer either way");
+    println!(
+        "\nBJ generated {} tuples vs BTC's {} — the single-parent chains were\n\
+         adopted upward instead of being expanded node by node (paper §3.3).",
+        bj.metrics.tuples_generated, btc.metrics.tuples_generated
+    );
+}

@@ -1,0 +1,68 @@
+//! The paper's methodological warning (§7), as a runnable demonstration:
+//! tuple-level cost metrics do not predict page I/O.
+//!
+//! Two concrete reversals from the study:
+//!
+//! 1. By duplicates generated (or tuple I/O), the Spanning Tree algorithm
+//!    looks much better than BTC for full closure — yet it performs
+//!    *more* page I/O (Figure 7).
+//! 2. By distinct tuples derived, Compute_Tree (JKB2) looks better than
+//!    BTC for every selective query — yet on wide graphs it performs
+//!    2–3× the page I/O; by union counts the opposite mistake is made
+//!    (Figures 8–10).
+//!
+//! ```text
+//! cargo run --release --example metrics_pitfalls
+//! ```
+
+use tc_study::core::prelude::*;
+use tc_study::graph::DagGenerator;
+
+fn banner(s: &str) {
+    println!("\n=== {s} ===");
+}
+
+fn main() {
+    let cfg = SystemConfig::with_buffer(10);
+
+    banner("Reversal 1: SPN vs BTC on full closure (G9-family graph)");
+    let g = DagGenerator::new(2000, 20.0, 2000).seed(3).generate();
+    let mut db = Database::build(&g, false).expect("load");
+    let btc = db.run(&Query::full(), Algorithm::Btc, &cfg).expect("btc");
+    let spn = db.run(&Query::full(), Algorithm::Spn, &cfg).expect("spn");
+    println!(
+        "                {:>12} {:>12}\n\
+         duplicates     {:>12} {:>12}   <- SPN 'wins'\n\
+         tuple reads    {:>12} {:>12}   <- SPN 'wins'\n\
+         page I/O       {:>12} {:>12}   <- BTC actually wins",
+        "BTC", "SPN", btc.metrics.duplicates, spn.metrics.duplicates,
+        btc.metrics.tuple_reads, spn.metrics.tuple_reads,
+        btc.metrics.total_io(), spn.metrics.total_io(),
+    );
+    assert!(spn.metrics.duplicates < btc.metrics.duplicates);
+    assert!(spn.metrics.total_io() > btc.metrics.total_io());
+
+    banner("Reversal 2: JKB2 vs BTC on a selective query (wide G12-family graph)");
+    let g = DagGenerator::new(2000, 50.0, 2000).seed(3).generate();
+    let mut db = Database::build(&g, true).expect("load");
+    let q = Query::partial((0..20).collect());
+    let btc = db.run(&q, Algorithm::Btc, &cfg).expect("btc");
+    let jkb2 = db.run(&q, Algorithm::Jkb2, &cfg).expect("jkb2");
+    println!(
+        "                {:>12} {:>12}\n\
+         tuples         {:>12} {:>12}   <- JKB2 'wins'\n\
+         unions         {:>12} {:>12}   <- BTC 'wins'\n\
+         page I/O       {:>12} {:>12}   <- neither metric told you this",
+        "BTC", "JKB2", btc.metrics.tuples_generated, jkb2.metrics.tuples_generated,
+        btc.metrics.unions, jkb2.metrics.unions,
+        btc.metrics.total_io(), jkb2.metrics.total_io(),
+    );
+    assert!(jkb2.metrics.tuples_generated < btc.metrics.tuples_generated);
+    assert!(jkb2.metrics.unions > btc.metrics.unions);
+
+    println!(
+        "\nConclusion (paper §7): \"a reliable evaluation of the page I/O cost of a\n\
+         transitive closure computation can only be obtained via a performance study\n\
+         that directly considers that I/O cost.\""
+    );
+}

@@ -1,0 +1,215 @@
+//! Support code for the `tcq` command-line tool: edge-list parsing with
+//! a label↔id mapping, and argument handling.
+//!
+//! Kept in the library so it is unit-testable; `src/bin/tcq.rs` is a thin
+//! wrapper.
+
+use std::collections::HashMap;
+use tc_core::Algorithm;
+use tc_graph::{Graph, NodeId};
+
+/// An edge-list graph with human-readable node labels.
+#[derive(Debug, Clone)]
+pub struct LabeledGraph {
+    /// The graph over dense ids `0..n`.
+    pub graph: Graph,
+    /// Label of each id.
+    pub labels: Vec<String>,
+    index: HashMap<String, NodeId>,
+}
+
+impl LabeledGraph {
+    /// Parses a whitespace-separated edge list: one `from to` pair per
+    /// line; blank lines and `#` comments ignored. Labels are arbitrary
+    /// tokens and are interned in first-appearance order.
+    pub fn parse(text: &str) -> Result<LabeledGraph, String> {
+        let mut index: HashMap<String, NodeId> = HashMap::new();
+        let mut labels: Vec<String> = Vec::new();
+        let intern = |tok: &str, labels: &mut Vec<String>, index: &mut HashMap<String, NodeId>| {
+            *index.entry(tok.to_string()).or_insert_with(|| {
+                labels.push(tok.to_string());
+                (labels.len() - 1) as NodeId
+            })
+        };
+        let mut arcs: Vec<(NodeId, NodeId)> = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (a, b) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(a), Some(b), None) => (a, b),
+                _ => {
+                    return Err(format!(
+                        "line {}: expected `from to`, got {raw:?}",
+                        lineno + 1
+                    ))
+                }
+            };
+            let u = intern(a, &mut labels, &mut index);
+            let v = intern(b, &mut labels, &mut index);
+            arcs.push((u, v));
+        }
+        let n = labels.len();
+        Ok(LabeledGraph {
+            graph: Graph::from_arcs(n, arcs),
+            labels,
+            index,
+        })
+    }
+
+    /// Resolves a label to its id.
+    pub fn id(&self, label: &str) -> Option<NodeId> {
+        self.index.get(label).copied()
+    }
+
+    /// The label of an id.
+    pub fn label(&self, id: NodeId) -> &str {
+        &self.labels[id as usize]
+    }
+}
+
+/// Parsed command line for `tcq`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliArgs {
+    /// Input edge-list path.
+    pub input: String,
+    /// Source labels (empty = full closure).
+    pub sources: Vec<String>,
+    /// Requested algorithm (`None` = let the advisor decide).
+    pub algorithm: Option<Algorithm>,
+    /// Buffer pool pages.
+    pub buffer: usize,
+    /// Print every answer tuple (not just the summary).
+    pub print_answer: bool,
+}
+
+impl CliArgs {
+    /// Parses `args` (without the program name).
+    pub fn parse(args: &[String]) -> Result<CliArgs, String> {
+        let mut input: Option<String> = None;
+        let mut out = CliArgs {
+            input: String::new(),
+            sources: Vec::new(),
+            algorithm: None,
+            buffer: 20,
+            print_answer: false,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--sources" | "-s" => {
+                    i += 1;
+                    let v = args.get(i).ok_or("--sources needs a comma-separated list")?;
+                    out.sources = v.split(',').map(str::trim).filter(|s| !s.is_empty())
+                        .map(String::from).collect();
+                    if out.sources.is_empty() {
+                        return Err("--sources got an empty list (omit the flag for full closure)".into());
+                    }
+                }
+                "--algo" | "-a" => {
+                    i += 1;
+                    let v = args.get(i).ok_or("--algo needs a name")?;
+                    out.algorithm = Some(parse_algorithm(v)?);
+                }
+                "--buffer" | "-m" => {
+                    i += 1;
+                    out.buffer = args
+                        .get(i)
+                        .ok_or("--buffer needs a page count")?
+                        .parse()
+                        .map_err(|e| format!("--buffer: {e}"))?;
+                    if out.buffer == 0 {
+                        return Err("--buffer needs at least 1 page".into());
+                    }
+                }
+                "--print-answer" => out.print_answer = true,
+                "--help" | "-h" => return Err(USAGE.to_string()),
+                flag if flag.starts_with('-') => {
+                    return Err(format!("unknown flag {flag}\n{USAGE}"))
+                }
+                path => {
+                    if input.replace(path.to_string()).is_some() {
+                        return Err("only one input file is accepted".into());
+                    }
+                }
+            }
+            i += 1;
+        }
+        out.input = input.ok_or_else(|| format!("missing input file\n{USAGE}"))?;
+        Ok(out)
+    }
+}
+
+/// Usage text for `tcq`.
+pub const USAGE: &str = "\
+usage: tcq <edges-file> [options]
+  <edges-file>          whitespace edge list: `from to` per line, # comments
+  -s, --sources A,B,..  partial closure from these nodes (default: full)
+  -a, --algo NAME       btc|hyb|bj|srch|spn|jkb|jkb2|seminaive (default: advisor)
+  -m, --buffer N        buffer pool pages (default: 20)
+      --print-answer    print every (source, reachable) pair
+Cyclic inputs are condensed automatically (strongly connected components);
+the advisor default applies to acyclic inputs, cyclic ones run BTC unless
+--algo says otherwise.";
+
+fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
+    Algorithm::ALL
+        .into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(s))
+        .ok_or_else(|| format!("unknown algorithm {s:?} (try btc, jkb2, srch, ...)"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_edge_lists_with_labels_and_comments() {
+        let g = LabeledGraph::parse(
+            "# deps\nlibc gcc\nrustc libc\n\nrustc llvm # tail comment\n",
+        )
+        .unwrap();
+        assert_eq!(g.graph.n(), 4);
+        assert_eq!(g.graph.arc_count(), 3);
+        assert_eq!(g.label(g.id("rustc").unwrap()), "rustc");
+        assert!(g
+            .graph
+            .has_arc(g.id("rustc").unwrap(), g.id("llvm").unwrap()));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(LabeledGraph::parse("a b c\n").is_err());
+        assert!(LabeledGraph::parse("only_one\n").is_err());
+        assert!(LabeledGraph::parse("").unwrap().graph.n() == 0);
+    }
+
+    #[test]
+    fn parses_full_cli() {
+        let args: Vec<String> = ["g.txt", "-s", "a,b", "--algo", "jkb2", "-m", "50", "--print-answer"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let c = CliArgs::parse(&args).unwrap();
+        assert_eq!(c.input, "g.txt");
+        assert_eq!(c.sources, vec!["a", "b"]);
+        assert_eq!(c.algorithm, Some(Algorithm::Jkb2));
+        assert_eq!(c.buffer, 50);
+        assert!(c.print_answer);
+    }
+
+    #[test]
+    fn defaults_and_errors() {
+        let c = CliArgs::parse(&["g.txt".to_string()]).unwrap();
+        assert!(c.sources.is_empty());
+        assert_eq!(c.algorithm, None);
+        assert_eq!(c.buffer, 20);
+        assert!(CliArgs::parse(&[]).is_err());
+        assert!(CliArgs::parse(&["a".into(), "b".into()]).is_err());
+        assert!(CliArgs::parse(&["g.txt".into(), "--algo".into(), "nope".into()]).is_err());
+        assert!(CliArgs::parse(&["g.txt".into(), "--buffer".into(), "0".into()]).is_err());
+        assert!(CliArgs::parse(&["g.txt".into(), "-s".into(), "".into()]).is_err());
+    }
+}

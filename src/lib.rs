@@ -1,0 +1,25 @@
+//! Umbrella crate for the SIGMOD '94 transitive-closure study reproduction.
+//!
+//! Re-exports every layer of the system so that examples and downstream
+//! users can depend on a single crate:
+//!
+//! * [`storage`] — simulated disk, page layouts, relation files, indexes.
+//! * [`buffer`] — buffer pool with pluggable replacement policies.
+//! * [`graph`] — DAG workloads, rectangle model, reference closures.
+//! * [`succ`] — the paged successor-list / successor-tree store.
+//! * [`core`] — the seven algorithm implementations and the query engine.
+//!
+//! See the repository README for a quickstart and `DESIGN.md` for the
+//! full system inventory.
+
+#![forbid(unsafe_code)]
+
+pub mod cli;
+
+pub use tc_buffer as buffer;
+pub use tc_core as core;
+pub use tc_graph as graph;
+pub use tc_storage as storage;
+pub use tc_succ as succ;
+
+pub use tc_core::prelude::*;

@@ -1,0 +1,94 @@
+//! Corpus-wide validation: every algorithm, every workload *shape* of
+//! the paper's Table 1 grid (scaled down), checked against the oracle.
+//!
+//! The experiment harness runs the full-size corpus for measurement; this
+//! test runs a miniature of the same F × l grid so that a regression in
+//! any algorithm on any workload shape fails CI rather than skewing a
+//! report.
+
+use tc_study::core::prelude::*;
+use tc_study::graph::{closure, DagGenerator};
+
+const N: usize = 250;
+
+fn mini_corpus() -> Vec<(String, tc_study::graph::Graph)> {
+    let mut out = Vec::new();
+    for f in [2.0, 5.0, 20.0] {
+        for l in [10usize, 50, 250] {
+            out.push((
+                format!("F={f},l={l}"),
+                DagGenerator::new(N, f, l).seed(0xABCD).generate(),
+            ));
+        }
+    }
+    out
+}
+
+#[test]
+fn full_closure_entire_grid_all_algorithms() {
+    for (name, g) in mini_corpus() {
+        let expect = closure::ptc_answer(&g, &(0..N as u32).collect::<Vec<_>>());
+        let mut db = Database::build(&g, true).unwrap();
+        let cfg = SystemConfig::default().collecting();
+        for algo in Algorithm::ALL {
+            let res = db.run(&Query::full(), algo, &cfg).unwrap();
+            assert_eq!(res.answer.as_deref().unwrap(), &expect[..], "{algo} on {name}");
+        }
+    }
+}
+
+#[test]
+fn selections_entire_grid_all_algorithms() {
+    for (name, g) in mini_corpus() {
+        for s in [1usize, 4, 25] {
+            let sources: Vec<u32> = (0..s as u32).map(|i| i * 9 % N as u32).collect();
+            let expect = closure::ptc_answer(&g, &sources);
+            let mut db = Database::build(&g, true).unwrap();
+            let cfg = SystemConfig::default().collecting();
+            for algo in Algorithm::ALL {
+                let res = db.run(&Query::partial(sources.clone()), algo, &cfg).unwrap();
+                assert_eq!(
+                    res.answer.as_deref().unwrap(),
+                    &expect[..],
+                    "{algo} on {name} s={s}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn shape_claims_hold_on_the_mini_corpus() {
+    // The headline orderings the paper reports, asserted at mini scale so
+    // regressions in the cost model surface as failures.
+    let deep = DagGenerator::new(N, 5.0, 10).seed(7).generate(); // narrow
+    let wide = DagGenerator::new(N, 20.0, 250).seed(7).generate(); // wide
+    let cfg = SystemConfig::default();
+    let sources: Vec<u32> = (0..4).collect();
+
+    // Narrow graph: JKB2 beats BTC on selections (Table 4, low width).
+    let mut db = Database::build(&deep, true).unwrap();
+    let btc = db.run(&Query::partial(sources.clone()), Algorithm::Btc, &cfg).unwrap();
+    let jkb2 = db.run(&Query::partial(sources.clone()), Algorithm::Jkb2, &cfg).unwrap();
+    assert!(
+        jkb2.metrics.total_io() < btc.metrics.total_io(),
+        "narrow: JKB2 {} vs BTC {}",
+        jkb2.metrics.total_io(),
+        btc.metrics.total_io()
+    );
+
+    // Full closure: BTC beats SPN (Fig 7a) yet SPN has fewer duplicates
+    // (Fig 7b), and Seminaive loses by a wide margin (§8).
+    let mut db = Database::build(&wide, true).unwrap();
+    let btc = db.run(&Query::full(), Algorithm::Btc, &cfg).unwrap();
+    let spn = db.run(&Query::full(), Algorithm::Spn, &cfg).unwrap();
+    let semi = db.run(&Query::full(), Algorithm::Seminaive, &cfg).unwrap();
+    assert!(btc.metrics.total_io() < spn.metrics.total_io());
+    assert!(spn.metrics.duplicates < btc.metrics.duplicates);
+    assert!(semi.metrics.total_io() > 3 * btc.metrics.total_io());
+
+    // Marking percentage reflects redundancy: wide graph ≫ narrow graph.
+    let mut db_deep = Database::build(&deep, false).unwrap();
+    let btc_deep = db_deep.run(&Query::full(), Algorithm::Btc, &cfg).unwrap();
+    assert!(btc.metrics.marking_pct() > btc_deep.metrics.marking_pct());
+}

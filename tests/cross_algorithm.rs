@@ -1,0 +1,154 @@
+//! Integration tests: every algorithm, every policy, every buffer size —
+//! all must produce the oracle answer and consistent metrics.
+
+use tc_study::core::prelude::*;
+use tc_study::graph::{closure, DagGenerator, Graph};
+
+fn grid_graphs() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("deep-sparse", DagGenerator::new(400, 2.0, 15).seed(1).generate()),
+        ("shallow-sparse", DagGenerator::new(400, 2.0, 400).seed(2).generate()),
+        ("deep-dense", DagGenerator::new(400, 10.0, 15).seed(3).generate()),
+        ("shallow-dense", DagGenerator::new(400, 10.0, 400).seed(4).generate()),
+        ("path", tc_study::graph::gen::path(300)),
+        ("tree", tc_study::graph::gen::binary_tree(255)),
+        ("layered", tc_study::graph::gen::layered(12, 12)),
+    ]
+}
+
+#[test]
+fn all_algorithms_agree_with_oracle_on_full_closure() {
+    for (name, g) in grid_graphs() {
+        let expect = closure::ptc_answer(&g, &(0..g.n() as u32).collect::<Vec<_>>());
+        let mut db = Database::build(&g, true).unwrap();
+        let cfg = SystemConfig::default().collecting();
+        for algo in Algorithm::ALL {
+            let res = db.run(&Query::full(), algo, &cfg).unwrap();
+            assert_eq!(
+                res.answer.as_deref().unwrap(),
+                &expect[..],
+                "{algo} on {name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_algorithms_agree_with_oracle_on_selections() {
+    for (name, g) in grid_graphs() {
+        let sources: Vec<u32> = vec![0, 7, (g.n() / 2) as u32];
+        let expect = closure::ptc_answer(&g, &sources);
+        let mut db = Database::build(&g, true).unwrap();
+        let cfg = SystemConfig::default().collecting();
+        for algo in Algorithm::ALL {
+            let res = db.run(&Query::partial(sources.clone()), algo, &cfg).unwrap();
+            assert_eq!(
+                res.answer.as_deref().unwrap(),
+                &expect[..],
+                "{algo} on {name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_page_policy_yields_the_same_answer() {
+    let g = DagGenerator::new(500, 5.0, 120).seed(9).generate();
+    let sources: Vec<u32> = vec![1, 40, 333];
+    let expect = closure::ptc_answer(&g, &sources);
+    let mut db = Database::build(&g, true).unwrap();
+    for page in PagePolicy::ALL {
+        for algo in [Algorithm::Btc, Algorithm::Jkb2, Algorithm::Spn] {
+            let cfg = SystemConfig::default().page_policy(page).collecting();
+            let res = db.run(&Query::partial(sources.clone()), algo, &cfg).unwrap();
+            assert_eq!(
+                res.answer.as_deref().unwrap(),
+                &expect[..],
+                "{algo} under {}",
+                page.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_list_policy_yields_the_same_answer() {
+    let g = DagGenerator::new(500, 5.0, 120).seed(10).generate();
+    let expect = closure::ptc_answer(&g, &(0..500).collect::<Vec<_>>());
+    let mut db = Database::build(&g, false).unwrap();
+    for list in ListPolicy::ALL {
+        let cfg = SystemConfig::default().list_policy(list).collecting();
+        let res = db.run(&Query::full(), Algorithm::Btc, &cfg).unwrap();
+        assert_eq!(
+            res.answer.as_deref().unwrap(),
+            &expect[..],
+            "{}",
+            list.name()
+        );
+    }
+}
+
+#[test]
+fn buffer_sizes_change_cost_not_answers() {
+    let g = DagGenerator::new(600, 4.0, 100).seed(11).generate();
+    let mut db = Database::build(&g, false).unwrap();
+    let mut previous: Option<Vec<(u32, u32)>> = None;
+    for m in [5usize, 10, 20, 50, 200] {
+        let cfg = SystemConfig::with_buffer(m).collecting();
+        let res = db.run(&Query::full(), Algorithm::Btc, &cfg).unwrap();
+        if let Some(prev) = &previous {
+            assert_eq!(res.answer.as_ref().unwrap(), prev, "M={m}");
+        }
+        previous = res.answer;
+    }
+}
+
+#[test]
+fn hybrid_matches_btc_semantics_at_every_ilimit() {
+    let g = DagGenerator::new(500, 6.0, 150).seed(12).generate();
+    let mut db = Database::build(&g, false).unwrap();
+    let cfg = SystemConfig::with_buffer(10).collecting();
+    let baseline = db.run(&Query::full(), Algorithm::Btc, &cfg).unwrap();
+    for ilimit in [0.0, 0.05, 0.1, 0.25, 0.5, 0.75] {
+        let c = cfg.clone().ilimit(ilimit);
+        let res = db.run(&Query::full(), Algorithm::Hyb, &c).unwrap();
+        assert_eq!(res.answer, baseline.answer, "ILIMIT {ilimit}");
+    }
+}
+
+#[test]
+fn srch_hit_ratio_covers_its_whole_run() {
+    // SRCH has no computation phase; its reported hit ratio must cover
+    // the searches themselves rather than reading as zero.
+    let g = DagGenerator::new(400, 4.0, 80).seed(31).generate();
+    let mut db = Database::build(&g, false).unwrap();
+    let res = db
+        .run(&Query::partial(vec![1, 2, 3]), Algorithm::Srch, &SystemConfig::default())
+        .unwrap();
+    assert!(res.metrics.buffer_compute.read_requests > 0);
+    assert!(res.metrics.compute_hit_ratio() > 0.0);
+}
+
+#[test]
+fn advisor_routes_narrow_deep_selective_queries_to_jkb2() {
+    // A deep narrow graph (G4's shape): height beyond SRCH's comfort
+    // zone, width far below the Table 4 crossover.
+    let g = DagGenerator::new(1000, 8.0, 8).seed(3).generate();
+    let mut db = Database::build(&g, true).unwrap();
+    let cfg = SystemConfig::default().validated();
+    let sources: Vec<u32> = (0..40).map(|i| i * 7 % 1000).collect();
+    let (algo, _) = db.run_advised(&Query::partial(sources), &cfg).unwrap();
+    assert_eq!(algo, Algorithm::Jkb2);
+}
+
+#[test]
+fn validated_mode_runs_the_oracle_check() {
+    // `validate` panics internally on mismatch, so a clean pass here is
+    // the assertion.
+    let g = DagGenerator::new(300, 4.0, 60).seed(13).generate();
+    let mut db = Database::build(&g, true).unwrap();
+    let cfg = SystemConfig::default().validated();
+    for algo in Algorithm::ALL {
+        db.run(&Query::partial(vec![2, 9, 100]), algo, &cfg).unwrap();
+    }
+}

@@ -1,0 +1,173 @@
+//! Edge cases and failure injection across the stack.
+
+use tc_study::buffer::{BufferPool, PagePolicy};
+use tc_study::core::prelude::*;
+use tc_study::graph::{DagGenerator, Graph};
+use tc_study::storage::{DiskSim, FileKind, Page, Pager, StorageError};
+
+#[test]
+fn empty_graph_runs_everywhere() {
+    let g = Graph::empty(16);
+    let mut db = Database::build(&g, true).unwrap();
+    let cfg = SystemConfig::default().collecting();
+    for algo in Algorithm::ALL {
+        let res = db.run(&Query::full(), algo, &cfg).unwrap();
+        assert_eq!(res.metrics.answer_tuples, 0, "{algo}");
+        assert!(res.answer.unwrap().is_empty());
+    }
+}
+
+#[test]
+fn single_node_graph() {
+    let g = Graph::empty(1);
+    let mut db = Database::build(&g, true).unwrap();
+    for algo in Algorithm::ALL {
+        let res = db.run(&Query::partial(vec![0]), algo, &SystemConfig::default()).unwrap();
+        assert_eq!(res.metrics.answer_tuples, 0, "{algo}");
+    }
+}
+
+#[test]
+fn empty_source_set_is_a_noop() {
+    let g = DagGenerator::new(100, 3.0, 20).seed(1).generate();
+    let mut db = Database::build(&g, true).unwrap();
+    for algo in Algorithm::ALL {
+        let res = db.run(&Query::partial(vec![]), algo, &SystemConfig::default()).unwrap();
+        assert_eq!(res.metrics.answer_tuples, 0, "{algo}");
+    }
+}
+
+#[test]
+fn all_sources_ptc_equals_full_closure() {
+    let g = DagGenerator::new(200, 3.0, 50).seed(2).generate();
+    let mut db = Database::build(&g, true).unwrap();
+    let cfg = SystemConfig::default().collecting();
+    let all: Vec<u32> = (0..200).collect();
+    for algo in [Algorithm::Btc, Algorithm::Spn, Algorithm::Jkb2] {
+        let full = db.run(&Query::full(), algo, &cfg).unwrap();
+        let ptc = db.run(&Query::partial(all.clone()), algo, &cfg).unwrap();
+        assert_eq!(full.answer, ptc.answer, "{algo}");
+    }
+}
+
+#[test]
+fn minimum_buffer_pool_still_completes() {
+    // Four frames is the practical floor (split + scan + tail + victim).
+    let g = DagGenerator::new(300, 4.0, 60).seed(3).generate();
+    let mut db = Database::build(&g, false).unwrap();
+    let cfg = SystemConfig::with_buffer(4).validated();
+    db.run(&Query::full(), Algorithm::Btc, &cfg).unwrap();
+}
+
+#[test]
+fn cyclic_input_is_rejected_by_the_engine_and_handled_by_condensation() {
+    let g = tc_study::graph::gen::cyclic(120, 3.0, 30, 12, 7);
+    assert!(!g.is_acyclic());
+    // The engine's restructuring phase requires a DAG (documented).
+    let mut db = Database::build(&g, false).unwrap();
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = db.run(&Query::full(), Algorithm::Btc, &SystemConfig::default());
+    }));
+    assert!(attempt.is_err(), "cyclic input must be refused");
+
+    // The paper's prescription: condense first.
+    let cond = tc_study::graph::condensation(&g);
+    let mut db = Database::build(&cond.graph, false).unwrap();
+    let res = db
+        .run(&Query::full(), Algorithm::Btc, &SystemConfig::default().validated())
+        .unwrap();
+    assert!(res.metrics.answer_tuples > 0);
+}
+
+#[test]
+fn jkb2_without_dual_representation_is_an_error() {
+    let g = DagGenerator::new(50, 2.0, 10).seed(4).generate();
+    let mut db = Database::build(&g, false).unwrap();
+    let err = db
+        .run(&Query::partial(vec![0]), Algorithm::Jkb2, &SystemConfig::default())
+        .unwrap_err();
+    assert!(matches!(err, StorageError::WrongFileKind { .. }));
+    // The database is still usable afterwards (disk restored).
+    db.run(&Query::partial(vec![0]), Algorithm::Btc, &SystemConfig::default())
+        .unwrap();
+}
+
+#[test]
+fn out_of_range_source_panics_cleanly() {
+    let g = DagGenerator::new(50, 2.0, 10).seed(5).generate();
+    let mut db = Database::build(&g, false).unwrap();
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = db.run(&Query::partial(vec![999]), Algorithm::Btc, &SystemConfig::default());
+    }));
+    assert!(attempt.is_err());
+}
+
+#[test]
+fn pool_exhaustion_is_reported_not_corrupted() {
+    let mut disk = DiskSim::new();
+    let file = disk.create_file(FileKind::Temp);
+    let mut pids = Vec::new();
+    for _ in 0..4 {
+        pids.push(disk.alloc(file).unwrap());
+    }
+    let mut pool = BufferPool::new(disk, 3, PagePolicy::Lru);
+    for &p in &pids[..3] {
+        pool.pin(p).unwrap();
+    }
+    let err = pool.with_page(pids[3], &mut |_p: &Page| ()).unwrap_err();
+    assert_eq!(err, StorageError::AllFramesPinned);
+    // Unpinning recovers the pool.
+    pool.unpin(pids[0]);
+    pool.with_page(pids[3], &mut |_p: &Page| ()).unwrap();
+}
+
+#[test]
+fn freed_files_recycle_pages_without_aliasing() {
+    let mut disk = DiskSim::new();
+    let keep = disk.create_file(FileKind::Relation);
+    let scratch = disk.create_file(FileKind::Temp);
+    let kp = disk.alloc(keep).unwrap();
+    let mut page = Page::new();
+    page.put_u32(0, 42);
+    disk.write_page(kp, &page).unwrap();
+    let sp = disk.alloc(scratch).unwrap();
+    page.put_u32(0, 99);
+    disk.write_page(sp, &page).unwrap();
+
+    let mut pool = BufferPool::new(disk, 4, PagePolicy::Lru);
+    pool.with_page(sp, &mut |_p: &Page| ()).unwrap();
+    pool.free_file(scratch).unwrap();
+    assert!(!pool.is_resident(sp), "freed pages leave the pool");
+
+    // Reallocation reuses the freed page id with zeroed contents.
+    let other = pool.create_file(FileKind::Temp);
+    let reused = pool.alloc_page(other).unwrap();
+    assert_eq!(reused, sp, "page id recycled");
+    let v = pool.with_page(reused, &mut |p: &Page| p.get_u32(0)).unwrap();
+    assert_eq!(v, 0, "recycled page is zeroed");
+    // And the kept file is untouched.
+    let v = pool.with_page(kp, &mut |p: &Page| p.get_u32(0)).unwrap();
+    assert_eq!(v, 42);
+}
+
+#[test]
+fn duplicate_and_unsorted_sources_are_normalized() {
+    let g = DagGenerator::new(100, 3.0, 25).seed(6).generate();
+    let mut db = Database::build(&g, true).unwrap();
+    let cfg = SystemConfig::default().collecting();
+    let a = db.run(&Query::partial(vec![9, 3, 9, 3]), Algorithm::Btc, &cfg).unwrap();
+    let b = db.run(&Query::partial(vec![3, 9]), Algorithm::Btc, &cfg).unwrap();
+    assert_eq!(a.answer, b.answer);
+}
+
+#[test]
+fn source_with_no_successors() {
+    // A sink node as the only source: empty answer, no I/O explosion.
+    let g = Graph::from_arcs(5, [(0, 4), (1, 4), (2, 4)]);
+    let mut db = Database::build(&g, true).unwrap();
+    for algo in Algorithm::ALL {
+        let res = db.run(&Query::partial(vec![4]), algo, &SystemConfig::default()).unwrap();
+        assert_eq!(res.metrics.answer_tuples, 0, "{algo}");
+        assert!(res.metrics.total_io() < 50, "{algo}: {}", res.metrics.total_io());
+    }
+}

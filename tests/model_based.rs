@@ -1,0 +1,164 @@
+//! Model-based property tests: the stateful substrates (buffer pool,
+//! successor store) against trivial in-memory reference models under
+//! randomized operation sequences.
+
+use proptest::prelude::*;
+use tc_study::buffer::{BufferPool, PagePolicy};
+use tc_study::storage::{DiskSim, FileKind, Page, PageId, Pager, SuccEntry};
+use tc_study::succ::{ListCursor, ListPolicy, SuccStore};
+
+// ---------------------------------------------------------------------
+// Buffer pool vs. a flat array of page images.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum PoolOp {
+    Write { page: usize, value: u32 },
+    Read { page: usize },
+    Pin { page: usize },
+    UnpinAll,
+    Flush,
+}
+
+fn pool_ops(pages: usize) -> impl Strategy<Value = Vec<PoolOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..pages, any::<u32>()).prop_map(|(page, value)| PoolOp::Write { page, value }),
+            (0..pages).prop_map(|page| PoolOp::Read { page }),
+            (0..pages).prop_map(|page| PoolOp::Pin { page }),
+            Just(PoolOp::UnpinAll),
+            Just(PoolOp::Flush),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under any op sequence and any policy, reads observe exactly the
+    /// model's values, capacity is never exceeded, and counters stay
+    /// consistent.
+    #[test]
+    fn buffer_pool_refines_flat_memory(
+        ops in pool_ops(12),
+        policy_idx in 0usize..PagePolicy::ALL.len(),
+        capacity in 2usize..6,
+    ) {
+        let policy = PagePolicy::ALL[policy_idx];
+        let mut disk = DiskSim::new();
+        let file = disk.create_file(FileKind::Temp);
+        let pids: Vec<PageId> = (0..12).map(|_| disk.alloc(file).unwrap()).collect();
+        let mut pool = BufferPool::new(disk, capacity, PagePolicy::ALL[policy_idx]);
+        let mut model = vec![0u32; 12];
+        let mut pinned: Vec<PageId> = Vec::new();
+
+        for op in ops {
+            match op {
+                PoolOp::Write { page, value } => {
+                    pool.with_page_mut(pids[page], &mut |p: &mut Page| p.put_u32(0, value))
+                        .unwrap();
+                    model[page] = value;
+                }
+                PoolOp::Read { page } => {
+                    let v = pool
+                        .with_page(pids[page], &mut |p: &Page| p.get_u32(0))
+                        .unwrap();
+                    prop_assert_eq!(v, model[page], "policy {}", policy.name());
+                }
+                PoolOp::Pin { page } => {
+                    // Keep one frame spare so progress stays possible.
+                    if pinned.len() + 1 < capacity && !pinned.contains(&pids[page]) {
+                        pool.pin(pids[page]).unwrap();
+                        pinned.push(pids[page]);
+                    }
+                }
+                PoolOp::UnpinAll => {
+                    for p in pinned.drain(..) {
+                        pool.unpin(p);
+                    }
+                }
+                PoolOp::Flush => pool.flush_all().unwrap(),
+            }
+            prop_assert!(pool.resident() <= capacity);
+            let s = pool.stats();
+            prop_assert_eq!(s.hits + s.misses, s.requests);
+            prop_assert!(s.read_hits <= s.read_requests);
+        }
+        // Pinned pages must still be resident at the end.
+        for &p in &pinned {
+            prop_assert!(pool.is_resident(p));
+        }
+        // After a full flush, the disk itself holds the model's values.
+        for p in pinned.drain(..) {
+            pool.unpin(p);
+        }
+        pool.flush_all().unwrap();
+        let mut disk = pool.into_disk_discard();
+        for (i, &pid) in pids.iter().enumerate() {
+            let mut page = Page::new();
+            disk.read_page(pid, &mut page).unwrap();
+            prop_assert_eq!(page.get_u32(0), model[i]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Successor store vs. Vec<Vec<u32>>.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Interleaved appends across lists, under every list policy, always
+    /// read back as the per-list append sequences; the catalog matches
+    /// the on-page state throughout.
+    #[test]
+    fn succ_store_refines_vec_of_vecs(
+        appends in proptest::collection::vec((0u32..20, 0u32..2000), 1..400),
+        policy_idx in 0usize..ListPolicy::ALL.len(),
+        check_every in 50usize..120,
+    ) {
+        let policy = ListPolicy::ALL[policy_idx];
+        let mut disk = DiskSim::new();
+        let mut store = SuccStore::new(&mut disk, 20, policy);
+        let mut model: Vec<Vec<u32>> = vec![Vec::new(); 20];
+        for (i, &(node, value)) in appends.iter().enumerate() {
+            store.append(&mut disk, node, SuccEntry::plain(value)).unwrap();
+            model[node as usize].push(value);
+            if i % check_every == 0 {
+                store.verify_integrity(&mut disk).unwrap();
+            }
+        }
+        store.verify_integrity(&mut disk).unwrap();
+        for node in 0..20u32 {
+            let got = ListCursor::new(&store, node)
+                .collect_nodes(&mut disk)
+                .unwrap();
+            prop_assert_eq!(&got, &model[node as usize], "{} node {}", policy.name(), node);
+            prop_assert_eq!(store.len(node), model[node as usize].len());
+        }
+    }
+
+    /// The flat-list negation convention holds under interleaving: the
+    /// last entry of every non-empty list is tagged, all others plain.
+    #[test]
+    fn flat_tag_invariant(
+        appends in proptest::collection::vec((0u32..8, 0u32..500), 1..200),
+    ) {
+        let mut disk = DiskSim::new();
+        let mut store = SuccStore::new(&mut disk, 8, ListPolicy::MoveShortest);
+        for &(node, value) in &appends {
+            store.append_flat(&mut disk, node, value).unwrap();
+        }
+        for node in 0..8u32 {
+            let entries = ListCursor::new(&store, node)
+                .collect_entries(&mut disk)
+                .unwrap();
+            if let Some((last, rest)) = entries.split_last() {
+                prop_assert!(last.tagged, "last entry of node {node} untagged");
+                prop_assert!(rest.iter().all(|e| !e.tagged));
+            }
+        }
+    }
+}
