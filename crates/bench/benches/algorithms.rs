@@ -1,13 +1,14 @@
-//! Criterion microbenchmarks of the algorithm suite.
+//! Microbenchmarks of the algorithm suite on the `tc-det` harness.
 //!
 //! These time the *simulation* (the experiment binaries report the
 //! simulated page I/O; this reports how fast the reproduction itself
 //! runs). One group per paper axis: full closure by algorithm, partial
-//! closure by algorithm, and BTC by buffer size.
+//! closure by algorithm, and BTC by buffer size. Each benchmark returns
+//! its simulated page-I/O count as the metric, so the harness doubles as
+//! a determinism check: the metric must be identical across iterations.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use tc_core::prelude::*;
+use tc_det::bench::Runner;
 use tc_graph::DagGenerator;
 
 fn bench_graph() -> tc_graph::Graph {
@@ -15,10 +16,9 @@ fn bench_graph() -> tc_graph::Graph {
     DagGenerator::new(800, 5.0, 100).seed(42).generate()
 }
 
-fn full_closure(c: &mut Criterion) {
+fn full_closure(r: &mut Runner) {
     let g = bench_graph();
-    let mut group = c.benchmark_group("full_closure");
-    group.sample_size(10);
+    let mut group = r.group("full_closure");
     for algo in [
         Algorithm::Btc,
         Algorithm::Hyb,
@@ -26,64 +26,62 @@ fn full_closure(c: &mut Criterion) {
         Algorithm::Jkb2,
         Algorithm::Seminaive,
     ] {
-        group.bench_function(BenchmarkId::from_parameter(algo.name()), |b| {
-            b.iter(|| {
-                let mut db = Database::build(&g, algo.needs_inverse()).unwrap();
-                let res = db
-                    .run(&Query::full(), algo, &SystemConfig::with_buffer(20))
-                    .unwrap();
-                black_box(res.metrics.total_io())
-            })
+        group.bench(algo.name(), || {
+            let mut db = Database::build(&g, algo.needs_inverse()).unwrap();
+            let res = db
+                .run(&Query::full(), algo, &SystemConfig::with_buffer(20))
+                .unwrap();
+            res.metrics.total_io()
         });
     }
-    group.finish();
 }
 
-fn partial_closure(c: &mut Criterion) {
+fn partial_closure(r: &mut Runner) {
     let g = bench_graph();
     let sources: Vec<u32> = vec![3, 77, 191, 402, 640];
-    let mut group = c.benchmark_group("partial_closure_s5");
-    group.sample_size(10);
+    let mut group = r.group("partial_closure_s5");
     for algo in [
         Algorithm::Btc,
         Algorithm::Bj,
         Algorithm::Jkb2,
         Algorithm::Srch,
     ] {
-        group.bench_function(BenchmarkId::from_parameter(algo.name()), |b| {
-            b.iter(|| {
-                let mut db = Database::build(&g, algo.needs_inverse()).unwrap();
-                let res = db
-                    .run(
-                        &Query::partial(sources.clone()),
-                        algo,
-                        &SystemConfig::with_buffer(10),
-                    )
-                    .unwrap();
-                black_box(res.metrics.total_io())
-            })
+        group.bench(algo.name(), || {
+            let mut db = Database::build(&g, algo.needs_inverse()).unwrap();
+            let res = db
+                .run(
+                    &Query::partial(sources.clone()),
+                    algo,
+                    &SystemConfig::with_buffer(10),
+                )
+                .unwrap();
+            res.metrics.total_io()
         });
     }
-    group.finish();
 }
 
-fn buffer_sweep(c: &mut Criterion) {
+fn buffer_sweep(r: &mut Runner) {
     let g = bench_graph();
-    let mut group = c.benchmark_group("btc_by_buffer");
-    group.sample_size(10);
+    let mut group = r.group("btc_by_buffer");
     for m in [10usize, 20, 50] {
-        group.bench_function(BenchmarkId::from_parameter(m), |b| {
-            b.iter(|| {
-                let mut db = Database::build(&g, false).unwrap();
-                let res = db
-                    .run(&Query::full(), Algorithm::Btc, &SystemConfig::with_buffer(m))
-                    .unwrap();
-                black_box(res.metrics.total_io())
-            })
+        group.bench(&m.to_string(), || {
+            let mut db = Database::build(&g, false).unwrap();
+            let res = db
+                .run(
+                    &Query::full(),
+                    Algorithm::Btc,
+                    &SystemConfig::with_buffer(m),
+                )
+                .unwrap();
+            res.metrics.total_io()
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, full_closure, partial_closure, buffer_sweep);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::from_env();
+    full_closure(&mut r);
+    partial_closure(&mut r);
+    buffer_sweep(&mut r);
+    r.finish();
+}

@@ -1,62 +1,56 @@
-//! Criterion microbenchmarks of the graph layer: workload generation,
-//! topological sorting, condensation, transitive reduction, the rectangle
-//! model and the in-memory oracle closures.
+//! Microbenchmarks of the graph layer on the `tc-det` harness: workload
+//! generation, topological sorting, condensation, transitive reduction,
+//! the rectangle model and the in-memory oracle closures. Metrics are
+//! structural counts (arcs, components, closure pairs) — stable across
+//! iterations by construction, which the harness verifies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use tc_det::bench::Runner;
 use tc_graph::{
     closure, condensation, gen, model, transitive_reduction, DagGenerator, RectangleModel,
 };
 
-fn generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("generate");
+fn generation(r: &mut Runner) {
+    let mut group = r.group("generate");
     for (name, f, l) in [("G2", 2.0, 200), ("G6", 5.0, 2000), ("G12", 50.0, 2000)] {
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                black_box(DagGenerator::new(2000, f, l).seed(9).generate().arc_count())
-            })
+        group.bench(name, || {
+            DagGenerator::new(2000, f, l).seed(9).generate().arc_count() as u64
         });
     }
-    group.finish();
 }
 
-fn structure(c: &mut Criterion) {
+fn structure(r: &mut Runner) {
     let g = DagGenerator::new(2000, 5.0, 200).seed(11).generate();
     let cyc = gen::cyclic(2000, 5.0, 200, 150, 11);
-    let mut group = c.benchmark_group("structure");
-    group.bench_function("topological_sort", |b| {
-        b.iter(|| tc_graph::topo::topological_order(black_box(&g)).unwrap().len())
+    let mut group = r.group("structure");
+    group.bench("topological_sort", || {
+        tc_graph::topo::topological_order(&g).unwrap().len() as u64
     });
-    group.bench_function("node_levels_and_model", |b| {
-        b.iter(|| {
-            let levels = model::node_levels(black_box(&g));
-            black_box(RectangleModel::with_levels(&g, &levels).width)
-        })
+    group.bench("node_levels_and_model", || {
+        let levels = model::node_levels(&g);
+        RectangleModel::with_levels(&g, &levels).width as u64
     });
-    group.bench_function("condensation", |b| {
-        b.iter(|| condensation(black_box(&cyc)).component_count())
+    group.bench("condensation", || {
+        condensation(&cyc).component_count() as u64
     });
-    group.finish();
 }
 
-fn closures(c: &mut Criterion) {
+fn closures(r: &mut Runner) {
     let g = DagGenerator::new(1000, 5.0, 200).seed(13).generate();
-    let mut group = c.benchmark_group("oracle_closures");
-    group.sample_size(10);
-    group.bench_function("dfs_closure", |b| {
-        b.iter(|| closure::dfs_closure(black_box(&g)).pair_count())
+    let mut group = r.group("oracle_closures");
+    group.bench("dfs_closure", || {
+        closure::dfs_closure(&g).pair_count() as u64
     });
-    group.bench_function("warshall", |b| {
-        b.iter(|| closure::warshall(black_box(&g)).pair_count())
+    group.bench("warshall", || closure::warshall(&g).pair_count() as u64);
+    group.bench("warren", || closure::warren(&g).pair_count() as u64);
+    group.bench("transitive_reduction", || {
+        transitive_reduction(&g).arc_count() as u64
     });
-    group.bench_function("warren", |b| {
-        b.iter(|| closure::warren(black_box(&g)).pair_count())
-    });
-    group.bench_function("transitive_reduction", |b| {
-        b.iter(|| transitive_reduction(black_box(&g)).arc_count())
-    });
-    group.finish();
 }
 
-criterion_group!(benches, generation, structure, closures);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::from_env();
+    generation(&mut r);
+    structure(&mut r);
+    closures(&mut r);
+    r.finish();
+}

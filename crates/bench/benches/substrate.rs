@@ -1,16 +1,17 @@
-//! Criterion microbenchmarks of the storage substrate: buffer pool paths,
-//! successor-list appends and scans, the external sort and the duplicate
-//! filter. These are the per-operation costs underneath every simulated
-//! page I/O.
+//! Microbenchmarks of the storage substrate on the `tc-det` harness:
+//! buffer pool paths, successor-list appends and scans, the external
+//! sort and the duplicate filter. These are the per-operation costs
+//! underneath every simulated page I/O. Each benchmark returns a small
+//! simulation invariant (page counts, scan lengths) as its metric, so
+//! iteration-to-iteration drift would flag nondeterminism.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use tc_buffer::{BufferPool, PagePolicy};
+use tc_det::bench::Runner;
 use tc_storage::{external_sort, DiskSim, FileKind, Page, Pager, SuccEntry, TupleWriter};
 use tc_succ::{ListCursor, ListPolicy, NodeBitVec, SuccStore};
 
-fn pool_hits_and_misses(c: &mut Criterion) {
-    let mut group = c.benchmark_group("buffer_pool");
+fn pool_hits_and_misses(r: &mut Runner) {
+    let mut group = r.group("buffer_pool");
     let setup = |pages: usize| {
         let mut disk = DiskSim::new();
         let f = disk.create_file(FileKind::Temp);
@@ -20,99 +21,96 @@ fn pool_hits_and_misses(c: &mut Criterion) {
         }
         (BufferPool::new(disk, 50, PagePolicy::Lru), pids)
     };
-    group.bench_function("hit", |b| {
+    {
         let (mut pool, pids) = setup(10);
         pool.with_page(pids[0], &mut |_p: &Page| ()).unwrap();
-        b.iter(|| {
-            pool.with_page(black_box(pids[0]), &mut |p: &Page| p.get_u32(0))
-                .unwrap()
-        })
-    });
-    group.bench_function("miss_evict_cycle", |b| {
+        group.bench("hit", || {
+            pool.with_page(pids[0], &mut |p: &Page| p.get_u32(0))
+                .unwrap() as u64
+        });
+    }
+    {
         let (mut pool, pids) = setup(200);
-        b.iter(|| {
+        group.bench("miss_evict_cycle", || {
             for &p in &pids {
                 pool.with_page(p, &mut |p: &Page| p.get_u32(0)).unwrap();
             }
-        })
-    });
-    for policy in [PagePolicy::Lru, PagePolicy::Clock, PagePolicy::Lfu] {
-        group.bench_function(BenchmarkId::new("policy_churn", policy.name()), |b| {
-            let mut disk = DiskSim::new();
-            let f = disk.create_file(FileKind::Temp);
-            let mut pids = Vec::new();
-            for _ in 0..100 {
-                pids.push(disk.alloc(f).unwrap());
-            }
-            let mut pool = BufferPool::new(disk, 20, policy);
-            b.iter(|| {
-                for &p in &pids {
-                    pool.with_page(p, &mut |_p: &Page| ()).unwrap();
-                }
-            })
+            pids.len() as u64
         });
     }
-    group.finish();
+    for policy in [PagePolicy::Lru, PagePolicy::Clock, PagePolicy::Lfu] {
+        let mut disk = DiskSim::new();
+        let f = disk.create_file(FileKind::Temp);
+        let mut pids = Vec::new();
+        for _ in 0..100 {
+            pids.push(disk.alloc(f).unwrap());
+        }
+        let mut pool = BufferPool::new(disk, 20, policy);
+        group.bench(&format!("policy_churn/{}", policy.name()), || {
+            for &p in &pids {
+                pool.with_page(p, &mut |_p: &Page| ()).unwrap();
+            }
+            pids.len() as u64
+        });
+    }
 }
 
-fn succ_store_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("succ_store");
-    group.bench_function("append_flat", |b| {
-        b.iter(|| {
-            let mut disk = DiskSim::new();
-            let mut store = SuccStore::new(&mut disk, 64, ListPolicy::Spill);
-            for i in 0..2000u32 {
-                store.append_flat(&mut disk, i % 64, i).unwrap();
-            }
-            black_box(store.page_count())
-        })
+fn succ_store_ops(r: &mut Runner) {
+    let mut group = r.group("succ_store");
+    group.bench("append_flat", || {
+        let mut disk = DiskSim::new();
+        let mut store = SuccStore::new(&mut disk, 64, ListPolicy::Spill);
+        for i in 0..2000u32 {
+            store.append_flat(&mut disk, i % 64, i).unwrap();
+        }
+        store.page_count() as u64
     });
-    group.bench_function("cursor_scan_900", |b| {
+    {
         let mut disk = DiskSim::new();
         let mut store = SuccStore::new(&mut disk, 4, ListPolicy::Spill);
         for i in 0..900u32 {
             store.append(&mut disk, 0, SuccEntry::plain(i)).unwrap();
         }
-        b.iter(|| {
+        group.bench("cursor_scan_900", || {
             ListCursor::new(&store, 0)
                 .collect_entries(&mut disk)
                 .unwrap()
-                .len()
-        })
-    });
-    group.bench_function("bitvec_insert_clear", |b| {
+                .len() as u64
+        });
+    }
+    {
         let mut bv = NodeBitVec::new(2000);
-        b.iter(|| {
+        group.bench("bitvec_insert_clear", || {
             for v in (0..2000u32).step_by(3) {
                 bv.insert(v);
             }
             bv.clear_fast();
-        })
-    });
-    group.finish();
-}
-
-fn sort(c: &mut Criterion) {
-    let mut group = c.benchmark_group("external_sort");
-    group.sample_size(10);
-    for n in [5_000usize, 50_000] {
-        group.bench_function(BenchmarkId::from_parameter(n), |b| {
-            b.iter(|| {
-                let mut disk = DiskSim::new();
-                let mut w = TupleWriter::new(&mut disk, FileKind::Temp);
-                let mut x = 1u64;
-                for _ in 0..n {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                    w.push(&mut disk, ((x >> 33) as u32, x as u32)).unwrap();
-                }
-                let input = w.finish();
-                let sorted = external_sort(&mut disk, &input, 8, FileKind::Temp).unwrap();
-                black_box(sorted.tuple_count())
-            })
+            2000 / 3
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, pool_hits_and_misses, succ_store_ops, sort);
-criterion_main!(benches);
+fn sort(r: &mut Runner) {
+    let mut group = r.group("external_sort");
+    for n in [5_000usize, 50_000] {
+        group.bench(&n.to_string(), || {
+            let mut disk = DiskSim::new();
+            let mut w = TupleWriter::new(&mut disk, FileKind::Temp);
+            let mut rng = tc_det::Rng::from_seed(1);
+            for _ in 0..n {
+                w.push(&mut disk, (rng.next_u32(), rng.next_u32())).unwrap();
+            }
+            let input = w.finish();
+            let sorted = external_sort(&mut disk, &input, 8, FileKind::Temp).unwrap();
+            sorted.tuple_count() as u64
+        });
+    }
+}
+
+fn main() {
+    let mut r = Runner::from_env();
+    pool_hits_and_misses(&mut r);
+    succ_store_ops(&mut r);
+    sort(&mut r);
+    r.finish();
+}

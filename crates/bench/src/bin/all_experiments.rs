@@ -32,5 +32,8 @@ fn main() {
         println!("{}\n", f(&opts));
         eprintln!("[{name} done in {:.1}s]", t.elapsed().as_secs_f64());
     }
-    eprintln!("[all experiments done in {:.1}s]", started.elapsed().as_secs_f64());
+    eprintln!(
+        "[all experiments done in {:.1}s]",
+        started.elapsed().as_secs_f64()
+    );
 }

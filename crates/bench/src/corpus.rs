@@ -23,18 +23,66 @@ pub struct GraphFamily {
 
 /// The twelve families of Table 2, in order.
 pub const FAMILIES: [GraphFamily; 12] = [
-    GraphFamily { name: "G1", f: 2.0, l: 20 },
-    GraphFamily { name: "G2", f: 2.0, l: 200 },
-    GraphFamily { name: "G3", f: 2.0, l: 2000 },
-    GraphFamily { name: "G4", f: 5.0, l: 20 },
-    GraphFamily { name: "G5", f: 5.0, l: 200 },
-    GraphFamily { name: "G6", f: 5.0, l: 2000 },
-    GraphFamily { name: "G7", f: 20.0, l: 20 },
-    GraphFamily { name: "G8", f: 20.0, l: 200 },
-    GraphFamily { name: "G9", f: 20.0, l: 2000 },
-    GraphFamily { name: "G10", f: 50.0, l: 20 },
-    GraphFamily { name: "G11", f: 50.0, l: 200 },
-    GraphFamily { name: "G12", f: 50.0, l: 2000 },
+    GraphFamily {
+        name: "G1",
+        f: 2.0,
+        l: 20,
+    },
+    GraphFamily {
+        name: "G2",
+        f: 2.0,
+        l: 200,
+    },
+    GraphFamily {
+        name: "G3",
+        f: 2.0,
+        l: 2000,
+    },
+    GraphFamily {
+        name: "G4",
+        f: 5.0,
+        l: 20,
+    },
+    GraphFamily {
+        name: "G5",
+        f: 5.0,
+        l: 200,
+    },
+    GraphFamily {
+        name: "G6",
+        f: 5.0,
+        l: 2000,
+    },
+    GraphFamily {
+        name: "G7",
+        f: 20.0,
+        l: 20,
+    },
+    GraphFamily {
+        name: "G8",
+        f: 20.0,
+        l: 200,
+    },
+    GraphFamily {
+        name: "G9",
+        f: 20.0,
+        l: 2000,
+    },
+    GraphFamily {
+        name: "G10",
+        f: 50.0,
+        l: 20,
+    },
+    GraphFamily {
+        name: "G11",
+        f: 50.0,
+        l: 200,
+    },
+    GraphFamily {
+        name: "G12",
+        f: 50.0,
+        l: 2000,
+    },
 ];
 
 /// Looks a family up by name (`"G7"`).

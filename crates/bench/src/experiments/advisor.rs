@@ -28,7 +28,12 @@ pub fn run(opts: &ExpOpts) -> String {
     let advisor = Advisor::default();
     let cfg = SystemConfig::with_buffer(10);
     let mut t = Table::new([
-        "graph", "width", "s", "advisor", "best (measured)", "regret",
+        "graph",
+        "width",
+        "s",
+        "advisor",
+        "best (measured)",
+        "regret",
     ]);
     let (mut hits, mut cells) = (0usize, 0usize);
     let mut worst_regret = 1.0f64;
@@ -44,12 +49,7 @@ pub fn run(opts: &ExpOpts) -> String {
             let pick = advisor.recommend(&profile);
             let costs: Vec<(Algorithm, f64)> = CANDIDATES
                 .iter()
-                .map(|&a| {
-                    (
-                        a,
-                        averaged(fam, a, QuerySpec::Ptc(s), &cfg, opts).total_io,
-                    )
-                })
+                .map(|&a| (a, averaged(fam, a, QuerySpec::Ptc(s), &cfg, opts).total_io))
                 .collect();
             let &(best, best_io) = costs
                 .iter()

@@ -39,14 +39,8 @@ pub fn run(opts: &ExpOpts) -> String {
             num(jkb.total_io),
             num(jkb2.total_io),
         ]);
-        let spn_metrics = crate::experiments::run_one(
-            fam,
-            0,
-            0,
-            Algorithm::Spn,
-            QuerySpec::Full,
-            &cfg,
-        );
+        let spn_metrics =
+            crate::experiments::run_one(fam, 0, 0, Algorithm::Spn, QuerySpec::Full, &cfg);
         dup.row([
             name.to_string(),
             num(fam.f),

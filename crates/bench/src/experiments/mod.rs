@@ -46,8 +46,7 @@ pub fn run_one(
     cfg: &SystemConfig,
 ) -> CostMetrics {
     let graph = build_graph(fam, instance);
-    let mut db = Database::build(&graph, algorithm.needs_inverse())
-        .expect("database build");
+    let mut db = Database::build(&graph, algorithm.needs_inverse()).expect("database build");
     let q = match query {
         QuerySpec::Full => Query::full(),
         QuerySpec::Ptc(s) => Query::partial(source_set(s, instance, set)),

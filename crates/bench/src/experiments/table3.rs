@@ -34,7 +34,11 @@ pub fn run(opts: &ExpOpts) -> String {
             num(avg.compute_io),
             format!("{:.3}", avg.elapsed_s),
             format!("{:.1}", avg.est_io_s),
-            if avg.est_io_s > avg.elapsed_s { "yes".into() } else { "no".to_string() },
+            if avg.est_io_s > avg.elapsed_s {
+                "yes".into()
+            } else {
+                "no".to_string()
+            },
         ]);
     }
     format!(

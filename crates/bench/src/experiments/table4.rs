@@ -42,12 +42,24 @@ pub fn run(opts: &ExpOpts) -> String {
             let jkb2 = averaged(fam, Algorithm::Jkb2, QuerySpec::Ptc(s), &cfg, opts);
             ratio[i] = jkb2.total_io / btc.total_io.max(1.0);
         }
-        rows.push((fam.name.to_string(), rect.width, ratio[0], ratio[1], rect.height));
+        rows.push((
+            fam.name.to_string(),
+            rect.width,
+            ratio[0],
+            ratio[1],
+            rect.height,
+        ));
     }
     rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite widths"));
 
     let mut t = Table::new([
-        "graph", "width", "JKB2/BTC s=5", "(paper)", "JKB2/BTC s=10", "(paper)", "height",
+        "graph",
+        "width",
+        "JKB2/BTC s=5",
+        "(paper)",
+        "JKB2/BTC s=10",
+        "(paper)",
+        "height",
     ]);
     for (name, w, r5, r10, h) in &rows {
         let paper = PAPER

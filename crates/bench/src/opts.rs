@@ -64,7 +64,9 @@ impl ExpOpts {
                     o.source_sets = args[i + 1].parse().expect("--sets takes a number");
                     i += 1;
                 }
-                other => panic!("unknown argument {other} (try --full, --quick, --instances k, --sets k)"),
+                other => panic!(
+                    "unknown argument {other} (try --full, --quick, --instances k, --sets k)"
+                ),
             }
             i += 1;
         }

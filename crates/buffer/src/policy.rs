@@ -260,25 +260,19 @@ impl ReplacementPolicy for LfuPolicy {
 /// Seeded pseudo-random eviction (deterministic across runs).
 struct RandomPolicy {
     occupied: Vec<bool>,
-    state: u64,
+    rng: tc_det::Rng,
 }
 
 impl RandomPolicy {
+    /// Fixed seed: every pool run draws the same eviction stream, so
+    /// simulated I/O counts under RANDOM are reproducible.
+    const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
     fn new(capacity: usize) -> Self {
         RandomPolicy {
             occupied: vec![false; capacity],
-            state: 0x9E37_79B9_7F4A_7C15,
+            rng: tc_det::Rng::from_seed(Self::SEED),
         }
-    }
-
-    fn next(&mut self) -> u64 {
-        // xorshift64*: cheap, deterministic, no external RNG dependency.
-        let mut x = self.state;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.state = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
     }
 }
 
@@ -300,7 +294,7 @@ impl ReplacementPolicy for RandomPolicy {
         if candidates.is_empty() {
             return None;
         }
-        let pick = (self.next() % candidates.len() as u64) as usize;
+        let pick = self.rng.random_range(0..candidates.len());
         Some(candidates[pick])
     }
 }
@@ -389,7 +383,9 @@ mod tests {
             for f in 0..8 {
                 p.on_admit(f);
             }
-            (0..4).map(|_| p.victim(&mut all).unwrap()).collect::<Vec<_>>()
+            (0..4)
+                .map(|_| p.victim(&mut all).unwrap())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }

@@ -106,16 +106,15 @@ impl BufferPool {
 
     /// Whether `pid` is currently pinned.
     pub fn is_pinned(&self, pid: PageId) -> bool {
-        self.map
-            .get(&pid)
-            .is_some_and(|&f| self.frames[f].pins > 0)
+        self.map.get(&pid).is_some_and(|&f| self.frames[f].pins > 0)
     }
 
     /// Writes all dirty frames back to disk (they stay resident and clean).
     pub fn flush_all(&mut self) -> StorageResult<()> {
         for f in 0..self.frames.len() {
             if self.frames[f].dirty {
-                self.disk.write_page(self.frames[f].pid, &self.frames[f].page)?;
+                self.disk
+                    .write_page(self.frames[f].pid, &self.frames[f].page)?;
                 self.frames[f].dirty = false;
                 self.stats.flush_writes += 1;
             }
@@ -143,7 +142,8 @@ impl BufferPool {
     pub fn flush_file(&mut self, file: FileId) -> StorageResult<()> {
         for f in 0..self.frames.len() {
             if self.frames[f].dirty && self.disk.page_file(self.frames[f].pid)? == file {
-                self.disk.write_page(self.frames[f].pid, &self.frames[f].page)?;
+                self.disk
+                    .write_page(self.frames[f].pid, &self.frames[f].page)?;
                 self.frames[f].dirty = false;
                 self.stats.flush_writes += 1;
             }
@@ -467,9 +467,7 @@ mod tests {
             for round in 0..3 {
                 for (i, &pid) in pids.iter().enumerate() {
                     if (i + round) % 3 == 0 {
-                        let v = pool
-                            .with_page(pid, &mut |p: &Page| p.get_u32(0))
-                            .unwrap();
+                        let v = pool.with_page(pid, &mut |p: &Page| p.get_u32(0)).unwrap();
                         assert_eq!(v, i as u32, "{}", policy.name());
                     }
                 }

@@ -136,21 +136,33 @@ mod tests {
     #[test]
     fn full_closure_gets_btc() {
         let a = Advisor::default();
-        assert_eq!(a.recommend(&profile(30.0, 2000, true, true)), Algorithm::Btc);
-        assert_eq!(a.recommend(&profile(500.0, 2000, true, false)), Algorithm::Btc);
+        assert_eq!(
+            a.recommend(&profile(30.0, 2000, true, true)),
+            Algorithm::Btc
+        );
+        assert_eq!(
+            a.recommend(&profile(500.0, 2000, true, false)),
+            Algorithm::Btc
+        );
     }
 
     #[test]
     fn tiny_source_sets_get_search() {
         let a = Advisor::default();
         assert_eq!(a.recommend(&profile(30.0, 2, false, true)), Algorithm::Srch);
-        assert_eq!(a.recommend(&profile(500.0, 5, false, false)), Algorithm::Srch);
+        assert_eq!(
+            a.recommend(&profile(500.0, 5, false, false)),
+            Algorithm::Srch
+        );
     }
 
     #[test]
     fn narrow_selective_gets_jkb2_when_possible() {
         let a = Advisor::default();
-        assert_eq!(a.recommend(&profile(40.0, 50, false, true)), Algorithm::Jkb2);
+        assert_eq!(
+            a.recommend(&profile(40.0, 50, false, true)),
+            Algorithm::Jkb2
+        );
         // No inverse relation: fall back to BJ.
         assert_eq!(a.recommend(&profile(40.0, 50, false, false)), Algorithm::Bj);
     }
@@ -159,7 +171,10 @@ mod tests {
     fn wide_or_unselective_gets_bj() {
         let a = Advisor::default();
         assert_eq!(a.recommend(&profile(400.0, 50, false, true)), Algorithm::Bj);
-        assert_eq!(a.recommend(&profile(40.0, 1000, false, true)), Algorithm::Bj);
+        assert_eq!(
+            a.recommend(&profile(40.0, 1000, false, true)),
+            Algorithm::Bj
+        );
     }
 
     #[test]
@@ -180,6 +195,9 @@ mod tests {
             jkb_max_width: 1e9,
             jkb_max_selectivity_fraction: 1.0,
         };
-        assert_eq!(a.recommend(&profile(400.0, 2, false, true)), Algorithm::Jkb2);
+        assert_eq!(
+            a.recommend(&profile(400.0, 2, false, true)),
+            Algorithm::Jkb2
+        );
     }
 }

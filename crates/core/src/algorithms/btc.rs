@@ -124,7 +124,10 @@ mod tests {
     use tc_graph::{closure, reduction, DagGenerator, Graph};
     use tc_succ::ListPolicy;
 
-    fn run_btc(g: &Graph, query: &Query) -> (Restructured, CostMetrics, BufferPool, Vec<(u32, u32)>) {
+    fn run_btc(
+        g: &Graph,
+        query: &Query,
+    ) -> (Restructured, CostMetrics, BufferPool, Vec<(u32, u32)>) {
         let mut db = Database::build(g, false).unwrap();
         let disk = db.disk.take().unwrap();
         let mut pool = BufferPool::new(disk, 10, PagePolicy::Lru);

@@ -55,10 +55,7 @@ pub fn expand_all(
         while idx > 0 {
             let u = order[idx - 1];
             let upages = r.store.pages_of(u);
-            let new: Vec<PageId> = upages
-                .into_iter()
-                .filter(|p| !pages.contains(p))
-                .collect();
+            let new: Vec<PageId> = upages.into_iter().filter(|p| !pages.contains(p)).collect();
             if !block.is_empty() && pages.len() + new.len() > budget {
                 break;
             }

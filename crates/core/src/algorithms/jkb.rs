@@ -145,12 +145,8 @@ pub fn compute(
     // if no single special node above it already covers cover[x]; this is
     // the operational form of the paper's "nearest common ancestor of at
     // least two unrelated sources" (see DESIGN.md).
-    let src_index: std::collections::HashMap<u32, usize> = r
-        .sources
-        .iter()
-        .enumerate()
-        .map(|(i, &s)| (s, i))
-        .collect();
+    let src_index: std::collections::HashMap<u32, usize> =
+        r.sources.iter().enumerate().map(|(i, &s)| (s, i)).collect();
     let cover_words = r.sources.len().div_ceil(64).max(1);
     let mut covers: Vec<Vec<u64>> = vec![Vec::new(); n];
 
@@ -396,7 +392,12 @@ mod tests {
         // Figure 9: most generated tuples are answer tuples.
         let g = DagGenerator::new(500, 5.0, 120).seed(17).generate();
         let sources: Vec<u32> = vec![1, 50, 100, 200];
-        let (m, _, _) = run_jkb(&g, Some(sources.clone()), Preprocessing::DualRepresentation, 10);
+        let (m, _, _) = run_jkb(
+            &g,
+            Some(sources.clone()),
+            Preprocessing::DualRepresentation,
+            10,
+        );
         assert!(
             m.selection_efficiency() > 0.2,
             "sel.eff {}",

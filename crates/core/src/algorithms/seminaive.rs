@@ -202,9 +202,7 @@ mod tests {
         let (m, pairs, _) = run(&g, &[0]);
         assert_eq!(pairs.len(), 599);
         let tc_pages = (599 / 256 + 1) as u64;
-        assert!(
-            m.total_io() == 0 || m.list_fetches > 0
-        );
+        assert!(m.total_io() == 0 || m.list_fetches > 0);
         // Each of ~599 rounds rewrites the closure file.
         assert!(
             m.unions >= 500,
@@ -231,8 +229,14 @@ mod tests {
         let mut pool = BufferPool::new(disk, 10, PagePolicy::Lru);
         let mut metrics = CostMetrics::new(Algorithm::Seminaive);
         let mut answer = AnswerCollector::new(false);
-        let tc = run_seminaive(&db, &mut pool, &(0..300).collect::<Vec<_>>(), &mut metrics, &mut answer)
-            .unwrap();
+        let tc = run_seminaive(
+            &db,
+            &mut pool,
+            &(0..300).collect::<Vec<_>>(),
+            &mut metrics,
+            &mut answer,
+        )
+        .unwrap();
         let disk = pool.into_disk_discard();
         // Page recycling keeps the disk from ballooning to the sum of all
         // intermediate files: allow the closure plus a small multiple.

@@ -237,9 +237,7 @@ mod tests {
         let g = DagGenerator::new(300, 4.0, 100).seed(19).generate();
         let (r_spn, _, _, _) = run_one(&g, &Query::full(), true);
         let (r_btc, _, _, _) = run_one(&g, &Query::full(), false);
-        assert!(
-            r_spn.store.stats().entries_written > r_btc.store.stats().entries_written
-        );
+        assert!(r_spn.store.stats().entries_written > r_btc.store.stats().entries_written);
     }
 
     #[test]

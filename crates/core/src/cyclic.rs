@@ -53,11 +53,7 @@ pub fn run_cyclic(
     // Translate the source set to component ids.
     let cquery = match query.sources() {
         None => Query::full(),
-        Some(srcs) => Query::partial(
-            srcs.iter()
-                .map(|&s| cond.component[s as usize])
-                .collect(),
-        ),
+        Some(srcs) => Query::partial(srcs.iter().map(|&s| cond.component[s as usize]).collect()),
     };
 
     let mut db = Database::build(&cond.graph, algorithm.needs_inverse())?;
@@ -142,8 +138,7 @@ mod tests {
     #[test]
     fn full_closure_of_cyclic_graph() {
         let g = gen::cyclic(100, 2.0, 25, 15, 3);
-        let res = run_cyclic(&g, &Query::full(), Algorithm::Btc, &SystemConfig::default())
-            .unwrap();
+        let res = run_cyclic(&g, &Query::full(), Algorithm::Btc, &SystemConfig::default()).unwrap();
         let all: Vec<NodeId> = (0..100).collect();
         assert_eq!(res.answer, oracle(&g, &all));
         assert!(res.condensation.component_count() < 100, "cycles collapsed");

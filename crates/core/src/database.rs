@@ -148,10 +148,7 @@ mod tests {
         let g = DagGenerator::new(300, 3.0, 60).seed(1).generate();
         let db = Database::build(&g, false).unwrap();
         assert_eq!(db.relation.tuple_count(), g.arc_count());
-        assert_eq!(
-            db.relation_pages(),
-            g.arc_count().div_ceil(256),
-        );
+        assert_eq!(db.relation_pages(), g.arc_count().div_ceil(256),);
         assert!(!db.has_inverse());
         // Loading is not charged.
         assert_eq!(db.disk.as_ref().unwrap().stats().total(), 0);

@@ -42,7 +42,15 @@ pub(crate) fn run(
     let mut answer = AnswerCollector::new(cfg.validate || cfg.collect_answer);
 
     let disk_base = pool.disk().stats().clone();
-    let outcome = execute(db, &mut pool, query, algorithm, cfg, &mut metrics, &mut answer);
+    let outcome = execute(
+        db,
+        &mut pool,
+        query,
+        algorithm,
+        cfg,
+        &mut metrics,
+        &mut answer,
+    );
 
     // Finalize: the disk must return to the database even on error.
     let disk_stats_total = pool.disk().stats().clone();
@@ -54,10 +62,8 @@ pub(crate) fn run(
     // All counters are deltas against this run's starting point: the
     // simulated disk's counters are cumulative across a database's runs.
     let run_total = disk_stats_total.since(&disk_base);
-    metrics.restructure_io =
-        PhaseIo::from_disk(&snapshot.disk_at_phase_end.since(&disk_base));
-    metrics.compute_io =
-        PhaseIo::from_disk(&disk_stats_total.since(&snapshot.disk_at_phase_end));
+    metrics.restructure_io = PhaseIo::from_disk(&snapshot.disk_at_phase_end.since(&disk_base));
+    metrics.compute_io = PhaseIo::from_disk(&disk_stats_total.since(&snapshot.disk_at_phase_end));
     for (i, slot) in metrics.io_by_kind.iter_mut().enumerate() {
         *slot = (run_total.reads_by_kind[i], run_total.writes_by_kind[i]);
     }
@@ -131,9 +137,7 @@ fn execute(
             let snap = snapshot(pool);
             match algorithm {
                 Algorithm::Spn => spn::expand_all(pool, &mut r, metrics, answer)?,
-                Algorithm::Hyb => {
-                    hybrid::expand_all(pool, &mut r, metrics, answer, cfg.ilimit)?
-                }
+                Algorithm::Hyb => hybrid::expand_all(pool, &mut r, metrics, answer, cfg.ilimit)?,
                 _ => btc::expand_all(pool, &mut r, metrics, answer)?,
             }
             write_out_lists(pool, &r.store, &r.sources, query)?;
@@ -192,8 +196,7 @@ fn execute(
             pool.flush_file(out_file.file_id())?;
             pool.discard_file(trees.file_id())?;
             pool.discard_file(pred.file_id())?;
-            metrics.tuple_writes =
-                pred.stats().entries_written + trees.stats().entries_written;
+            metrics.tuple_writes = pred.stats().entries_written + trees.stats().entries_written;
             Ok(snap)
         }
         Algorithm::Seminaive => {
@@ -245,7 +248,11 @@ fn validate(db: &Database, query: &Query, algorithm: Algorithm, pairs: &[(NodeId
         pairs.len(),
         expect.len()
     );
-    assert_eq!(pairs, &expect[..], "{algorithm}: answer differs from oracle");
+    assert_eq!(
+        pairs,
+        &expect[..],
+        "{algorithm}: answer differs from oracle"
+    );
 }
 
 #[cfg(test)]

@@ -72,13 +72,13 @@ pub use query::Query;
 /// Convenient glob-import surface: the types needed to load a graph and
 /// run queries.
 pub mod prelude {
+    pub use crate::advisor::{Advisor, WorkloadProfile};
     pub use crate::algorithm::Algorithm;
     pub use crate::config::SystemConfig;
+    pub use crate::cyclic::{run_cyclic, CyclicResult};
     pub use crate::database::Database;
     pub use crate::engine::RunResult;
     pub use crate::metrics::CostMetrics;
-    pub use crate::advisor::{Advisor, WorkloadProfile};
-    pub use crate::cyclic::{run_cyclic, CyclicResult};
     pub use crate::paths::PathIndex;
     pub use crate::query::Query;
     pub use tc_buffer::PagePolicy;

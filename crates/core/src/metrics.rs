@@ -239,7 +239,10 @@ mod tests {
     #[test]
     fn total_io_sums_phases() {
         let mut m = CostMetrics::new(Algorithm::Btc);
-        m.restructure_io = PhaseIo { reads: 3, writes: 2 };
+        m.restructure_io = PhaseIo {
+            reads: 3,
+            writes: 2,
+        };
         m.compute_io = PhaseIo {
             reads: 10,
             writes: 5,

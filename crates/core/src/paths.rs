@@ -17,7 +17,7 @@ use crate::config::SystemConfig;
 use crate::database::Database;
 use crate::metrics::CostMetrics;
 use crate::query::Query;
-use crate::restructure::{restructure, Restructured, RestructureOptions};
+use crate::restructure::{restructure, RestructureOptions, Restructured};
 use std::collections::HashMap;
 use tc_buffer::BufferPool;
 use tc_graph::NodeId;
@@ -119,11 +119,9 @@ impl Database {
         }
         spn::expand_all(&mut pool, &mut r, &mut metrics, &mut answer)?;
         metrics.answer_tuples = answer.count();
-        metrics.restructure_io =
-            crate::metrics::PhaseIo::from_disk(&restructure_end.since(&base));
-        metrics.compute_io = crate::metrics::PhaseIo::from_disk(
-            &pool.disk().stats().since(&restructure_end),
-        );
+        metrics.restructure_io = crate::metrics::PhaseIo::from_disk(&restructure_end.since(&base));
+        metrics.compute_io =
+            crate::metrics::PhaseIo::from_disk(&pool.disk().stats().since(&restructure_end));
         metrics.buffer = pool.stats().clone();
         Ok(PathIndex { pool, r, metrics })
     }
@@ -186,7 +184,10 @@ mod tests {
             .build_path_index(&Query::partial(vec![0]), &SystemConfig::default())
             .unwrap();
         assert_eq!(idx.path(0, 2).unwrap(), Some(vec![0, 1, 2]));
-        assert!(idx.path(3, 4).unwrap().is_none(), "3 outside the magic graph");
+        assert!(
+            idx.path(3, 4).unwrap().is_none(),
+            "3 outside the magic graph"
+        );
     }
 
     #[test]

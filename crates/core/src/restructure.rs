@@ -176,7 +176,11 @@ pub fn restructure(
     };
     let rect = RectangleModel {
         height,
-        width: if height == 0.0 { 0.0 } else { arcs as f64 / height },
+        width: if height == 0.0 {
+            0.0
+        } else {
+            arcs as f64 / height
+        },
         max_level: order.iter().map(|&u| levels[u as usize]).max().unwrap_or(0),
         arcs,
         nodes: order.len(),

@@ -1,0 +1,253 @@
+//! A minimal wall-clock + metric bench harness (replaces `criterion`).
+//!
+//! Each benchmark is a closure returning a `u64` *simulation metric*
+//! (for this study: simulated page I/O). The harness runs warmup
+//! iterations, then `iters` timed iterations, and reports median and p95
+//! wall-clock time plus the metric — and verifies the metric is
+//! **identical across iterations**, making every `cargo bench` run a
+//! determinism check of the simulation.
+//!
+//! Output is a human-readable table on stderr and one JSON object per
+//! benchmark on stdout, so results can be collected with
+//! `cargo bench -p tc-bench --bench algorithms > results.jsonl`.
+//!
+//! Knobs (flags or environment):
+//!
+//! * `--iters N` / `TC_BENCH_ITERS`   — timed iterations (default 10)
+//! * `--warmup N` / `TC_BENCH_WARMUP` — warmup iterations (default 2)
+//! * `--test` (passed by `cargo test`) — single iteration, no warmup,
+//!   no output: benches double as smoke tests.
+
+use std::time::Instant;
+
+/// One benchmark's aggregated result.
+#[derive(Clone, Debug)]
+pub struct Record {
+    /// Benchmark group (e.g. `full_closure`).
+    pub group: String,
+    /// Benchmark name within the group (e.g. `BTC`).
+    pub name: String,
+    /// Timed iterations.
+    pub iters: u32,
+    /// Median wall-clock nanoseconds per iteration.
+    pub median_ns: u64,
+    /// 95th-percentile wall-clock nanoseconds per iteration.
+    pub p95_ns: u64,
+    /// Minimum wall-clock nanoseconds per iteration.
+    pub min_ns: u64,
+    /// The simulation metric, if stable across all iterations.
+    pub metric: Option<u64>,
+}
+
+impl Record {
+    fn json(&self) -> String {
+        let metric = match self.metric {
+            Some(m) => m.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"group\":\"{}\",\"name\":\"{}\",\"iters\":{},\"median_ns\":{},\"p95_ns\":{},\"min_ns\":{},\"metric\":{}}}",
+            self.group, self.name, self.iters, self.median_ns, self.p95_ns, self.min_ns, metric
+        )
+    }
+}
+
+/// The top-level harness: construct once per bench binary with
+/// [`Runner::from_env`], add groups, then [`Runner::finish`].
+pub struct Runner {
+    warmup: u32,
+    iters: u32,
+    smoke: bool,
+    records: Vec<Record>,
+}
+
+impl Runner {
+    /// Reads configuration from argv and the environment (see module
+    /// docs). `--test`/`--list` (passed by `cargo test`) selects smoke
+    /// mode: one iteration, no warmup, no report.
+    pub fn from_env() -> Runner {
+        let args: Vec<String> = std::env::args().collect();
+        let flag = |name: &str| -> Option<u32> {
+            args.iter()
+                .position(|a| a == name)
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse().ok())
+        };
+        let env = |key: &str| -> Option<u32> { std::env::var(key).ok()?.parse().ok() };
+        let smoke = args.iter().any(|a| a == "--test" || a == "--list");
+        Runner {
+            warmup: flag("--warmup")
+                .or_else(|| env("TC_BENCH_WARMUP"))
+                .unwrap_or(2),
+            iters: flag("--iters")
+                .or_else(|| env("TC_BENCH_ITERS"))
+                .unwrap_or(10)
+                .max(1),
+            smoke,
+            records: Vec::new(),
+        }
+    }
+
+    /// A fully explicit runner (tests).
+    pub fn new(warmup: u32, iters: u32) -> Runner {
+        Runner {
+            warmup,
+            iters: iters.max(1),
+            smoke: false,
+            records: Vec::new(),
+        }
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            runner: self,
+            name: name.to_string(),
+        }
+    }
+
+    fn run_one(&mut self, group: &str, name: &str, f: &mut dyn FnMut() -> u64) {
+        let (warmup, iters) = if self.smoke {
+            (0, 1)
+        } else {
+            (self.warmup, self.iters)
+        };
+        for _ in 0..warmup {
+            std::hint::black_box(f());
+        }
+        let mut times = Vec::with_capacity(iters as usize);
+        let mut metric: Option<u64> = None;
+        let mut stable = true;
+        for _ in 0..iters {
+            let start = Instant::now();
+            let m = std::hint::black_box(f());
+            times.push(start.elapsed().as_nanos() as u64);
+            match metric {
+                None => metric = Some(m),
+                Some(prev) if prev != m => stable = false,
+                _ => {}
+            }
+        }
+        if !stable {
+            eprintln!(
+                "WARNING: {group}/{name}: metric varied across iterations — simulation is \
+                 nondeterministic"
+            );
+        }
+        times.sort_unstable();
+        let pick = |q: f64| times[((times.len() - 1) as f64 * q).round() as usize];
+        self.records.push(Record {
+            group: group.to_string(),
+            name: name.to_string(),
+            iters,
+            median_ns: pick(0.5),
+            p95_ns: pick(0.95),
+            min_ns: times[0],
+            metric: if stable { metric } else { None },
+        });
+    }
+
+    /// Prints the table (stderr) and JSON lines (stdout). In smoke mode
+    /// (`cargo test`) prints nothing — the benches act as assertions
+    /// only.
+    pub fn finish(self) {
+        if self.smoke {
+            return;
+        }
+        eprintln!(
+            "\n{:<24} {:<16} {:>12} {:>12} {:>12} {:>12}",
+            "group", "bench", "median", "p95", "min", "metric"
+        );
+        for r in &self.records {
+            eprintln!(
+                "{:<24} {:<16} {:>12} {:>12} {:>12} {:>12}",
+                r.group,
+                r.name,
+                fmt_ns(r.median_ns),
+                fmt_ns(r.p95_ns),
+                fmt_ns(r.min_ns),
+                r.metric
+                    .map(|m| m.to_string())
+                    .unwrap_or_else(|| "unstable".into()),
+            );
+        }
+        for r in &self.records {
+            println!("{}", r.json());
+        }
+    }
+
+    /// The records accumulated so far (tests / programmatic use).
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct Group<'a> {
+    runner: &'a mut Runner,
+    name: String,
+}
+
+impl Group<'_> {
+    /// Times `f` and records its result under this group.
+    pub fn bench(&mut self, name: &str, mut f: impl FnMut() -> u64) -> &mut Self {
+        let group = self.name.clone();
+        self.runner.run_one(&group, name, &mut f);
+        self
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_stable_metric_and_quantiles() {
+        let mut r = Runner::new(1, 5);
+        r.group("g").bench("constant", || 42);
+        let rec = &r.records()[0];
+        assert_eq!(rec.metric, Some(42));
+        assert_eq!(rec.iters, 5);
+        assert!(rec.min_ns <= rec.median_ns && rec.median_ns <= rec.p95_ns);
+    }
+
+    #[test]
+    fn flags_unstable_metric() {
+        let mut r = Runner::new(0, 3);
+        let mut x = 0u64;
+        r.group("g").bench("varying", || {
+            x += 1;
+            x
+        });
+        assert_eq!(r.records()[0].metric, None);
+    }
+
+    #[test]
+    fn json_shape() {
+        let rec = Record {
+            group: "g".into(),
+            name: "b".into(),
+            iters: 3,
+            median_ns: 10,
+            p95_ns: 12,
+            min_ns: 9,
+            metric: Some(7),
+        };
+        assert_eq!(
+            rec.json(),
+            "{\"group\":\"g\",\"name\":\"b\",\"iters\":3,\"median_ns\":10,\"p95_ns\":12,\"min_ns\":9,\"metric\":7}"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! `tc-det` — the determinism toolkit of the transitive-closure study.
+//!
+//! The paper's methodology (and this reproduction's value) rests on
+//! *bit-reproducible* experiments: the same seed must generate the same
+//! DAG workload and the same page-I/O counts on every machine, forever.
+//! External crates version-drift and resolve against a registry; this
+//! crate has **zero dependencies** and pins every random bit the
+//! workspace consumes. It provides three small pieces:
+//!
+//! * [`rng`] — a seeded PRNG: SplitMix64 seed expansion feeding
+//!   xoshiro256++, with a `rand`-flavoured API ([`Rng::from_seed`],
+//!   [`Rng::random_range`], [`Rng::fill`], [`Rng::shuffle`]). Replaces
+//!   `rand`.
+//! * [`check`] — a mini property-testing harness: seeded case loop,
+//!   tunable case count (`TC_DET_CASES`), greedy shrinking and
+//!   failing-seed replay (`TC_DET_SEED`). Replaces `proptest`.
+//! * [`bench`] — a wall-clock + simulation-metric bench harness with
+//!   warmup, median/p95 and JSON output, which also asserts the metric
+//!   is identical across iterations. Replaces `criterion`.
+//!
+//! ## Seeding conventions
+//!
+//! * Workload generators take an explicit `u64` seed; the paper's 5
+//!   instances per graph family use seeds `1..=5`.
+//! * Derived streams (e.g. back-arc injection on top of a generated DAG)
+//!   use `seed ^ CONSTANT` or [`Rng::fork`], never the same stream.
+//! * Anything that perturbs a simulation result must flow from one of
+//!   these seeds — wall-clock time and addresses must never leak into
+//!   simulated metrics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod check;
+pub mod rng;
+
+pub use check::Checker;
+pub use rng::{splitmix64, Rng};

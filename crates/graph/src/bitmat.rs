@@ -143,7 +143,7 @@ mod tests {
         m.or_row_into(1, 2);
         assert_eq!(m.row_ones(2), vec![5, 6, 70]);
         assert_eq!(m.row_ones(1), vec![5, 70]); // source untouched
-        // Reverse direction (dst before src in memory).
+                                                // Reverse direction (dst before src in memory).
         m.or_row_into(2, 0);
         assert_eq!(m.row_ones(0), vec![5, 6, 70]);
         // Self-OR is a no-op.

@@ -141,7 +141,16 @@ mod tests {
     fn all_three_agree_on_dags() {
         let g = Graph::from_arcs(
             8,
-            [(0, 1), (0, 4), (1, 2), (2, 3), (4, 5), (5, 3), (1, 5), (6, 7)],
+            [
+                (0, 1),
+                (0, 4),
+                (1, 2),
+                (2, 3),
+                (4, 5),
+                (5, 3),
+                (1, 5),
+                (6, 7),
+            ],
         );
         let a = dfs_closure(&g);
         let b = warshall(&g);
@@ -165,10 +174,7 @@ mod tests {
         let g = diamond();
         assert_eq!(successors_of(&g, 0), vec![1, 2, 3]);
         assert_eq!(successors_of(&g, 3), Vec::<NodeId>::new());
-        assert_eq!(
-            ptc_answer(&g, &[1, 2]),
-            vec![(1, 3), (2, 3)]
-        );
+        assert_eq!(ptc_answer(&g, &[1, 2]), vec![(1, 3), (2, 3)]);
         // Duplicate sources collapse.
         assert_eq!(ptc_answer(&g, &[1, 1]), vec![(1, 3)]);
     }

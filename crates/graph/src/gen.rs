@@ -14,8 +14,7 @@
 //! exist per node).
 
 use crate::graph::{Graph, NodeId};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use tc_det::Rng;
 
 /// Generator of the paper's locality-bounded random DAGs.
 ///
@@ -59,7 +58,7 @@ impl DagGenerator {
 
     /// Generates the DAG.
     pub fn generate(&self) -> Graph {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::from_seed(self.seed);
         let n = self.n;
         let mut arcs: Vec<(NodeId, NodeId)> = Vec::new();
         for i in 0..n {
@@ -145,13 +144,13 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
 /// back edges. Used to exercise the condensation path (§1).
 pub fn cyclic(n: usize, f: f64, l: usize, back_arcs: usize, seed: u64) -> Graph {
     let mut g = DagGenerator::new(n, f, l).seed(seed).generate();
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+    let mut rng = Rng::from_seed(seed ^ 0xDEAD_BEEF);
     let mut added = 0;
     let mut attempts = 0;
     while added < back_arcs && attempts < back_arcs * 20 && n >= 2 {
         attempts += 1;
         let u = rng.random_range(1..n) as NodeId;
-        let v = rng.random_range(0..u) ;
+        let v = rng.random_range(0..u);
         if g.add_arc(u, v) {
             added += 1;
         }

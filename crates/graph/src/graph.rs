@@ -32,7 +32,10 @@ impl Graph {
     pub fn from_arcs(n: usize, arcs: impl IntoIterator<Item = (NodeId, NodeId)>) -> Graph {
         let mut sets: Vec<BTreeSet<NodeId>> = vec![BTreeSet::new(); n];
         for (u, v) in arcs {
-            assert!((u as usize) < n && (v as usize) < n, "arc endpoint out of range");
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "arc endpoint out of range"
+            );
             if u != v {
                 sets[u as usize].insert(v);
             }

@@ -118,7 +118,11 @@ impl ArcLocalityStats {
             count_irr += 1;
         }
         ArcLocalityStats {
-            avg_all: if count_all == 0 { 0.0 } else { sum_all / count_all as f64 },
+            avg_all: if count_all == 0 {
+                0.0
+            } else {
+                sum_all / count_all as f64
+            },
             avg_irredundant: if count_irr == 0 {
                 0.0
             } else {
@@ -226,8 +230,6 @@ mod tests {
         // The paper observes H grows with F and shrinks with l.
         let shallow = DagGenerator::new(1000, 2.0, 1000).seed(1).generate();
         let deep = DagGenerator::new(1000, 20.0, 1000).seed(1).generate();
-        assert!(
-            RectangleModel::of(&deep).height > RectangleModel::of(&shallow).height
-        );
+        assert!(RectangleModel::of(&deep).height > RectangleModel::of(&shallow).height);
     }
 }

@@ -33,9 +33,7 @@ pub fn reduction_with_closure(g: &Graph, tc: &BitMatrix) -> Graph {
     for u in 0..g.n() as u32 {
         let children = g.children(u);
         for &v in children {
-            let redundant = children
-                .iter()
-                .any(|&w| w != v && tc.get(w, v));
+            let redundant = children.iter().any(|&w| w != v && tc.get(w, v));
             if !redundant {
                 arcs.push((u, v));
             }
@@ -100,10 +98,7 @@ mod tests {
         // Minimality: removing any arc of the reduction changes the closure.
         let arcs: Vec<_> = tr.arcs().collect();
         for &(u, v) in arcs.iter().take(20) {
-            let smaller = Graph::from_arcs(
-                tr.n(),
-                arcs.iter().copied().filter(|&a| a != (u, v)),
-            );
+            let smaller = Graph::from_arcs(tr.n(), arcs.iter().copied().filter(|&a| a != (u, v)));
             assert!(
                 !closure_equivalent(&tr, &smaller),
                 "arc ({u},{v}) was removable — reduction not minimal"

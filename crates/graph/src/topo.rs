@@ -97,7 +97,10 @@ mod tests {
 
     #[test]
     fn empty_and_singleton() {
-        assert_eq!(topological_order(&Graph::empty(0)).unwrap(), Vec::<NodeId>::new());
+        assert_eq!(
+            topological_order(&Graph::empty(0)).unwrap(),
+            Vec::<NodeId>::new()
+        );
         assert_eq!(topological_order(&Graph::empty(1)).unwrap(), vec![0]);
     }
 

@@ -299,11 +299,7 @@ impl Default for DiskSim {
 /// This impl exists mainly for tests and for bulk loads that bypass the
 /// buffer pool; query execution always goes through `tc-buffer`.
 impl Pager for DiskSim {
-    fn with_page<R>(
-        &mut self,
-        pid: PageId,
-        f: &mut dyn FnMut(&Page) -> R,
-    ) -> StorageResult<R> {
+    fn with_page<R>(&mut self, pid: PageId, f: &mut dyn FnMut(&Page) -> R) -> StorageResult<R> {
         let mut tmp = Page::new();
         self.read_page(pid, &mut tmp)?;
         Ok(f(&tmp))
@@ -413,8 +409,10 @@ mod tests {
         let f = d.create_file(FileKind::Temp);
         let p = d.alloc(f).unwrap();
         let mut sink = 0u32;
-        d.with_page_mut(p, &mut |pg: &mut Page| pg.put_u32(0, 5)).unwrap();
-        d.with_page(p, &mut |pg: &Page| sink = pg.get_u32(0)).unwrap();
+        d.with_page_mut(p, &mut |pg: &mut Page| pg.put_u32(0, 5))
+            .unwrap();
+        d.with_page(p, &mut |pg: &Page| sink = pg.get_u32(0))
+            .unwrap();
         assert_eq!(sink, 5);
         // with_page_mut = read + write, with_page = read.
         assert_eq!(d.stats().reads, 2);

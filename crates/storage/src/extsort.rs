@@ -176,11 +176,10 @@ mod tests {
     fn sort_case(n: usize, mem_pages: usize) {
         let mut disk = DiskSim::new();
         // Deterministic pseudo-random input.
-        let mut x = 12345u64;
+        let mut rng = tc_det::Rng::from_seed(12345);
         let mut data: Vec<Tuple> = Vec::with_capacity(n);
         for _ in 0..n {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            data.push(((x >> 33) as u32 % 5000, (x >> 11) as u32 % 5000));
+            data.push((rng.random_range(0..5000u32), rng.random_range(0..5000u32)));
         }
         let mut w = TupleWriter::new(&mut disk, FileKind::Temp);
         for &t in &data {
@@ -244,6 +243,11 @@ mod tests {
         // read-modify-write, so we only sanity-check the lower bound: each
         // pass must at least read and write every data page once.
         let pages = input.page_count() as u64;
-        assert!(stats.reads >= 2 * pages, "reads {} pages {}", stats.reads, pages);
+        assert!(
+            stats.reads >= 2 * pages,
+            "reads {} pages {}",
+            stats.reads,
+            pages
+        );
     }
 }

@@ -68,7 +68,11 @@ impl ClusteredIndex {
     /// Because the index is sparse, a key's tuples start on the last page
     /// whose first key is `<= key` and may spill onto following pages
     /// whose first key equals `key`.
-    pub fn probe<P: Pager>(&self, pager: &mut P, key: u32) -> StorageResult<Option<(usize, usize)>> {
+    pub fn probe<P: Pager>(
+        &self,
+        pager: &mut P,
+        key: u32,
+    ) -> StorageResult<Option<(usize, usize)>> {
         if self.entries == 0 {
             return Ok(None);
         }
@@ -77,7 +81,9 @@ impl ClusteredIndex {
         let read_key = |pager: &mut P, i: usize| -> StorageResult<u32> {
             let page_no = i / KEYS_PER_INDEX_PAGE;
             let slot = i % KEYS_PER_INDEX_PAGE;
-            pager.with_page(self.pages[page_no], &mut |pg: &Page| IndexPage::get(pg, slot))
+            pager.with_page(self.pages[page_no], &mut |pg: &Page| {
+                IndexPage::get(pg, slot)
+            })
         };
 
         // A data page `i` holds keys in [first_key[i], first_key[i+1]], so

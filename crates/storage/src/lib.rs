@@ -47,12 +47,12 @@ pub mod relation;
 
 pub use disk::{DiskSim, DiskStats, FileId, FileKind, IoCostModel};
 pub use error::{StorageError, StorageResult};
-pub use index::ClusteredIndex;
-pub use page::{Page, PageId, PAGE_SIZE};
-pub use pager::Pager;
 pub use extsort::external_sort;
+pub use index::ClusteredIndex;
 pub use layout::{
     IndexPage, SuccBlockRef, SuccEntry, SuccPage, TuplePage, BLOCKS_PER_PAGE, ENTRIES_PER_BLOCK,
     SUCCESSORS_PER_PAGE, TUPLES_PER_PAGE,
 };
+pub use page::{Page, PageId, PAGE_SIZE};
+pub use pager::Pager;
 pub use relation::{RelationFile, Tuple, TupleWriter};

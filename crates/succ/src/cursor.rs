@@ -122,9 +122,7 @@ mod tests {
         let mut store = SuccStore::new(&mut disk, 4, ListPolicy::Spill);
         // 100 entries = 7 blocks, all on one page.
         for v in 0..100u32 {
-            store
-                .append(&mut disk, 0, SuccEntry::plain(v))
-                .unwrap();
+            store.append(&mut disk, 0, SuccEntry::plain(v)).unwrap();
         }
         disk.reset_stats();
         let mut cur = ListCursor::new(&store, 0);

@@ -495,7 +495,9 @@ mod tests {
         let (mut disk, mut store) = store_with(ListPolicy::Spill, 100);
         // 30 single-entry lists must share one page.
         for node in 0..30u32 {
-            store.append(&mut disk, node, SuccEntry::plain(node)).unwrap();
+            store
+                .append(&mut disk, node, SuccEntry::plain(node))
+                .unwrap();
         }
         assert_eq!(store.page_count(), 1);
         store.append(&mut disk, 30, SuccEntry::plain(1)).unwrap();
@@ -559,13 +561,17 @@ mod tests {
             store.append(&mut disk, 0, SuccEntry::plain(v)).unwrap();
         }
         for v in 0..30u32 {
-            store.append(&mut disk, 1, SuccEntry::plain(100 + v)).unwrap();
+            store
+                .append(&mut disk, 1, SuccEntry::plain(100 + v))
+                .unwrap();
         }
         assert_eq!(store.page_count(), 1, "28 + 2 blocks share the page");
         // Growing list 0 past its page forces list 1 (the shortest other)
         // off the page.
         for v in 0..60u32 {
-            store.append(&mut disk, 0, SuccEntry::plain(500 + v)).unwrap();
+            store
+                .append(&mut disk, 0, SuccEntry::plain(500 + v))
+                .unwrap();
         }
         assert!(store.stats().page_splits >= 1);
         assert!(store.stats().blocks_moved >= 2);
@@ -587,7 +593,9 @@ mod tests {
             store.append(&mut disk, 0, SuccEntry::plain(v)).unwrap();
         }
         for v in 0..240u32 {
-            store.append(&mut disk, 1, SuccEntry::plain(1000 + v)).unwrap();
+            store
+                .append(&mut disk, 1, SuccEntry::plain(1000 + v))
+                .unwrap();
         }
         assert_eq!(store.page_count(), 1);
         // Growing list 0 moves itself to a fresh page.

@@ -57,7 +57,12 @@ fn main() {
     // The student enters with credit for intro courses 0 and 2.
     let query = Query::partial(vec![0, 2]);
     println!("\nunlocked-courses query from 2 entry courses:");
-    for algo in [Algorithm::Btc, Algorithm::Bj, Algorithm::Jkb2, Algorithm::Srch] {
+    for algo in [
+        Algorithm::Btc,
+        Algorithm::Bj,
+        Algorithm::Jkb2,
+        Algorithm::Srch,
+    ] {
         let res = db.run(&query, algo, &cfg).expect("run");
         println!(
             "  {:>5}: {:>5} page I/O, {:>6} unions, marking {:>5.1}%, answer {} courses",

@@ -35,9 +35,14 @@ fn main() {
          duplicates     {:>12} {:>12}   <- SPN 'wins'\n\
          tuple reads    {:>12} {:>12}   <- SPN 'wins'\n\
          page I/O       {:>12} {:>12}   <- BTC actually wins",
-        "BTC", "SPN", btc.metrics.duplicates, spn.metrics.duplicates,
-        btc.metrics.tuple_reads, spn.metrics.tuple_reads,
-        btc.metrics.total_io(), spn.metrics.total_io(),
+        "BTC",
+        "SPN",
+        btc.metrics.duplicates,
+        spn.metrics.duplicates,
+        btc.metrics.tuple_reads,
+        spn.metrics.tuple_reads,
+        btc.metrics.total_io(),
+        spn.metrics.total_io(),
     );
     assert!(spn.metrics.duplicates < btc.metrics.duplicates);
     assert!(spn.metrics.total_io() > btc.metrics.total_io());
@@ -53,9 +58,14 @@ fn main() {
          tuples         {:>12} {:>12}   <- JKB2 'wins'\n\
          unions         {:>12} {:>12}   <- BTC 'wins'\n\
          page I/O       {:>12} {:>12}   <- neither metric told you this",
-        "BTC", "JKB2", btc.metrics.tuples_generated, jkb2.metrics.tuples_generated,
-        btc.metrics.unions, jkb2.metrics.unions,
-        btc.metrics.total_io(), jkb2.metrics.total_io(),
+        "BTC",
+        "JKB2",
+        btc.metrics.tuples_generated,
+        jkb2.metrics.tuples_generated,
+        btc.metrics.unions,
+        jkb2.metrics.unions,
+        btc.metrics.total_io(),
+        jkb2.metrics.total_io(),
     );
     assert!(jkb2.metrics.tuples_generated < btc.metrics.tuples_generated);
     assert!(jkb2.metrics.unions > btc.metrics.unions);

@@ -15,7 +15,6 @@
 use tc_study::core::prelude::*;
 use tc_study::graph::{condensation, Graph, NodeId};
 
-
 /// Builds a synthetic package ecosystem: `core` libraries at the bottom,
 /// frameworks in the middle, applications on top, plus a few mutually
 /// dependent framework pairs (cycles).
@@ -87,7 +86,12 @@ fn main() {
     println!("\nalgorithm comparison for the impact query:");
     type Best = (Algorithm, u64, Vec<(NodeId, NodeId)>);
     let mut best: Option<Best> = None;
-    for algo in [Algorithm::Btc, Algorithm::Bj, Algorithm::Jkb2, Algorithm::Srch] {
+    for algo in [
+        Algorithm::Btc,
+        Algorithm::Bj,
+        Algorithm::Jkb2,
+        Algorithm::Srch,
+    ] {
         let res = run_cyclic(&impact, &query, algo, &cfg).expect("run");
         println!(
             "  {:>5}: {:>6} page I/O ({} impacted-package facts)",

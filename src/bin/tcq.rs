@@ -15,7 +15,11 @@ fn main() -> ExitCode {
         Ok(c) => c,
         Err(msg) => {
             eprintln!("{msg}");
-            return if msg == USAGE { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+            return if msg == USAGE {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
         }
     };
     match run(&cli) {
@@ -28,15 +32,18 @@ fn main() -> ExitCode {
 }
 
 fn run(cli: &CliArgs) -> Result<(), String> {
-    let text = std::fs::read_to_string(&cli.input)
-        .map_err(|e| format!("{}: {e}", cli.input))?;
+    let text = std::fs::read_to_string(&cli.input).map_err(|e| format!("{}: {e}", cli.input))?;
     let lg = LabeledGraph::parse(&text)?;
     eprintln!(
         "{}: {} nodes, {} arcs{}",
         cli.input,
         lg.graph.n(),
         lg.graph.arc_count(),
-        if lg.graph.is_acyclic() { "" } else { " (cyclic: condensing)" },
+        if lg.graph.is_acyclic() {
+            ""
+        } else {
+            " (cyclic: condensing)"
+        },
     );
 
     let sources: Vec<u32> = cli
@@ -62,8 +69,7 @@ fn run(cli: &CliArgs) -> Result<(), String> {
         (algo, res.answer.unwrap_or_default(), res.metrics)
     } else {
         let algo = cli.algorithm.unwrap_or(Algorithm::Btc);
-        let res =
-            run_cyclic(&lg.graph, &query, algo, &cfg).map_err(|e| e.to_string())?;
+        let res = run_cyclic(&lg.graph, &query, algo, &cfg).map_err(|e| e.to_string())?;
         (algo, res.answer, res.metrics)
     };
 

@@ -101,11 +101,19 @@ impl CliArgs {
             match args[i].as_str() {
                 "--sources" | "-s" => {
                     i += 1;
-                    let v = args.get(i).ok_or("--sources needs a comma-separated list")?;
-                    out.sources = v.split(',').map(str::trim).filter(|s| !s.is_empty())
-                        .map(String::from).collect();
+                    let v = args
+                        .get(i)
+                        .ok_or("--sources needs a comma-separated list")?;
+                    out.sources = v
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(String::from)
+                        .collect();
                     if out.sources.is_empty() {
-                        return Err("--sources got an empty list (omit the flag for full closure)".into());
+                        return Err(
+                            "--sources got an empty list (omit the flag for full closure)".into(),
+                        );
                     }
                 }
                 "--algo" | "-a" => {
@@ -167,10 +175,8 @@ mod tests {
 
     #[test]
     fn parses_edge_lists_with_labels_and_comments() {
-        let g = LabeledGraph::parse(
-            "# deps\nlibc gcc\nrustc libc\n\nrustc llvm # tail comment\n",
-        )
-        .unwrap();
+        let g = LabeledGraph::parse("# deps\nlibc gcc\nrustc libc\n\nrustc llvm # tail comment\n")
+            .unwrap();
         assert_eq!(g.graph.n(), 4);
         assert_eq!(g.graph.arc_count(), 3);
         assert_eq!(g.label(g.id("rustc").unwrap()), "rustc");
@@ -188,10 +194,19 @@ mod tests {
 
     #[test]
     fn parses_full_cli() {
-        let args: Vec<String> = ["g.txt", "-s", "a,b", "--algo", "jkb2", "-m", "50", "--print-answer"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args: Vec<String> = [
+            "g.txt",
+            "-s",
+            "a,b",
+            "--algo",
+            "jkb2",
+            "-m",
+            "50",
+            "--print-answer",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let c = CliArgs::parse(&args).unwrap();
         assert_eq!(c.input, "g.txt");
         assert_eq!(c.sources, vec!["a", "b"]);

@@ -3,6 +3,7 @@
 //! Re-exports every layer of the system so that examples and downstream
 //! users can depend on a single crate:
 //!
+//! * [`det`] — deterministic PRNG, property-test harness, bench harness.
 //! * [`storage`] — simulated disk, page layouts, relation files, indexes.
 //! * [`buffer`] — buffer pool with pluggable replacement policies.
 //! * [`graph`] — DAG workloads, rectangle model, reference closures.
@@ -18,6 +19,7 @@ pub mod cli;
 
 pub use tc_buffer as buffer;
 pub use tc_core as core;
+pub use tc_det as det;
 pub use tc_graph as graph;
 pub use tc_storage as storage;
 pub use tc_succ as succ;

@@ -32,7 +32,11 @@ fn full_closure_entire_grid_all_algorithms() {
         let cfg = SystemConfig::default().collecting();
         for algo in Algorithm::ALL {
             let res = db.run(&Query::full(), algo, &cfg).unwrap();
-            assert_eq!(res.answer.as_deref().unwrap(), &expect[..], "{algo} on {name}");
+            assert_eq!(
+                res.answer.as_deref().unwrap(),
+                &expect[..],
+                "{algo} on {name}"
+            );
         }
     }
 }
@@ -46,7 +50,9 @@ fn selections_entire_grid_all_algorithms() {
             let mut db = Database::build(&g, true).unwrap();
             let cfg = SystemConfig::default().collecting();
             for algo in Algorithm::ALL {
-                let res = db.run(&Query::partial(sources.clone()), algo, &cfg).unwrap();
+                let res = db
+                    .run(&Query::partial(sources.clone()), algo, &cfg)
+                    .unwrap();
                 assert_eq!(
                     res.answer.as_deref().unwrap(),
                     &expect[..],
@@ -68,8 +74,12 @@ fn shape_claims_hold_on_the_mini_corpus() {
 
     // Narrow graph: JKB2 beats BTC on selections (Table 4, low width).
     let mut db = Database::build(&deep, true).unwrap();
-    let btc = db.run(&Query::partial(sources.clone()), Algorithm::Btc, &cfg).unwrap();
-    let jkb2 = db.run(&Query::partial(sources.clone()), Algorithm::Jkb2, &cfg).unwrap();
+    let btc = db
+        .run(&Query::partial(sources.clone()), Algorithm::Btc, &cfg)
+        .unwrap();
+    let jkb2 = db
+        .run(&Query::partial(sources.clone()), Algorithm::Jkb2, &cfg)
+        .unwrap();
     assert!(
         jkb2.metrics.total_io() < btc.metrics.total_io(),
         "narrow: JKB2 {} vs BTC {}",

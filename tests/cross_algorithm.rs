@@ -6,10 +6,22 @@ use tc_study::graph::{closure, DagGenerator, Graph};
 
 fn grid_graphs() -> Vec<(&'static str, Graph)> {
     vec![
-        ("deep-sparse", DagGenerator::new(400, 2.0, 15).seed(1).generate()),
-        ("shallow-sparse", DagGenerator::new(400, 2.0, 400).seed(2).generate()),
-        ("deep-dense", DagGenerator::new(400, 10.0, 15).seed(3).generate()),
-        ("shallow-dense", DagGenerator::new(400, 10.0, 400).seed(4).generate()),
+        (
+            "deep-sparse",
+            DagGenerator::new(400, 2.0, 15).seed(1).generate(),
+        ),
+        (
+            "shallow-sparse",
+            DagGenerator::new(400, 2.0, 400).seed(2).generate(),
+        ),
+        (
+            "deep-dense",
+            DagGenerator::new(400, 10.0, 15).seed(3).generate(),
+        ),
+        (
+            "shallow-dense",
+            DagGenerator::new(400, 10.0, 400).seed(4).generate(),
+        ),
         ("path", tc_study::graph::gen::path(300)),
         ("tree", tc_study::graph::gen::binary_tree(255)),
         ("layered", tc_study::graph::gen::layered(12, 12)),
@@ -41,7 +53,9 @@ fn all_algorithms_agree_with_oracle_on_selections() {
         let mut db = Database::build(&g, true).unwrap();
         let cfg = SystemConfig::default().collecting();
         for algo in Algorithm::ALL {
-            let res = db.run(&Query::partial(sources.clone()), algo, &cfg).unwrap();
+            let res = db
+                .run(&Query::partial(sources.clone()), algo, &cfg)
+                .unwrap();
             assert_eq!(
                 res.answer.as_deref().unwrap(),
                 &expect[..],
@@ -60,7 +74,9 @@ fn every_page_policy_yields_the_same_answer() {
     for page in PagePolicy::ALL {
         for algo in [Algorithm::Btc, Algorithm::Jkb2, Algorithm::Spn] {
             let cfg = SystemConfig::default().page_policy(page).collecting();
-            let res = db.run(&Query::partial(sources.clone()), algo, &cfg).unwrap();
+            let res = db
+                .run(&Query::partial(sources.clone()), algo, &cfg)
+                .unwrap();
             assert_eq!(
                 res.answer.as_deref().unwrap(),
                 &expect[..],
@@ -123,7 +139,11 @@ fn srch_hit_ratio_covers_its_whole_run() {
     let g = DagGenerator::new(400, 4.0, 80).seed(31).generate();
     let mut db = Database::build(&g, false).unwrap();
     let res = db
-        .run(&Query::partial(vec![1, 2, 3]), Algorithm::Srch, &SystemConfig::default())
+        .run(
+            &Query::partial(vec![1, 2, 3]),
+            Algorithm::Srch,
+            &SystemConfig::default(),
+        )
         .unwrap();
     assert!(res.metrics.buffer_compute.read_requests > 0);
     assert!(res.metrics.compute_hit_ratio() > 0.0);
@@ -149,6 +169,7 @@ fn validated_mode_runs_the_oracle_check() {
     let mut db = Database::build(&g, true).unwrap();
     let cfg = SystemConfig::default().validated();
     for algo in Algorithm::ALL {
-        db.run(&Query::partial(vec![2, 9, 100]), algo, &cfg).unwrap();
+        db.run(&Query::partial(vec![2, 9, 100]), algo, &cfg)
+            .unwrap();
     }
 }

@@ -22,7 +22,9 @@ fn single_node_graph() {
     let g = Graph::empty(1);
     let mut db = Database::build(&g, true).unwrap();
     for algo in Algorithm::ALL {
-        let res = db.run(&Query::partial(vec![0]), algo, &SystemConfig::default()).unwrap();
+        let res = db
+            .run(&Query::partial(vec![0]), algo, &SystemConfig::default())
+            .unwrap();
         assert_eq!(res.metrics.answer_tuples, 0, "{algo}");
     }
 }
@@ -32,7 +34,9 @@ fn empty_source_set_is_a_noop() {
     let g = DagGenerator::new(100, 3.0, 20).seed(1).generate();
     let mut db = Database::build(&g, true).unwrap();
     for algo in Algorithm::ALL {
-        let res = db.run(&Query::partial(vec![]), algo, &SystemConfig::default()).unwrap();
+        let res = db
+            .run(&Query::partial(vec![]), algo, &SystemConfig::default())
+            .unwrap();
         assert_eq!(res.metrics.answer_tuples, 0, "{algo}");
     }
 }
@@ -74,7 +78,11 @@ fn cyclic_input_is_rejected_by_the_engine_and_handled_by_condensation() {
     let cond = tc_study::graph::condensation(&g);
     let mut db = Database::build(&cond.graph, false).unwrap();
     let res = db
-        .run(&Query::full(), Algorithm::Btc, &SystemConfig::default().validated())
+        .run(
+            &Query::full(),
+            Algorithm::Btc,
+            &SystemConfig::default().validated(),
+        )
         .unwrap();
     assert!(res.metrics.answer_tuples > 0);
 }
@@ -84,12 +92,20 @@ fn jkb2_without_dual_representation_is_an_error() {
     let g = DagGenerator::new(50, 2.0, 10).seed(4).generate();
     let mut db = Database::build(&g, false).unwrap();
     let err = db
-        .run(&Query::partial(vec![0]), Algorithm::Jkb2, &SystemConfig::default())
+        .run(
+            &Query::partial(vec![0]),
+            Algorithm::Jkb2,
+            &SystemConfig::default(),
+        )
         .unwrap_err();
     assert!(matches!(err, StorageError::WrongFileKind { .. }));
     // The database is still usable afterwards (disk restored).
-    db.run(&Query::partial(vec![0]), Algorithm::Btc, &SystemConfig::default())
-        .unwrap();
+    db.run(
+        &Query::partial(vec![0]),
+        Algorithm::Btc,
+        &SystemConfig::default(),
+    )
+    .unwrap();
 }
 
 #[test]
@@ -97,7 +113,11 @@ fn out_of_range_source_panics_cleanly() {
     let g = DagGenerator::new(50, 2.0, 10).seed(5).generate();
     let mut db = Database::build(&g, false).unwrap();
     let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let _ = db.run(&Query::partial(vec![999]), Algorithm::Btc, &SystemConfig::default());
+        let _ = db.run(
+            &Query::partial(vec![999]),
+            Algorithm::Btc,
+            &SystemConfig::default(),
+        );
     }));
     assert!(attempt.is_err());
 }
@@ -143,7 +163,9 @@ fn freed_files_recycle_pages_without_aliasing() {
     let other = pool.create_file(FileKind::Temp);
     let reused = pool.alloc_page(other).unwrap();
     assert_eq!(reused, sp, "page id recycled");
-    let v = pool.with_page(reused, &mut |p: &Page| p.get_u32(0)).unwrap();
+    let v = pool
+        .with_page(reused, &mut |p: &Page| p.get_u32(0))
+        .unwrap();
     assert_eq!(v, 0, "recycled page is zeroed");
     // And the kept file is untouched.
     let v = pool.with_page(kp, &mut |p: &Page| p.get_u32(0)).unwrap();
@@ -155,8 +177,12 @@ fn duplicate_and_unsorted_sources_are_normalized() {
     let g = DagGenerator::new(100, 3.0, 25).seed(6).generate();
     let mut db = Database::build(&g, true).unwrap();
     let cfg = SystemConfig::default().collecting();
-    let a = db.run(&Query::partial(vec![9, 3, 9, 3]), Algorithm::Btc, &cfg).unwrap();
-    let b = db.run(&Query::partial(vec![3, 9]), Algorithm::Btc, &cfg).unwrap();
+    let a = db
+        .run(&Query::partial(vec![9, 3, 9, 3]), Algorithm::Btc, &cfg)
+        .unwrap();
+    let b = db
+        .run(&Query::partial(vec![3, 9]), Algorithm::Btc, &cfg)
+        .unwrap();
     assert_eq!(a.answer, b.answer);
 }
 
@@ -166,8 +192,14 @@ fn source_with_no_successors() {
     let g = Graph::from_arcs(5, [(0, 4), (1, 4), (2, 4)]);
     let mut db = Database::build(&g, true).unwrap();
     for algo in Algorithm::ALL {
-        let res = db.run(&Query::partial(vec![4]), algo, &SystemConfig::default()).unwrap();
+        let res = db
+            .run(&Query::partial(vec![4]), algo, &SystemConfig::default())
+            .unwrap();
         assert_eq!(res.metrics.answer_tuples, 0, "{algo}");
-        assert!(res.metrics.total_io() < 50, "{algo}: {}", res.metrics.total_io());
+        assert!(
+            res.metrics.total_io() < 50,
+            "{algo}: {}",
+            res.metrics.total_io()
+        );
     }
 }

@@ -1,0 +1,95 @@
+//! Golden seed-stability test: cross-platform determinism guard.
+//!
+//! The study's methodology depends on bit-reproducible workloads: the
+//! same seed must yield the same DAG (and therefore the same page-I/O
+//! numbers) on every platform and in every future revision that does not
+//! *intend* to change the generator. This test pins the paper's
+//! canonical workload — the G5 family instance used in the README and
+//! quickstart (n = 2000, F = 5, l = 200, seed 7) — to a golden FNV-1a
+//! checksum of its arc list.
+//!
+//! If an intentional generator change lands, regenerate the constants
+//! below (the failure message prints the new values) and note the break
+//! in CHANGES.md: all previously recorded experiment numbers become
+//! incomparable.
+
+use tc_study::core::prelude::*;
+use tc_study::graph::DagGenerator;
+
+/// FNV-1a over the arc list, arcs in the graph's canonical order.
+fn arc_checksum(g: &tc_study::graph::Graph) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    let mut byte = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    for (u, v) in g.arcs() {
+        for b in u.to_le_bytes().into_iter().chain(v.to_le_bytes()) {
+            byte(b);
+        }
+    }
+    h
+}
+
+const GOLDEN_ARC_COUNT: usize = 9757;
+const GOLDEN_CHECKSUM: u64 = 0xFA1F_67FE_29E6_93FB;
+
+fn canonical_workload() -> tc_study::graph::Graph {
+    DagGenerator::new(2000, 5.0, 200).seed(7).generate()
+}
+
+#[test]
+fn canonical_workload_matches_golden_checksum() {
+    let g = canonical_workload();
+    assert_eq!(
+        (g.arc_count(), arc_checksum(&g)),
+        (GOLDEN_ARC_COUNT, GOLDEN_CHECKSUM),
+        "the canonical G5 workload (n=2000, F=5, l=200, seed 7) changed: \
+         arc_count {} checksum {:#018X} — if intentional, update the golden \
+         constants and note the workload break in CHANGES.md",
+        g.arc_count(),
+        arc_checksum(&g),
+    );
+}
+
+#[test]
+fn same_seed_same_workload_and_metrics() {
+    // Two *independent* generate + load + run pipelines must agree bit
+    // for bit on the workload and on every page-I/O metric.
+    let run = || {
+        let g = canonical_workload();
+        let checksum = arc_checksum(&g);
+        let mut db = Database::build(&g, true).unwrap();
+        let cfg = SystemConfig::with_buffer(20);
+        let full = db.run(&Query::full(), Algorithm::Btc, &cfg).unwrap();
+        let ptc = db
+            .run(&Query::partial(vec![11, 503, 977]), Algorithm::Jkb2, &cfg)
+            .unwrap();
+        (
+            checksum,
+            full.metrics.total_io(),
+            full.metrics.tuples_generated,
+            ptc.metrics.total_io(),
+            ptc.metrics.answer_tuples,
+        )
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a, b, "same seed produced diverging workload or metrics");
+}
+
+#[test]
+fn random_policy_is_reproducible() {
+    // The RANDOM replacement policy draws from tc-det's seeded stream;
+    // its simulated I/O must also be run-to-run stable.
+    let io = || {
+        let g = canonical_workload();
+        let mut db = Database::build(&g, false).unwrap();
+        let mut cfg = SystemConfig::with_buffer(20);
+        cfg.page_policy = tc_study::buffer::PagePolicy::Random;
+        db.run(&Query::full(), Algorithm::Btc, &cfg)
+            .unwrap()
+            .metrics
+            .total_io()
+    };
+    assert_eq!(io(), io());
+}

@@ -1,9 +1,10 @@
 //! Model-based property tests: the stateful substrates (buffer pool,
 //! successor store) against trivial in-memory reference models under
-//! randomized operation sequences.
+//! randomized operation sequences, on the `tc-det` harness.
 
-use proptest::prelude::*;
 use tc_study::buffer::{BufferPool, PagePolicy};
+use tc_study::det::check::{self, Checker};
+use tc_study::det::{require, require_eq, Rng};
 use tc_study::storage::{DiskSim, FileKind, Page, PageId, Pager, SuccEntry};
 use tc_study::succ::{ListCursor, ListPolicy, SuccStore};
 
@@ -20,145 +21,198 @@ enum PoolOp {
     Flush,
 }
 
-fn pool_ops(pages: usize) -> impl Strategy<Value = Vec<PoolOp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0..pages, any::<u32>()).prop_map(|(page, value)| PoolOp::Write { page, value }),
-            (0..pages).prop_map(|page| PoolOp::Read { page }),
-            (0..pages).prop_map(|page| PoolOp::Pin { page }),
-            Just(PoolOp::UnpinAll),
-            Just(PoolOp::Flush),
-        ],
-        1..120,
-    )
+fn pool_op(rng: &mut Rng, pages: usize) -> PoolOp {
+    match rng.random_range(0..5u32) {
+        0 => PoolOp::Write {
+            page: rng.random_range(0..pages),
+            value: rng.next_u32(),
+        },
+        1 => PoolOp::Read {
+            page: rng.random_range(0..pages),
+        },
+        2 => PoolOp::Pin {
+            page: rng.random_range(0..pages),
+        },
+        3 => PoolOp::UnpinAll,
+        _ => PoolOp::Flush,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Under any op sequence and any policy, reads observe exactly the
+/// model's values, capacity is never exceeded, and counters stay
+/// consistent.
+#[test]
+fn buffer_pool_refines_flat_memory() {
+    Checker::new("buffer_pool_refines_flat_memory")
+        .cases(64)
+        .run(
+            |rng| {
+                let ops = check::vec_of(rng, 1..120, |r| pool_op(r, 12));
+                let policy_idx = rng.random_range(0..PagePolicy::ALL.len());
+                let capacity = rng.random_range(2..6usize);
+                (ops, policy_idx, capacity)
+            },
+            |(ops, policy_idx, capacity)| {
+                check::shrink_vec(ops)
+                    .into_iter()
+                    .filter(|o| !o.is_empty())
+                    .map(|o| (o, *policy_idx, *capacity))
+                    .collect()
+            },
+            |(ops, policy_idx, capacity)| {
+                let (policy_idx, capacity) = (*policy_idx, *capacity);
+                let policy = PagePolicy::ALL[policy_idx];
+                let mut disk = DiskSim::new();
+                let file = disk.create_file(FileKind::Temp);
+                let pids: Vec<PageId> = (0..12).map(|_| disk.alloc(file).unwrap()).collect();
+                let mut pool = BufferPool::new(disk, capacity, PagePolicy::ALL[policy_idx]);
+                let mut model = vec![0u32; 12];
+                let mut pinned: Vec<PageId> = Vec::new();
 
-    /// Under any op sequence and any policy, reads observe exactly the
-    /// model's values, capacity is never exceeded, and counters stay
-    /// consistent.
-    #[test]
-    fn buffer_pool_refines_flat_memory(
-        ops in pool_ops(12),
-        policy_idx in 0usize..PagePolicy::ALL.len(),
-        capacity in 2usize..6,
-    ) {
-        let policy = PagePolicy::ALL[policy_idx];
-        let mut disk = DiskSim::new();
-        let file = disk.create_file(FileKind::Temp);
-        let pids: Vec<PageId> = (0..12).map(|_| disk.alloc(file).unwrap()).collect();
-        let mut pool = BufferPool::new(disk, capacity, PagePolicy::ALL[policy_idx]);
-        let mut model = vec![0u32; 12];
-        let mut pinned: Vec<PageId> = Vec::new();
-
-        for op in ops {
-            match op {
-                PoolOp::Write { page, value } => {
-                    pool.with_page_mut(pids[page], &mut |p: &mut Page| p.put_u32(0, value))
-                        .unwrap();
-                    model[page] = value;
-                }
-                PoolOp::Read { page } => {
-                    let v = pool
-                        .with_page(pids[page], &mut |p: &Page| p.get_u32(0))
-                        .unwrap();
-                    prop_assert_eq!(v, model[page], "policy {}", policy.name());
-                }
-                PoolOp::Pin { page } => {
-                    // Keep one frame spare so progress stays possible.
-                    if pinned.len() + 1 < capacity && !pinned.contains(&pids[page]) {
-                        pool.pin(pids[page]).unwrap();
-                        pinned.push(pids[page]);
+                for op in ops {
+                    match *op {
+                        PoolOp::Write { page, value } => {
+                            pool.with_page_mut(pids[page], &mut |p: &mut Page| p.put_u32(0, value))
+                                .unwrap();
+                            model[page] = value;
+                        }
+                        PoolOp::Read { page } => {
+                            let v = pool
+                                .with_page(pids[page], &mut |p: &Page| p.get_u32(0))
+                                .unwrap();
+                            require_eq!(v, model[page], "policy {}", policy.name());
+                        }
+                        PoolOp::Pin { page } => {
+                            // Keep one frame spare so progress stays possible.
+                            if pinned.len() + 1 < capacity && !pinned.contains(&pids[page]) {
+                                pool.pin(pids[page]).unwrap();
+                                pinned.push(pids[page]);
+                            }
+                        }
+                        PoolOp::UnpinAll => {
+                            for p in pinned.drain(..) {
+                                pool.unpin(p);
+                            }
+                        }
+                        PoolOp::Flush => pool.flush_all().unwrap(),
                     }
+                    require!(pool.resident() <= capacity, "capacity exceeded");
+                    let s = pool.stats();
+                    require_eq!(s.hits + s.misses, s.requests);
+                    require!(s.read_hits <= s.read_requests, "read hit accounting");
                 }
-                PoolOp::UnpinAll => {
-                    for p in pinned.drain(..) {
-                        pool.unpin(p);
-                    }
+                // Pinned pages must still be resident at the end.
+                for &p in &pinned {
+                    require!(pool.is_resident(p), "pinned page {p:?} evicted");
                 }
-                PoolOp::Flush => pool.flush_all().unwrap(),
-            }
-            prop_assert!(pool.resident() <= capacity);
-            let s = pool.stats();
-            prop_assert_eq!(s.hits + s.misses, s.requests);
-            prop_assert!(s.read_hits <= s.read_requests);
-        }
-        // Pinned pages must still be resident at the end.
-        for &p in &pinned {
-            prop_assert!(pool.is_resident(p));
-        }
-        // After a full flush, the disk itself holds the model's values.
-        for p in pinned.drain(..) {
-            pool.unpin(p);
-        }
-        pool.flush_all().unwrap();
-        let mut disk = pool.into_disk_discard();
-        for (i, &pid) in pids.iter().enumerate() {
-            let mut page = Page::new();
-            disk.read_page(pid, &mut page).unwrap();
-            prop_assert_eq!(page.get_u32(0), model[i]);
-        }
-    }
+                // After a full flush, the disk itself holds the model's values.
+                for p in pinned.drain(..) {
+                    pool.unpin(p);
+                }
+                pool.flush_all().unwrap();
+                let mut disk = pool.into_disk_discard();
+                for (i, &pid) in pids.iter().enumerate() {
+                    let mut page = Page::new();
+                    disk.read_page(pid, &mut page).unwrap();
+                    require_eq!(page.get_u32(0), model[i]);
+                }
+                Ok(())
+            },
+        );
 }
 
 // ---------------------------------------------------------------------
 // Successor store vs. Vec<Vec<u32>>.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Interleaved appends across lists, under every list policy, always
-    /// read back as the per-list append sequences; the catalog matches
-    /// the on-page state throughout.
-    #[test]
-    fn succ_store_refines_vec_of_vecs(
-        appends in proptest::collection::vec((0u32..20, 0u32..2000), 1..400),
-        policy_idx in 0usize..ListPolicy::ALL.len(),
-        check_every in 50usize..120,
-    ) {
-        let policy = ListPolicy::ALL[policy_idx];
-        let mut disk = DiskSim::new();
-        let mut store = SuccStore::new(&mut disk, 20, policy);
-        let mut model: Vec<Vec<u32>> = vec![Vec::new(); 20];
-        for (i, &(node, value)) in appends.iter().enumerate() {
-            store.append(&mut disk, node, SuccEntry::plain(value)).unwrap();
-            model[node as usize].push(value);
-            if i % check_every == 0 {
+/// Interleaved appends across lists, under every list policy, always
+/// read back as the per-list append sequences; the catalog matches
+/// the on-page state throughout.
+#[test]
+fn succ_store_refines_vec_of_vecs() {
+    Checker::new("succ_store_refines_vec_of_vecs")
+        .cases(48)
+        .run(
+            |rng| {
+                let appends = check::vec_of(rng, 1..400, |r| {
+                    (r.random_range(0..20u32), r.random_range(0..2000u32))
+                });
+                let policy_idx = rng.random_range(0..ListPolicy::ALL.len());
+                let check_every = rng.random_range(50..120usize);
+                (appends, policy_idx, check_every)
+            },
+            |(appends, policy_idx, check_every)| {
+                check::shrink_vec(appends)
+                    .into_iter()
+                    .filter(|a| !a.is_empty())
+                    .map(|a| (a, *policy_idx, *check_every))
+                    .collect()
+            },
+            |(appends, policy_idx, check_every)| {
+                let policy = ListPolicy::ALL[*policy_idx];
+                let mut disk = DiskSim::new();
+                let mut store = SuccStore::new(&mut disk, 20, policy);
+                let mut model: Vec<Vec<u32>> = vec![Vec::new(); 20];
+                for (i, &(node, value)) in appends.iter().enumerate() {
+                    store
+                        .append(&mut disk, node, SuccEntry::plain(value))
+                        .unwrap();
+                    model[node as usize].push(value);
+                    if i % check_every == 0 {
+                        store.verify_integrity(&mut disk).unwrap();
+                    }
+                }
                 store.verify_integrity(&mut disk).unwrap();
-            }
-        }
-        store.verify_integrity(&mut disk).unwrap();
-        for node in 0..20u32 {
-            let got = ListCursor::new(&store, node)
-                .collect_nodes(&mut disk)
-                .unwrap();
-            prop_assert_eq!(&got, &model[node as usize], "{} node {}", policy.name(), node);
-            prop_assert_eq!(store.len(node), model[node as usize].len());
-        }
-    }
+                for node in 0..20u32 {
+                    let got = ListCursor::new(&store, node)
+                        .collect_nodes(&mut disk)
+                        .unwrap();
+                    require_eq!(
+                        &got,
+                        &model[node as usize],
+                        "{} node {}",
+                        policy.name(),
+                        node
+                    );
+                    require_eq!(store.len(node), model[node as usize].len());
+                }
+                Ok(())
+            },
+        );
+}
 
-    /// The flat-list negation convention holds under interleaving: the
-    /// last entry of every non-empty list is tagged, all others plain.
-    #[test]
-    fn flat_tag_invariant(
-        appends in proptest::collection::vec((0u32..8, 0u32..500), 1..200),
-    ) {
-        let mut disk = DiskSim::new();
-        let mut store = SuccStore::new(&mut disk, 8, ListPolicy::MoveShortest);
-        for &(node, value) in &appends {
-            store.append_flat(&mut disk, node, value).unwrap();
-        }
-        for node in 0..8u32 {
-            let entries = ListCursor::new(&store, node)
-                .collect_entries(&mut disk)
-                .unwrap();
-            if let Some((last, rest)) = entries.split_last() {
-                prop_assert!(last.tagged, "last entry of node {node} untagged");
-                prop_assert!(rest.iter().all(|e| !e.tagged));
+/// The flat-list negation convention holds under interleaving: the
+/// last entry of every non-empty list is tagged, all others plain.
+#[test]
+fn flat_tag_invariant() {
+    Checker::new("flat_tag_invariant").cases(48).run(
+        |rng| {
+            check::vec_of(rng, 1..200, |r| {
+                (r.random_range(0..8u32), r.random_range(0..500u32))
+            })
+        },
+        |appends| {
+            check::shrink_vec(appends)
+                .into_iter()
+                .filter(|a| !a.is_empty())
+                .collect()
+        },
+        |appends| {
+            let mut disk = DiskSim::new();
+            let mut store = SuccStore::new(&mut disk, 8, ListPolicy::MoveShortest);
+            for &(node, value) in appends {
+                store.append_flat(&mut disk, node, value).unwrap();
             }
-        }
-    }
+            for node in 0..8u32 {
+                let entries = ListCursor::new(&store, node)
+                    .collect_entries(&mut disk)
+                    .unwrap();
+                if let Some((last, rest)) = entries.split_last() {
+                    require!(last.tagged, "last entry of node {node} untagged");
+                    require!(rest.iter().all(|e| !e.tagged), "non-last entry tagged");
+                }
+            }
+            Ok(())
+        },
+    );
 }

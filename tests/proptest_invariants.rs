@@ -1,185 +1,284 @@
-//! Property-based tests over the core invariants of the study.
+//! Property-based tests over the core invariants of the study, on the
+//! in-workspace `tc-det` harness (seeded cases, greedy shrinking —
+//! replay a failure with the printed `TC_DET_SEED=...`).
 
-use proptest::prelude::*;
 use tc_study::core::prelude::*;
+use tc_study::det::check::{self, Checker};
+use tc_study::det::{require, require_eq, Rng};
 use tc_study::graph::{
     closure, condensation, model, transitive_reduction, DagGenerator, Graph, RectangleModel,
 };
 
-/// Strategy: a random DAG via random (low -> high) arcs.
-fn dag(max_n: usize, max_arcs: usize) -> impl Strategy<Value = Graph> {
-    (2..max_n).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_arcs).prop_map(
-            move |pairs| {
-                Graph::from_arcs(
-                    n,
-                    pairs.into_iter().filter_map(|(a, b)| {
-                        use std::cmp::Ordering::*;
-                        match a.cmp(&b) {
-                            Less => Some((a, b)),
-                            Greater => Some((b, a)),
-                            Equal => None,
-                        }
-                    }),
-                )
+/// Raw generated input: node count plus unconstrained arc pairs. Kept
+/// raw (rather than as a `Graph`) so shrinking can drop arcs directly.
+type RawGraph = (usize, Vec<(u32, u32)>);
+
+fn raw_graph(rng: &mut Rng, max_n: usize, max_arcs: usize) -> RawGraph {
+    let n = rng.random_range(2..max_n);
+    let pairs = check::vec_of(rng, 0..max_arcs, |r| {
+        (r.random_range(0..n as u32), r.random_range(0..n as u32))
+    });
+    (n, pairs)
+}
+
+/// A DAG: each pair is oriented low -> high, self-loops dropped.
+fn dag_of(&(n, ref pairs): &RawGraph) -> Graph {
+    Graph::from_arcs(
+        n,
+        pairs.iter().filter_map(|&(a, b)| {
+            use std::cmp::Ordering::*;
+            match a.cmp(&b) {
+                Less => Some((a, b)),
+                Greater => Some((b, a)),
+                Equal => None,
+            }
+        }),
+    )
+}
+
+/// An arbitrary (possibly cyclic) graph.
+fn any_of(&(n, ref pairs): &RawGraph) -> Graph {
+    Graph::from_arcs(n, pairs.iter().copied())
+}
+
+fn shrink_raw(&(n, ref pairs): &RawGraph) -> Vec<RawGraph> {
+    check::shrink_vec(pairs)
+        .into_iter()
+        .map(|p| (n, p))
+        .collect()
+}
+
+/// TC(TC(G)) = TC(G): closure is idempotent.
+#[test]
+fn closure_is_idempotent() {
+    Checker::new("closure_is_idempotent").cases(48).run(
+        |rng| raw_graph(rng, 60, 200),
+        shrink_raw,
+        |raw| {
+            let g = dag_of(raw);
+            let tc1 = closure::dfs_closure(&g);
+            let closed = Graph::from_arcs(
+                g.n(),
+                (0..g.n() as u32).flat_map(|u| tc1.row_ones(u).into_iter().map(move |v| (u, v))),
+            );
+            let tc2 = closure::dfs_closure(&closed);
+            require_eq!(tc1, tc2);
+            Ok(())
+        },
+    );
+}
+
+/// The three in-memory oracles agree on DAGs.
+#[test]
+fn oracles_agree() {
+    Checker::new("oracles_agree").cases(48).run(
+        |rng| raw_graph(rng, 60, 200),
+        shrink_raw,
+        |raw| {
+            let g = dag_of(raw);
+            let a = closure::dfs_closure(&g);
+            require_eq!(a, closure::warshall(&g));
+            require_eq!(a, closure::warren(&g));
+            Ok(())
+        },
+    );
+}
+
+/// Theorem 1: H(G) = H(TR(G)) = H(TC(G)); W(TR) <= W(G) <= W(TC).
+#[test]
+fn rectangle_model_theorem() {
+    Checker::new("rectangle_model_theorem").cases(48).run(
+        |rng| raw_graph(rng, 50, 150),
+        shrink_raw,
+        |raw| {
+            let g = dag_of(raw);
+            let tr = transitive_reduction(&g);
+            let tc_m = closure::dfs_closure(&g);
+            let tc = Graph::from_arcs(
+                g.n(),
+                (0..g.n() as u32).flat_map(|u| tc_m.row_ones(u).into_iter().map(move |v| (u, v))),
+            );
+            let (mg, mtr, mtc) = (
+                RectangleModel::of(&g),
+                RectangleModel::of(&tr),
+                RectangleModel::of(&tc),
+            );
+            require!((mg.height - mtr.height).abs() < 1e-9, "H(G) != H(TR)");
+            require!((mg.height - mtc.height).abs() < 1e-9, "H(G) != H(TC)");
+            require!(mtr.width <= mg.width + 1e-9, "W(TR) > W(G)");
+            require!(mg.width <= mtc.width + 1e-9, "W(G) > W(TC)");
+            Ok(())
+        },
+    );
+}
+
+/// The engine's BTC marking realizes the transitive reduction.
+#[test]
+fn marking_is_transitive_reduction() {
+    Checker::new("marking_is_transitive_reduction")
+        .cases(48)
+        .run(
+            |rng| raw_graph(rng, 50, 150),
+            shrink_raw,
+            |raw| {
+                let g = dag_of(raw);
+                let tr = transitive_reduction(&g);
+                let mut db = Database::build(&g, false).unwrap();
+                let res = db
+                    .run(&Query::full(), Algorithm::Btc, &SystemConfig::default())
+                    .unwrap();
+                require_eq!(res.metrics.unions as usize, tr.arc_count());
+                require_eq!(
+                    res.metrics.arcs_marked as usize,
+                    g.arc_count() - tr.arc_count()
+                );
+                Ok(())
             },
-        )
-    })
+        );
 }
 
-/// Strategy: an arbitrary (possibly cyclic) graph.
-fn any_graph(max_n: usize, max_arcs: usize) -> impl Strategy<Value = Graph> {
-    (2..max_n).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_arcs)
-            .prop_map(move |pairs| Graph::from_arcs(n, pairs))
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// TC(TC(G)) = TC(G): closure is idempotent.
-    #[test]
-    fn closure_is_idempotent(g in dag(60, 200)) {
-        let tc1 = closure::dfs_closure(&g);
-        let closed = Graph::from_arcs(
-            g.n(),
-            (0..g.n() as u32).flat_map(|u| {
-                tc1.row_ones(u).into_iter().map(move |v| (u, v))
-            }),
-        );
-        let tc2 = closure::dfs_closure(&closed);
-        prop_assert_eq!(tc1, tc2);
-    }
-
-    /// The three in-memory oracles agree on DAGs.
-    #[test]
-    fn oracles_agree(g in dag(60, 200)) {
-        let a = closure::dfs_closure(&g);
-        prop_assert_eq!(&a, &closure::warshall(&g));
-        prop_assert_eq!(&a, &closure::warren(&g));
-    }
-
-    /// Theorem 1: H(G) = H(TR(G)) = H(TC(G)); W(TR) <= W(G) <= W(TC).
-    #[test]
-    fn rectangle_model_theorem(g in dag(50, 150)) {
-        let tr = transitive_reduction(&g);
-        let tc_m = closure::dfs_closure(&g);
-        let tc = Graph::from_arcs(
-            g.n(),
-            (0..g.n() as u32).flat_map(|u| tc_m.row_ones(u).into_iter().map(move |v| (u, v))),
-        );
-        let (mg, mtr, mtc) = (
-            RectangleModel::of(&g),
-            RectangleModel::of(&tr),
-            RectangleModel::of(&tc),
-        );
-        prop_assert!((mg.height - mtr.height).abs() < 1e-9);
-        prop_assert!((mg.height - mtc.height).abs() < 1e-9);
-        prop_assert!(mtr.width <= mg.width + 1e-9);
-        prop_assert!(mg.width <= mtc.width + 1e-9);
-    }
-
-    /// The engine's BTC marking realizes the transitive reduction.
-    #[test]
-    fn marking_is_transitive_reduction(g in dag(50, 150)) {
-        let tr = transitive_reduction(&g);
-        let mut db = Database::build(&g, false).unwrap();
-        let res = db.run(&Query::full(), Algorithm::Btc, &SystemConfig::default()).unwrap();
-        prop_assert_eq!(res.metrics.unions as usize, tr.arc_count());
-        prop_assert_eq!(
-            res.metrics.arcs_marked as usize,
-            g.arc_count() - tr.arc_count()
-        );
-    }
-
-    /// Every disk-based algorithm equals the oracle on random DAGs and
-    /// random source sets.
-    #[test]
-    fn algorithms_match_oracle(
-        g in dag(40, 120),
-        raw_sources in proptest::collection::vec(0u32..40, 1..5),
-    ) {
-        let sources: Vec<u32> =
-            raw_sources.into_iter().filter(|&s| (s as usize) < g.n()).collect();
-        prop_assume!(!sources.is_empty());
-        let expect = closure::ptc_answer(&g, &sources);
-        let mut db = Database::build(&g, true).unwrap();
-        let cfg = SystemConfig::default().collecting();
-        for algo in Algorithm::ALL {
-            let res = db.run(&Query::partial(sources.clone()), algo, &cfg).unwrap();
-            prop_assert_eq!(res.answer.as_deref().unwrap(), &expect[..], "{}", algo);
-        }
-    }
-
-    /// Condensation is acyclic and closure-equivalent on arbitrary graphs.
-    #[test]
-    fn condensation_preserves_reachability(g in any_graph(40, 160)) {
-        let c = condensation(&g);
-        prop_assert!(c.graph.is_acyclic());
-        let direct = closure::dfs_closure(&g);
-        let ctc = closure::dfs_closure(&c.graph);
-        for u in 0..g.n() as u32 {
-            for v in 0..g.n() as u32 {
-                let (cu, cv) = (c.component[u as usize], c.component[v as usize]);
-                let reachable = if cu == cv {
-                    u == v && c.members[cu as usize].len() > 1 || (u != v && c.members[cu as usize].len() > 1)
-                } else {
-                    ctc.get(cu, cv)
-                };
-                prop_assert_eq!(
-                    direct.get(u, v),
-                    reachable,
-                    "({}, {})", u, v
+/// Every disk-based algorithm equals the oracle on random DAGs and
+/// random source sets.
+#[test]
+fn algorithms_match_oracle() {
+    Checker::new("algorithms_match_oracle").cases(48).run(
+        |rng| {
+            let raw = raw_graph(rng, 40, 120);
+            let n = raw.0 as u32;
+            let sources = check::vec_of(rng, 1..5, |r| r.random_range(0..n));
+            (raw, sources)
+        },
+        |(raw, sources)| {
+            let mut out: Vec<(RawGraph, Vec<u32>)> = shrink_raw(raw)
+                .into_iter()
+                .map(|r| (r, sources.clone()))
+                .collect();
+            if sources.len() > 1 {
+                out.extend(
+                    check::shrink_vec(sources)
+                        .into_iter()
+                        .filter(|s| !s.is_empty())
+                        .map(|s| (raw.clone(), s)),
                 );
             }
-        }
-    }
-
-    /// Node levels are 1 + max over children, everywhere.
-    #[test]
-    fn levels_definition(g in dag(60, 200)) {
-        let levels = model::node_levels(&g);
-        for u in 0..g.n() as u32 {
-            let expect = 1 + g
-                .children(u)
-                .iter()
-                .map(|&v| levels[v as usize])
-                .max()
-                .unwrap_or(0);
-            prop_assert_eq!(levels[u as usize], expect);
-        }
-    }
+            out
+        },
+        |(raw, sources)| {
+            let g = dag_of(raw);
+            let expect = closure::ptc_answer(&g, sources);
+            let mut db = Database::build(&g, true).unwrap();
+            let cfg = SystemConfig::default().collecting();
+            for algo in Algorithm::ALL {
+                let res = db
+                    .run(&Query::partial(sources.clone()), algo, &cfg)
+                    .unwrap();
+                require_eq!(res.answer.as_deref().unwrap(), &expect[..], "{}", algo);
+            }
+            Ok(())
+        },
+    );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Condensation is acyclic and closure-equivalent on arbitrary graphs.
+#[test]
+fn condensation_preserves_reachability() {
+    Checker::new("condensation_preserves_reachability")
+        .cases(48)
+        .run(
+            |rng| raw_graph(rng, 40, 160),
+            shrink_raw,
+            |raw| {
+                let g = any_of(raw);
+                let c = condensation(&g);
+                require!(c.graph.is_acyclic(), "condensation has a cycle");
+                let direct = closure::dfs_closure(&g);
+                let ctc = closure::dfs_closure(&c.graph);
+                for u in 0..g.n() as u32 {
+                    for v in 0..g.n() as u32 {
+                        let (cu, cv) = (c.component[u as usize], c.component[v as usize]);
+                        let reachable = if cu == cv {
+                            u == v && c.members[cu as usize].len() > 1
+                                || (u != v && c.members[cu as usize].len() > 1)
+                        } else {
+                            ctc.get(cu, cv)
+                        };
+                        require_eq!(direct.get(u, v), reachable, "({}, {})", u, v);
+                    }
+                }
+                Ok(())
+            },
+        );
+}
 
-    /// Metric consistency on generated workloads.
-    #[test]
-    fn metric_invariants(seed in 0u64..500, s in 1usize..8) {
-        let g = DagGenerator::new(150, 4.0, 40).seed(seed).generate();
-        let sources: Vec<u32> = (0..s as u32 * 13 % 150).step_by(13).collect();
-        prop_assume!(!sources.is_empty());
-        let mut db = Database::build(&g, true).unwrap();
-        for algo in [Algorithm::Btc, Algorithm::Bj, Algorithm::Jkb2, Algorithm::Srch] {
-            let res = db
-                .run(&Query::partial(sources.clone()), algo, &SystemConfig::default())
-                .unwrap();
-            let m = &res.metrics;
-            prop_assert!(m.arcs_marked <= m.arcs_processed, "{}", algo);
-            prop_assert!(m.source_tuples <= m.tuples_generated, "{}", algo);
-            // List-based and tree-based algorithms perform at most one
-            // union per processed arc. (SRCH is exempt: it counts one
-            // union per *visited node*, which on sparse fringes can
-            // exceed the arc count.)
-            if algo != Algorithm::Srch {
-                prop_assert!(m.unions <= m.arcs_processed, "{}", algo);
+/// Node levels are 1 + max over children, everywhere.
+#[test]
+fn levels_definition() {
+    Checker::new("levels_definition").cases(48).run(
+        |rng| raw_graph(rng, 60, 200),
+        shrink_raw,
+        |raw| {
+            let g = dag_of(raw);
+            let levels = model::node_levels(&g);
+            for u in 0..g.n() as u32 {
+                let expect = 1 + g
+                    .children(u)
+                    .iter()
+                    .map(|&v| levels[v as usize])
+                    .max()
+                    .unwrap_or(0);
+                require_eq!(levels[u as usize], expect);
             }
-            prop_assert!(m.buffer.hits + m.buffer.misses == m.buffer.requests, "{}", algo);
-            let by_kind: u64 = m.io_by_kind.iter().map(|&(r, w)| r + w).sum();
-            prop_assert_eq!(m.total_io(), by_kind, "{}", algo);
-            prop_assert!(m.selection_efficiency() <= 1.0 + 1e-9, "{}", algo);
-        }
-    }
+            Ok(())
+        },
+    );
+}
+
+/// Metric consistency on generated workloads.
+#[test]
+fn metric_invariants() {
+    Checker::new("metric_invariants").cases(24).run(
+        |rng| (rng.random_range(0..500u64), rng.random_range(1..8usize)),
+        check::shrink_none,
+        |&(seed, s)| {
+            let g = DagGenerator::new(150, 4.0, 40).seed(seed).generate();
+            let sources: Vec<u32> = (0..s as u32 * 13 % 150).step_by(13).collect();
+            if sources.is_empty() {
+                return Ok(()); // vacuous case (the old prop_assume!)
+            }
+            let mut db = Database::build(&g, true).unwrap();
+            for algo in [
+                Algorithm::Btc,
+                Algorithm::Bj,
+                Algorithm::Jkb2,
+                Algorithm::Srch,
+            ] {
+                let res = db
+                    .run(
+                        &Query::partial(sources.clone()),
+                        algo,
+                        &SystemConfig::default(),
+                    )
+                    .unwrap();
+                let m = &res.metrics;
+                require!(m.arcs_marked <= m.arcs_processed, "{}", algo);
+                require!(m.source_tuples <= m.tuples_generated, "{}", algo);
+                // List-based and tree-based algorithms perform at most one
+                // union per processed arc. (SRCH is exempt: it counts one
+                // union per *visited node*, which on sparse fringes can
+                // exceed the arc count.)
+                if algo != Algorithm::Srch {
+                    require!(m.unions <= m.arcs_processed, "{}", algo);
+                }
+                require!(
+                    m.buffer.hits + m.buffer.misses == m.buffer.requests,
+                    "{}",
+                    algo
+                );
+                let by_kind: u64 = m.io_by_kind.iter().map(|&(r, w)| r + w).sum();
+                require_eq!(m.total_io(), by_kind, "{}", algo);
+                require!(m.selection_efficiency() <= 1.0 + 1e-9, "{}", algo);
+            }
+            Ok(())
+        },
+    );
 }
