@@ -3,7 +3,10 @@
 use crate::policy::{PagePolicy, ReplacementPolicy};
 use crate::stats::BufferStats;
 use std::collections::HashMap;
-use tc_storage::{DiskSim, FileId, FileKind, Page, PageId, Pager, StorageError, StorageResult};
+use tc_storage::{
+    with_retries, DiskSim, FileId, FileKind, Page, PageId, Pager, RetryPolicy, RetryTally,
+    StorageError, StorageResult,
+};
 
 struct Frame {
     pid: PageId,
@@ -30,6 +33,7 @@ pub struct BufferPool {
     free: Vec<usize>,
     policy: Box<dyn ReplacementPolicy>,
     stats: BufferStats,
+    retry: RetryPolicy,
 }
 
 impl BufferPool {
@@ -45,7 +49,15 @@ impl BufferPool {
             free: Vec::new(),
             policy: policy.build(capacity),
             stats: BufferStats::default(),
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Sets the retry policy applied to physical transfers (transient
+    /// faults injected on the wrapped disk are retried under it; the
+    /// retry counts surface in [`BufferStats`]).
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
     }
 
     /// Pool capacity in frames (the paper's `M`).
@@ -94,9 +106,78 @@ impl BufferPool {
     /// Releases one pin on `pid`. Panics if the page is not resident or
     /// not pinned (a bookkeeping bug, not a data condition).
     pub fn unpin(&mut self, pid: PageId) {
-        let f = *self.map.get(&pid).expect("unpin of non-resident page");
+        let Some(&f) = self.map.get(&pid) else {
+            panic!("unpin of non-resident page {pid:?}");
+        };
         assert!(self.frames[f].pins > 0, "unpin of unpinned page");
         self.frames[f].pins -= 1;
+    }
+
+    /// Number of frames currently holding at least one pin.
+    pub fn pinned_frames(&self) -> usize {
+        self.frames.iter().filter(|fr| fr.pins > 0).count()
+    }
+
+    /// Verifies the pool's structural invariants, returning a description
+    /// of the first violation found.
+    ///
+    /// Checked: the pool never exceeds its capacity; every frame is
+    /// accounted for exactly once (resident in the map or on the free
+    /// list); map entries point at frames holding that page; and free
+    /// frames are unpinned and clean (an error path must never drop a
+    /// dirty page or leak a pin). The fault-injection property test runs
+    /// this after every operation.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.frames.len() > self.capacity {
+            return Err(format!(
+                "{} frames exceed capacity {}",
+                self.frames.len(),
+                self.capacity
+            ));
+        }
+        if self.map.len() + self.free.len() != self.frames.len() {
+            return Err(format!(
+                "{} mapped + {} free != {} frames",
+                self.map.len(),
+                self.free.len(),
+                self.frames.len()
+            ));
+        }
+        let mut seen = vec![false; self.frames.len()];
+        for (&pid, &f) in &self.map {
+            if f >= self.frames.len() {
+                return Err(format!("map entry {pid:?} -> frame {f} out of range"));
+            }
+            if seen[f] {
+                return Err(format!("frame {f} referenced twice"));
+            }
+            seen[f] = true;
+            if self.frames[f].pid != pid {
+                return Err(format!(
+                    "map says frame {f} holds {pid:?} but frame says {:?}",
+                    self.frames[f].pid
+                ));
+            }
+        }
+        for &f in &self.free {
+            if f >= self.frames.len() {
+                return Err(format!("free-list frame {f} out of range"));
+            }
+            if seen[f] {
+                return Err(format!("frame {f} both resident and free"));
+            }
+            seen[f] = true;
+            if self.frames[f].pins > 0 {
+                return Err(format!("free frame {f} still pinned"));
+            }
+            if self.frames[f].dirty {
+                return Err(format!("free frame {f} holds a dropped dirty page"));
+            }
+        }
+        if let Some(f) = seen.iter().position(|&s| !s) {
+            return Err(format!("frame {f} neither resident nor free"));
+        }
+        Ok(())
     }
 
     /// Whether `pid` is currently resident.
@@ -109,12 +190,42 @@ impl BufferPool {
         self.map.get(&pid).is_some_and(|&f| self.frames[f].pins > 0)
     }
 
+    /// Physically reads `pid` into frame `f`, retrying transient faults.
+    fn read_into(&mut self, pid: PageId, f: usize) -> StorageResult<()> {
+        let policy = self.retry;
+        let mut tally = RetryTally::default();
+        let r = {
+            let disk = &mut self.disk;
+            let page = &mut self.frames[f].page;
+            with_retries(&policy, &mut tally, || disk.read_page(pid, page))
+        };
+        self.stats.retries += tally.retries;
+        self.stats.retry_backoff_ms += tally.backoff_ms;
+        r
+    }
+
+    /// Physically writes frame `f` back to its page, retrying transient
+    /// faults. The caller decides what to do with the dirty bit.
+    fn write_back(&mut self, f: usize) -> StorageResult<()> {
+        let policy = self.retry;
+        let mut tally = RetryTally::default();
+        let r = {
+            let disk = &mut self.disk;
+            let frame = &self.frames[f];
+            with_retries(&policy, &mut tally, || {
+                disk.write_page(frame.pid, &frame.page)
+            })
+        };
+        self.stats.retries += tally.retries;
+        self.stats.retry_backoff_ms += tally.backoff_ms;
+        r
+    }
+
     /// Writes all dirty frames back to disk (they stay resident and clean).
     pub fn flush_all(&mut self) -> StorageResult<()> {
         for f in 0..self.frames.len() {
             if self.frames[f].dirty {
-                self.disk
-                    .write_page(self.frames[f].pid, &self.frames[f].page)?;
+                self.write_back(f)?;
                 self.frames[f].dirty = false;
                 self.stats.flush_writes += 1;
             }
@@ -127,9 +238,9 @@ impl BufferPool {
     /// source nodes are written out").
     pub fn flush_pages(&mut self, pages: &[PageId]) -> StorageResult<()> {
         for &pid in pages {
-            if let Some(&f) = self.map.get(&pid) {
+            if let Some(f) = self.map.get(&pid).copied() {
                 if self.frames[f].dirty {
-                    self.disk.write_page(pid, &self.frames[f].page)?;
+                    self.write_back(f)?;
                     self.frames[f].dirty = false;
                     self.stats.flush_writes += 1;
                 }
@@ -142,8 +253,7 @@ impl BufferPool {
     pub fn flush_file(&mut self, file: FileId) -> StorageResult<()> {
         for f in 0..self.frames.len() {
             if self.frames[f].dirty && self.disk.page_file(self.frames[f].pid)? == file {
-                self.disk
-                    .write_page(self.frames[f].pid, &self.frames[f].page)?;
+                self.write_back(f)?;
                 self.frames[f].dirty = false;
                 self.stats.flush_writes += 1;
             }
@@ -199,7 +309,15 @@ impl BufferPool {
         }
         self.stats.misses += 1;
         let f = self.take_frame()?;
-        self.disk.read_page(pid, &mut self.frames[f].page)?;
+        if let Err(e) = self.read_into(pid, f) {
+            // Return the frame to the free list so a failed fetch leaks
+            // neither the frame nor a stale mapping.
+            self.frames[f].pid = PageId(u32::MAX);
+            self.frames[f].dirty = false;
+            self.frames[f].pins = 0;
+            self.free.push(f);
+            return Err(e);
+        }
         self.frames[f].pid = pid;
         self.frames[f].dirty = false;
         self.frames[f].pins = 0;
@@ -236,7 +354,10 @@ impl BufferPool {
         debug_assert_eq!(self.frames[victim].pins, 0);
         let old_pid = self.frames[victim].pid;
         if self.frames[victim].dirty {
-            self.disk.write_page(old_pid, &self.frames[victim].page)?;
+            // On failure the victim stays resident and dirty; nothing is
+            // lost and the caller sees the error.
+            self.write_back(victim)?;
+            self.frames[victim].dirty = false;
             self.stats.dirty_writebacks += 1;
         }
         self.stats.evictions += 1;

@@ -28,6 +28,11 @@ pub struct BufferStats {
     pub dirty_writebacks: u64,
     /// Pages written by an explicit flush (end-of-run write-out).
     pub flush_writes: u64,
+    /// Physical transfer re-attempts after injected transient faults
+    /// (zero unless a fault plan is armed on the wrapped disk).
+    pub retries: u64,
+    /// Total simulated retry backoff, in milliseconds.
+    pub retry_backoff_ms: u64,
 }
 
 impl BufferStats {
@@ -62,6 +67,8 @@ impl BufferStats {
             evictions: self.evictions - earlier.evictions,
             dirty_writebacks: self.dirty_writebacks - earlier.dirty_writebacks,
             flush_writes: self.flush_writes - earlier.flush_writes,
+            retries: self.retries - earlier.retries,
+            retry_backoff_ms: self.retry_backoff_ms - earlier.retry_backoff_ms,
         }
     }
 }
@@ -108,6 +115,8 @@ mod tests {
             evictions: 1,
             dirty_writebacks: 1,
             flush_writes: 0,
+            retries: 0,
+            retry_backoff_ms: 0,
         };
         let b = BufferStats {
             requests: 25,
@@ -118,6 +127,8 @@ mod tests {
             evictions: 4,
             dirty_writebacks: 2,
             flush_writes: 5,
+            retries: 3,
+            retry_backoff_ms: 6,
         };
         let d = b.since(&a);
         assert_eq!(d.requests, 15);

@@ -1,7 +1,7 @@
 //! System configuration (paper §5.1).
 
 use tc_buffer::PagePolicy;
-use tc_storage::IoCostModel;
+use tc_storage::{FaultConfig, IoCostModel, RetryPolicy};
 use tc_succ::ListPolicy;
 
 /// The system parameters of one experiment: buffer pool size, page and
@@ -33,6 +33,14 @@ pub struct SystemConfig {
     /// Keep the answer tuples in memory on the [`crate::RunResult`]
     /// (costs memory, no I/O; implied by `validate`).
     pub collect_answer: bool,
+    /// Deterministic fault injection: when set, the run arms this plan on
+    /// the simulated disk (the same seed replays the same failure trace).
+    /// `None` (the default) runs fault-free with zero overhead on the
+    /// read path.
+    pub fault: Option<FaultConfig>,
+    /// Retry policy for transient storage faults (only observable when
+    /// `fault` is set).
+    pub retry: RetryPolicy,
 }
 
 impl Default for SystemConfig {
@@ -49,6 +57,8 @@ impl Default for SystemConfig {
             io_model: IoCostModel::default(),
             validate: false,
             collect_answer: false,
+            fault: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -90,6 +100,18 @@ impl SystemConfig {
     /// Builder-style: keep the answer tuples on the [`crate::RunResult`].
     pub fn collecting(mut self) -> Self {
         self.collect_answer = true;
+        self
+    }
+
+    /// Builder-style: arm deterministic fault injection for the run.
+    pub fn faulted(mut self, fault: FaultConfig) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Builder-style: set the transient-fault retry policy.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 }

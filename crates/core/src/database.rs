@@ -106,8 +106,11 @@ impl Database {
     /// Detaches the simulated disk, e.g. to wrap it in a buffer pool when
     /// orchestrating the execution phases manually (the engine and the
     /// experiment harness do this). Pair with [`Database::restore_disk`].
-    pub fn take_disk(&mut self) -> DiskSim {
-        self.disk.take().expect("disk already taken")
+    ///
+    /// Fails with [`StorageError::DiskDetached`] if the disk is already
+    /// taken (e.g. by a live [`crate::PathIndex`]).
+    pub fn take_disk(&mut self) -> StorageResult<DiskSim> {
+        self.disk.take().ok_or(StorageError::DiskDetached)
     }
 
     /// Reattaches a disk taken with [`Database::take_disk`].

@@ -10,7 +10,9 @@ use crate::restructure::{restructure, RestructureOptions};
 use std::time::Instant;
 use tc_buffer::{BufferPool, BufferStats};
 use tc_graph::{closure, MagicGraph, NodeId};
-use tc_storage::{DiskStats, FileKind, StorageResult, TupleWriter};
+use tc_storage::{
+    DiskStats, FaultEvent, FaultPlan, FileKind, StorageError, StorageResult, TupleWriter,
+};
 
 /// The outcome of one query execution.
 #[derive(Clone, Debug)]
@@ -20,6 +22,10 @@ pub struct RunResult {
     /// The answer tuples `(source, successor)`, if collection was enabled
     /// in the [`SystemConfig`]. Sorted and duplicate-free.
     pub answer: Option<Vec<(NodeId, NodeId)>>,
+    /// The fault trace of the run: every injected fault and checksum
+    /// detection, in order. Empty unless the [`SystemConfig`] armed a
+    /// fault plan.
+    pub fault_trace: Vec<FaultEvent>,
 }
 
 impl RunResult {
@@ -36,8 +42,12 @@ pub(crate) fn run(
     cfg: &SystemConfig,
 ) -> StorageResult<RunResult> {
     let start = Instant::now();
-    let disk = db.disk.take().expect("database disk present");
+    let mut disk = db.disk.take().ok_or(StorageError::DiskDetached)?;
+    if let Some(fault) = &cfg.fault {
+        disk.set_fault_plan(FaultPlan::new(fault.clone()));
+    }
     let mut pool = BufferPool::new(disk, cfg.buffer_pages, cfg.page_policy);
+    pool.set_retry_policy(cfg.retry);
     let mut metrics = CostMetrics::new(algorithm);
     let mut answer = AnswerCollector::new(cfg.validate || cfg.collect_answer);
 
@@ -52,10 +62,13 @@ pub(crate) fn run(
         &mut answer,
     );
 
-    // Finalize: the disk must return to the database even on error.
+    // Finalize: the disk must return to the database even on error, and
+    // the fault plan is always disarmed first, so a failed run never
+    // poisons the database for subsequent queries.
     let disk_stats_total = pool.disk().stats().clone();
     metrics.buffer = pool.stats().clone();
-    let disk = pool.into_disk_discard();
+    let mut disk = pool.into_disk_discard();
+    let fault = disk.clear_fault_plan();
     db.disk = Some(disk);
     let snapshot = outcome?;
 
@@ -75,6 +88,16 @@ pub(crate) fn run(
         metrics.buffer_compute = metrics.buffer.clone();
     }
     metrics.answer_tuples = answer.count();
+    metrics.io_retries = metrics.buffer.retries;
+    metrics.retry_backoff_ms = metrics.buffer.retry_backoff_ms;
+    let fault_trace = match fault {
+        Some(plan) => {
+            metrics.faults_injected = plan.stats().total_injected();
+            metrics.corruptions_detected = plan.stats().detections;
+            plan.into_events()
+        }
+        None => Vec::new(),
+    };
     metrics.elapsed = start.elapsed();
     metrics.estimated_io_seconds = cfg.io_model.estimate_seconds(metrics.total_io());
 
@@ -91,6 +114,7 @@ pub(crate) fn run(
     Ok(RunResult {
         metrics,
         answer: answer_pairs,
+        fault_trace,
     })
 }
 

@@ -98,6 +98,16 @@ pub struct CostMetrics {
     /// Rectangle model of the (magic) graph, when the run computed one.
     pub rect: Option<RectangleModel>,
 
+    // ---- Fault injection & recovery (zero on fault-free runs) ----
+    /// Physical transfer re-attempts after injected transient faults.
+    pub io_retries: u64,
+    /// Total simulated retry backoff, in milliseconds.
+    pub retry_backoff_ms: u64,
+    /// Faults the armed plan injected during the run.
+    pub faults_injected: u64,
+    /// Corrupted page images caught by checksum verification.
+    pub corruptions_detected: u64,
+
     // ---- Result & time ----
     /// Distinct answer tuples produced.
     pub answer_tuples: u64,
@@ -133,6 +143,10 @@ impl CostMetrics {
             magic_nodes: 0,
             magic_arcs: 0,
             rect: None,
+            io_retries: 0,
+            retry_backoff_ms: 0,
+            faults_injected: 0,
+            corruptions_detected: 0,
             answer_tuples: 0,
             elapsed: Duration::ZERO,
             estimated_io_seconds: 0.0,

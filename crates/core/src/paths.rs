@@ -94,7 +94,7 @@ impl Database {
         query: &Query,
         cfg: &SystemConfig,
     ) -> StorageResult<PathIndex> {
-        let disk = self.take_disk();
+        let disk = self.take_disk()?;
         let mut pool = BufferPool::new(disk, cfg.buffer_pages, cfg.page_policy);
         let base = pool.disk().stats().clone();
         let mut metrics = CostMetrics::new(Algorithm::Spn);

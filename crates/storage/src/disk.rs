@@ -9,6 +9,7 @@
 //! successor-list traffic separately.
 
 use crate::error::{StorageError, StorageResult};
+use crate::fault::{with_retries, FaultPlan, RetryPolicy, RetryTally};
 use crate::page::{Page, PageId};
 use crate::pager::Pager;
 use std::fmt;
@@ -162,8 +163,17 @@ pub struct DiskSim {
     files: Vec<FileMeta>,
     pages: Vec<Page>,
     page_file: Vec<FileId>,
+    /// FNV-1a checksum of each page, recorded on write and verified on
+    /// read while a fault plan is armed (silent corruption is detected,
+    /// never absorbed).
+    checksums: Vec<u64>,
     free_pages: Vec<PageId>,
     stats: DiskStats,
+    fault: Option<FaultPlan>,
+    /// Retry policy of the *direct* pager impl (tests and bulk loads);
+    /// buffered access retries in `tc-buffer` instead.
+    retry: RetryPolicy,
+    retry_tally: RetryTally,
 }
 
 impl DiskSim {
@@ -173,9 +183,41 @@ impl DiskSim {
             files: Vec::new(),
             pages: Vec::new(),
             page_file: Vec::new(),
+            checksums: Vec::new(),
             free_pages: Vec::new(),
             stats: DiskStats::default(),
+            fault: None,
+            retry: RetryPolicy::default(),
+            retry_tally: RetryTally::default(),
         }
+    }
+
+    /// Arms deterministic fault injection: subsequent page transfers are
+    /// subjected to `plan`'s schedule and probability draws, and reads
+    /// verify the per-page checksums. Replaces any previous plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// Disarms fault injection, returning the plan (with its fault trace
+    /// and counters) if one was armed.
+    pub fn clear_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.fault.take()
+    }
+
+    /// The armed fault plan, if any (for trace/stats inspection).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// Sets the retry policy used by the direct (unbuffered) pager impl.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Retry accounting of the direct pager impl.
+    pub fn retry_tally(&self) -> RetryTally {
+        self.retry_tally
     }
 
     /// Creates a new, empty file of the given kind.
@@ -199,11 +241,14 @@ impl DiskSim {
         // Reuse space released by free_file before growing the disk.
         let pid = if let Some(pid) = self.free_pages.pop() {
             self.pages[pid.index()].clear();
+            self.checksums[pid.index()] = self.pages[pid.index()].checksum();
             self.page_file[pid.index()] = file;
             pid
         } else {
             let pid = PageId(self.pages.len() as u32);
-            self.pages.push(Page::new());
+            let page = Page::new();
+            self.checksums.push(page.checksum());
+            self.pages.push(page);
             self.page_file.push(file);
             pid
         };
@@ -228,28 +273,68 @@ impl DiskSim {
     }
 
     /// Physically reads page `pid` into `out`, counting one read.
+    ///
+    /// With a fault plan armed the attempt may fail instead (transient or
+    /// permanent fault), and the page image is checksum-verified so a
+    /// torn write surfaces as [`StorageError::ChecksumMismatch`]. Failed
+    /// attempts are *not* counted in [`DiskStats`]: the I/O counters keep
+    /// recording exactly the successful transfers, so a transient-fault
+    /// run reports the same page-I/O metrics as a fault-free one.
     pub fn read_page(&mut self, pid: PageId, out: &mut Page) -> StorageResult<()> {
-        let src = self
-            .pages
-            .get(pid.index())
-            .ok_or(StorageError::PageOutOfBounds(pid))?;
-        out.bytes_mut().copy_from_slice(src.bytes());
+        if pid.index() >= self.pages.len() {
+            return Err(StorageError::PageOutOfBounds(pid));
+        }
+        let op = match self.fault.as_mut() {
+            Some(plan) => Some(plan.on_read(pid)?),
+            None => None,
+        };
+        out.bytes_mut()
+            .copy_from_slice(self.pages[pid.index()].bytes());
+        if let Some(op) = op {
+            let stored = self.checksums[pid.index()];
+            let computed = out.checksum();
+            if computed != stored {
+                if let Some(plan) = self.fault.as_mut() {
+                    plan.on_detection(op, pid);
+                }
+                return Err(StorageError::ChecksumMismatch {
+                    pid,
+                    stored,
+                    computed,
+                });
+            }
+        }
         self.stats.reads += 1;
-        let kind = self.page_file[pid.index()];
-        self.stats.reads_by_kind[self.files[kind.0 as usize].kind.idx()] += 1;
+        let file = self.page_file[pid.index()];
+        self.stats.reads_by_kind[self.files[file.0 as usize].kind.idx()] += 1;
         Ok(())
     }
 
     /// Physically writes `data` to page `pid`, counting one write.
+    ///
+    /// With a fault plan armed the attempt may fail transiently, or be
+    /// *torn*: the call reports success but one stored byte is flipped
+    /// while the recorded checksum still describes the intended image, so
+    /// the next physical read detects the damage.
     pub fn write_page(&mut self, pid: PageId, data: &Page) -> StorageResult<()> {
-        let dst = self
-            .pages
-            .get_mut(pid.index())
-            .ok_or(StorageError::PageOutOfBounds(pid))?;
+        if pid.index() >= self.pages.len() {
+            return Err(StorageError::PageOutOfBounds(pid));
+        }
+        let corrupt_at = match self.fault.as_mut() {
+            Some(plan) => plan.on_write(pid)?.1,
+            None => None,
+        };
+        // Record the checksum of the bytes the writer intended; a torn
+        // write leaves it stale so verification catches the corruption.
+        self.checksums[pid.index()] = data.checksum();
+        let dst = &mut self.pages[pid.index()];
         dst.bytes_mut().copy_from_slice(data.bytes());
+        if let Some(off) = corrupt_at {
+            dst.bytes_mut()[off] ^= 0xFF;
+        }
         self.stats.writes += 1;
-        let kind = self.page_file[pid.index()];
-        self.stats.writes_by_kind[self.files[kind.0 as usize].kind.idx()] += 1;
+        let file = self.page_file[pid.index()];
+        self.stats.writes_by_kind[self.files[file.0 as usize].kind.idx()] += 1;
         Ok(())
     }
 
@@ -298,10 +383,15 @@ impl Default for DiskSim {
 ///
 /// This impl exists mainly for tests and for bulk loads that bypass the
 /// buffer pool; query execution always goes through `tc-buffer`.
+/// Transient faults are retried under the disk's [`RetryPolicy`].
 impl Pager for DiskSim {
     fn with_page<R>(&mut self, pid: PageId, f: &mut dyn FnMut(&Page) -> R) -> StorageResult<R> {
         let mut tmp = Page::new();
-        self.read_page(pid, &mut tmp)?;
+        let policy = self.retry;
+        let mut tally = RetryTally::default();
+        let r = with_retries(&policy, &mut tally, || self.read_page(pid, &mut tmp));
+        self.retry_tally.absorb(tally);
+        r?;
         Ok(f(&tmp))
     }
 
@@ -311,10 +401,18 @@ impl Pager for DiskSim {
         f: &mut dyn FnMut(&mut Page) -> R,
     ) -> StorageResult<R> {
         let mut tmp = Page::new();
-        self.read_page(pid, &mut tmp)?;
-        let r = f(&mut tmp);
-        self.write_page(pid, &tmp)?;
-        Ok(r)
+        let policy = self.retry;
+        let mut tally = RetryTally::default();
+        let read = with_retries(&policy, &mut tally, || self.read_page(pid, &mut tmp));
+        let out = match read {
+            Ok(()) => {
+                let r = f(&mut tmp);
+                with_retries(&policy, &mut tally, || self.write_page(pid, &tmp)).map(|()| r)
+            }
+            Err(e) => Err(e),
+        };
+        self.retry_tally.absorb(tally);
+        out
     }
 
     fn alloc_page(&mut self, file: FileId) -> StorageResult<PageId> {

@@ -40,6 +40,49 @@ pub enum StorageError {
         /// Minimum required.
         need: usize,
     },
+    /// A page transfer failed transiently (injected by a
+    /// [`crate::fault::FaultPlan`]); an immediate retry may succeed.
+    TransientIo {
+        /// The page whose transfer failed.
+        pid: PageId,
+        /// Whether the failed attempt was a write.
+        write: bool,
+    },
+    /// A page is permanently unreadable (injected permanent media fault).
+    PermanentFault(PageId),
+    /// A page image failed checksum verification: the stored bytes do not
+    /// match the checksum recorded at write time (silent corruption,
+    /// detected rather than absorbed).
+    ChecksumMismatch {
+        /// The corrupted page.
+        pid: PageId,
+        /// Checksum recorded when the page was last written intact.
+        stored: u64,
+        /// Checksum of the bytes actually read back.
+        computed: u64,
+    },
+    /// A transient fault did not clear within a retry policy's attempt
+    /// budget; the operation is abandoned.
+    RetriesExhausted {
+        /// The page whose transfers kept failing.
+        pid: PageId,
+        /// Attempts made (first try included).
+        attempts: u32,
+    },
+    /// The simulated disk was detached (e.g. taken for a path index) when
+    /// an operation needed it.
+    DiskDetached,
+    /// An internal bookkeeping invariant was violated — indicates a bug
+    /// in the storage layer itself, reported as a typed error instead of
+    /// a panic so I/O paths stay panic-free.
+    Internal(&'static str),
+}
+
+impl StorageError {
+    /// Whether the error is transient, i.e. worth retrying.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StorageError::TransientIo { .. })
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -64,6 +107,31 @@ impl fmt::Display for StorageError {
             }
             StorageError::InsufficientSortMemory { got, need } => {
                 write!(f, "external sort needs at least {need} pages, got {got}")
+            }
+            StorageError::TransientIo { pid, write } => {
+                let dir = if *write { "write" } else { "read" };
+                write!(f, "transient {dir} failure on page {pid:?}")
+            }
+            StorageError::PermanentFault(pid) => {
+                write!(f, "page {pid:?} is permanently unreadable")
+            }
+            StorageError::ChecksumMismatch {
+                pid,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "page {pid:?} is corrupted: stored checksum {stored:#018X}, read back {computed:#018X}"
+            ),
+            StorageError::RetriesExhausted { pid, attempts } => write!(
+                f,
+                "page {pid:?} still failing after {attempts} attempts; giving up"
+            ),
+            StorageError::DiskDetached => {
+                write!(f, "the simulated disk is detached from the database")
+            }
+            StorageError::Internal(what) => {
+                write!(f, "internal storage invariant violated: {what}")
             }
         }
     }

@@ -83,7 +83,7 @@ pub fn external_sort<P: Pager>(
         runs = next;
     }
     let mut out = runs;
-    Ok(out.pop().expect("at least one run"))
+    out.pop().ok_or(StorageError::Internal("at least one run"))
 }
 
 fn write_run<P: Pager>(pager: &mut P, buf: &mut Vec<Tuple>) -> StorageResult<RelationFile> {

@@ -39,6 +39,7 @@
 pub mod disk;
 pub mod error;
 pub mod extsort;
+pub mod fault;
 pub mod index;
 pub mod layout;
 pub mod page;
@@ -48,6 +49,10 @@ pub mod relation;
 pub use disk::{DiskSim, DiskStats, FileId, FileKind, IoCostModel};
 pub use error::{StorageError, StorageResult};
 pub use extsort::external_sort;
+pub use fault::{
+    with_retries, FaultConfig, FaultEvent, FaultKind, FaultOutcome, FaultPlan, FaultStats,
+    RetryPolicy, RetryTally, ScheduledFault,
+};
 pub use index::ClusteredIndex;
 pub use layout::{
     IndexPage, SuccBlockRef, SuccEntry, SuccPage, TuplePage, BLOCKS_PER_PAGE, ENTRIES_PER_BLOCK,

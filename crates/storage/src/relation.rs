@@ -229,7 +229,10 @@ impl TupleWriter {
             self.pages.push(pid);
             self.first_keys.push(t.0);
         }
-        let pid = *self.pages.last().expect("page allocated above");
+        let pid = *self
+            .pages
+            .last()
+            .ok_or(StorageError::Internal("page allocated above"))?;
         let slot = self.slot;
         pager.with_page_mut(pid, &mut |pg: &mut Page| {
             TuplePage::put(pg, slot, t.0, t.1);

@@ -3,7 +3,7 @@
 use tc_study::buffer::{BufferPool, PagePolicy};
 use tc_study::core::prelude::*;
 use tc_study::graph::{DagGenerator, Graph};
-use tc_study::storage::{DiskSim, FileKind, Page, Pager, StorageError};
+use tc_study::storage::{DiskSim, FaultConfig, FileKind, Page, PageId, Pager, StorageError};
 
 #[test]
 fn empty_graph_runs_everywhere() {
@@ -184,6 +184,152 @@ fn duplicate_and_unsorted_sources_are_normalized() {
         .run(&Query::partial(vec![3, 9]), Algorithm::Btc, &cfg)
         .unwrap();
     assert_eq!(a.answer, b.answer);
+}
+
+#[test]
+fn every_storage_error_variant_constructs_and_displays() {
+    // One instance of each variant: constructible from outside the
+    // crate, matchable, Display non-empty, and the transient/permanent
+    // split is what the retry loop relies on.
+    let variants: Vec<(StorageError, bool)> = vec![
+        (StorageError::PageOutOfBounds(PageId(3)), false),
+        (StorageError::UnknownFile(9), false),
+        (
+            StorageError::SlotOutOfBounds {
+                slot: 300,
+                capacity: 256,
+            },
+            false,
+        ),
+        (StorageError::PageFull(PageId(1)), false),
+        (StorageError::AllFramesPinned, false),
+        (
+            StorageError::WrongFileKind {
+                expected: "relation",
+                actual: "temp",
+            },
+            false,
+        ),
+        (StorageError::UnsortedInput, false),
+        (
+            StorageError::InsufficientSortMemory { got: 2, need: 3 },
+            false,
+        ),
+        (
+            StorageError::TransientIo {
+                pid: PageId(4),
+                write: true,
+            },
+            true,
+        ),
+        (StorageError::PermanentFault(PageId(5)), false),
+        (
+            StorageError::ChecksumMismatch {
+                pid: PageId(6),
+                stored: 0xAB,
+                computed: 0xCD,
+            },
+            false,
+        ),
+        (
+            StorageError::RetriesExhausted {
+                pid: PageId(7),
+                attempts: 4,
+            },
+            false,
+        ),
+        (StorageError::DiskDetached, false),
+        (StorageError::Internal("invariant"), false),
+    ];
+    for (err, transient) in &variants {
+        assert_eq!(err.is_transient(), *transient, "{err:?}");
+        assert!(!format!("{err}").is_empty());
+        assert_eq!(err.clone(), *err);
+    }
+    // No two distinct variants compare equal (guards accidental merges).
+    for (i, (a, _)) in variants.iter().enumerate() {
+        for (b, _) in variants.iter().skip(i + 1) {
+            assert_ne!(a, b);
+        }
+    }
+}
+
+#[test]
+fn unretryable_fault_mid_run_errors_without_poisoning_the_database() {
+    let g = DagGenerator::new(300, 4.0, 60).seed(8).generate();
+    let mut db = Database::build(&g, true).unwrap();
+
+    // Page 0 is the first relation page, read by every restructuring
+    // scan; killing it permanently must fail the run with the typed
+    // error, never a panic.
+    let cfg = SystemConfig::default().faulted(
+        FaultConfig::new(1).on_page(PageId(0), tc_study::storage::FaultKind::PermanentRead),
+    );
+    let err = db.run(&Query::full(), Algorithm::Btc, &cfg).unwrap_err();
+    assert!(
+        matches!(err, StorageError::PermanentFault(_)),
+        "expected the injected permanent fault, got {err:?}"
+    );
+
+    // The database must be fully usable afterwards: the fault plan was
+    // disarmed and the disk handed back, so a clean run validates.
+    let res = db
+        .run(
+            &Query::full(),
+            Algorithm::Btc,
+            &SystemConfig::default().validated(),
+        )
+        .unwrap();
+    assert!(res.metrics.answer_tuples > 0);
+}
+
+#[test]
+fn torn_writes_are_detected_not_absorbed() {
+    let g = DagGenerator::new(300, 4.0, 60).seed(9).generate();
+    let mut db = Database::build(&g, true).unwrap();
+
+    // Every write is torn; with a 4-frame pool the corrupted pages are
+    // re-read during the run and checksum verification must catch them.
+    let mut cfg = SystemConfig::with_buffer(4).faulted(FaultConfig::new(2).corrupt_writes(1.0));
+    cfg.retry = tc_study::storage::RetryPolicy::default();
+    let err = db.run(&Query::full(), Algorithm::Btc, &cfg).unwrap_err();
+    assert!(
+        matches!(err, StorageError::ChecksumMismatch { .. }),
+        "expected a checksum detection, got {err:?}"
+    );
+
+    // Still not poisoned: the next fault-free run repairs nothing silently
+    // (the base relation was bulk-loaded before the plan was armed) and
+    // completes with a validated answer.
+    let res = db
+        .run(
+            &Query::full(),
+            Algorithm::Btc,
+            &SystemConfig::default().validated(),
+        )
+        .unwrap();
+    assert!(res.metrics.answer_tuples > 0);
+}
+
+#[test]
+fn retries_exhausted_surfaces_when_transients_outlast_the_budget() {
+    let g = DagGenerator::new(300, 4.0, 60).seed(10).generate();
+    let mut db = Database::build(&g, true).unwrap();
+    // A streak cap above the attempt budget makes a p=1.0 transient plan
+    // unclearable: the retry loop must give up with the typed error.
+    let cfg = SystemConfig::default().faulted(
+        FaultConfig::new(3)
+            .transient_reads(1.0)
+            .max_transient_streak(100),
+    );
+    let err = db.run(&Query::full(), Algorithm::Btc, &cfg).unwrap_err();
+    assert!(
+        matches!(err, StorageError::RetriesExhausted { attempts: 4, .. }),
+        "expected retry exhaustion at the default budget, got {err:?}"
+    );
+    // And again: the database survives.
+    db.run(&Query::full(), Algorithm::Btc, &SystemConfig::default())
+        .unwrap();
 }
 
 #[test]

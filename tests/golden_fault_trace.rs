@@ -1,0 +1,108 @@
+//! Golden fault-trace test: replay-determinism guard for fault injection.
+//!
+//! Companion to `golden_seed.rs`: where that test pins the canonical G5
+//! workload, this one pins the *failure trace* a fixed fault seed
+//! produces on it. The fault-injection layer's whole value is that a
+//! failure can be replayed bit-for-bit from its seed; any change to the
+//! decision stream (draw order, op counting, retry behaviour) breaks
+//! replayability of previously recorded traces and must be made
+//! deliberately.
+//!
+//! If an intentional change lands, regenerate the constants below (the
+//! failure message prints the new values) and note the break in
+//! CHANGES.md: previously recorded fault seeds stop replaying.
+
+use tc_study::core::prelude::*;
+use tc_study::graph::DagGenerator;
+use tc_study::storage::FaultEvent;
+
+/// FNV-1a over the (op, page, kind, outcome) event sequence.
+fn trace_checksum(events: &[FaultEvent]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    let mut byte = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    for e in events {
+        for b in e.op.to_le_bytes() {
+            byte(b);
+        }
+        for b in e.page.0.to_le_bytes() {
+            byte(b);
+        }
+        byte(e.kind.code());
+        byte(e.outcome.code());
+    }
+    h
+}
+
+const FAULT_SEED: u64 = 0xDA12_1994;
+const GOLDEN_EVENTS: usize = 361;
+const GOLDEN_TRACE_CHECKSUM: u64 = 0x2B36_967E_0A32_08CA;
+const GOLDEN_RETRIES: u64 = 361;
+const GOLDEN_TOTAL_IO: u64 = 17624;
+
+fn faulted_g5_run() -> RunResult {
+    let g = DagGenerator::new(2000, 5.0, 200).seed(7).generate();
+    let mut db = Database::build(&g, true).unwrap();
+    let cfg = SystemConfig::with_buffer(20).faulted(
+        FaultConfig::new(FAULT_SEED)
+            .transient_reads(0.02)
+            .transient_writes(0.02),
+    );
+    db.run(&Query::full(), Algorithm::Btc, &cfg).unwrap()
+}
+
+#[test]
+fn pinned_fault_seed_yields_pinned_trace_on_g5() {
+    let res = faulted_g5_run();
+    assert_eq!(
+        (
+            res.fault_trace.len(),
+            trace_checksum(&res.fault_trace),
+            res.metrics.io_retries,
+            res.metrics.total_io(),
+        ),
+        (
+            GOLDEN_EVENTS,
+            GOLDEN_TRACE_CHECKSUM,
+            GOLDEN_RETRIES,
+            GOLDEN_TOTAL_IO,
+        ),
+        "the pinned fault trace changed: events {} checksum {:#018X} \
+         retries {} total_io {} — if intentional, update the golden \
+         constants and note the replay break in CHANGES.md",
+        res.fault_trace.len(),
+        trace_checksum(&res.fault_trace),
+        res.metrics.io_retries,
+        res.metrics.total_io(),
+    );
+}
+
+#[test]
+fn transient_faults_leave_g5_page_io_at_the_fault_free_golden_value() {
+    // The golden total above must be exactly the fault-free number:
+    // failed attempts are not counted as physical transfers.
+    let g = DagGenerator::new(2000, 5.0, 200).seed(7).generate();
+    let mut db = Database::build(&g, true).unwrap();
+    let res = db
+        .run(
+            &Query::full(),
+            Algorithm::Btc,
+            &SystemConfig::with_buffer(20),
+        )
+        .unwrap();
+    assert_eq!(res.metrics.total_io(), GOLDEN_TOTAL_IO);
+    assert_eq!(res.metrics.io_retries, 0);
+}
+
+#[test]
+fn two_consecutive_faulted_runs_agree_bit_for_bit() {
+    let (a, b) = (faulted_g5_run(), faulted_g5_run());
+    assert_eq!(a.fault_trace, b.fault_trace);
+    assert_eq!(a.metrics.total_io(), b.metrics.total_io());
+    assert_eq!(a.metrics.io_retries, b.metrics.io_retries);
+    assert_eq!(a.metrics.retry_backoff_ms, b.metrics.retry_backoff_ms);
+    assert_eq!(a.metrics.faults_injected, b.metrics.faults_injected);
+    assert_eq!(a.metrics.tuples_generated, b.metrics.tuples_generated);
+}

@@ -1,0 +1,87 @@
+//! Error-propagation audit: no `unwrap()`/`expect()` on I/O paths.
+//!
+//! The fault-injection layer is only as good as the error plumbing above
+//! it: a single `unwrap()` between `DiskSim` and `Database::run` turns a
+//! typed, injectable `StorageError` into a panic. This test freezes the
+//! audit — the page-transfer paths of `tc-storage` and `tc-buffer` must
+//! stay free of `unwrap()`/`expect()` outside `#[cfg(test)]` modules.
+//! The CI grep gate enforces the same rule repo-side; this test makes it
+//! fail locally first.
+
+use std::fs;
+use std::path::Path;
+
+/// Files on the physical page-transfer path (the issue's hard floor).
+const IO_PATH_FILES: &[&str] = &[
+    "crates/storage/src/disk.rs",
+    "crates/storage/src/pager.rs",
+    "crates/storage/src/relation.rs",
+    "crates/storage/src/extsort.rs",
+    "crates/buffer/src/pool.rs",
+];
+
+/// Audited sites that are allowed to stay: compile-time-constant offset
+/// conversions in the page accessors (documented as programming errors,
+/// not data-dependent conditions). Format: (file, needle).
+const ALLOWLIST: &[(&str, &str)] = &[("crates/storage/src/page.rs", "expect(\"in-page offset\")")];
+
+fn violations_in(repo: &Path, rel: &str) -> Vec<String> {
+    let text = fs::read_to_string(repo.join(rel)).unwrap_or_else(|e| panic!("read {rel}: {e}"));
+    let mut out = Vec::new();
+    let mut in_tests = false;
+    for (no, line) in text.lines().enumerate() {
+        // Test modules are the trailing section of every file in this
+        // workspace; everything after the marker is exempt.
+        if line.contains("#[cfg(test)]") {
+            in_tests = true;
+        }
+        if in_tests {
+            continue;
+        }
+        let code = line.trim_start();
+        if code.starts_with("//") {
+            continue; // doc examples and comments
+        }
+        if !code.contains(".unwrap()") && !code.contains(".expect(") {
+            continue;
+        }
+        if ALLOWLIST
+            .iter()
+            .any(|&(f, needle)| f == rel && code.contains(needle))
+        {
+            continue;
+        }
+        out.push(format!("{rel}:{}: {}", no + 1, code));
+    }
+    out
+}
+
+#[test]
+fn io_paths_stay_free_of_unwrap_and_expect() {
+    // CARGO_MANIFEST_DIR is the workspace root: the tests/ dir belongs
+    // to the umbrella crate at the repository top level.
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut violations = Vec::new();
+    for rel in IO_PATH_FILES {
+        violations.extend(violations_in(repo, rel));
+    }
+    assert!(
+        violations.is_empty(),
+        "unwrap()/expect() on I/O paths (convert to StorageResult plumbing, \
+         or add an audited allowlist entry here AND in .github/workflows/ci.yml):\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn allowlist_entries_still_exist() {
+    // A stale allowlist hides future violations behind dead entries.
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for &(rel, needle) in ALLOWLIST {
+        let text = fs::read_to_string(repo.join(rel)).unwrap_or_else(|e| panic!("read {rel}: {e}"));
+        assert!(
+            text.contains(needle),
+            "allowlist entry no longer present, remove it: {rel} `{needle}`"
+        );
+    }
+}
