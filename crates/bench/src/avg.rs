@@ -40,10 +40,16 @@ pub struct AvgMetrics {
     pub list_fetches: f64,
     /// Mean tuple reads (tuple I/O).
     pub tuple_reads: f64,
-    /// Mean wall-clock seconds of the simulated run.
+    /// Mean wall-clock seconds of the simulated run. Host- and
+    /// load-dependent — never printed in report fragments (which must be
+    /// bit-reproducible); use [`AvgMetrics::est_cpu_s`] there.
     pub elapsed_s: f64,
     /// Mean estimated I/O seconds.
     pub est_io_s: f64,
+    /// Mean tuple-level operations (deterministic CPU-work proxy).
+    pub cpu_ops: f64,
+    /// Mean estimated CPU seconds (deterministic; Table 3).
+    pub est_cpu_s: f64,
 }
 
 impl AvgMetrics {
@@ -67,6 +73,8 @@ impl AvgMetrics {
         fold(&mut self.tuple_reads, m.tuple_reads as f64);
         fold(&mut self.elapsed_s, m.elapsed.as_secs_f64());
         fold(&mut self.est_io_s, m.estimated_io_seconds);
+        fold(&mut self.cpu_ops, m.cpu_ops() as f64);
+        fold(&mut self.est_cpu_s, m.estimated_cpu_seconds());
         self.runs += 1;
     }
 }

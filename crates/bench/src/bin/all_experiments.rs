@@ -1,11 +1,24 @@
 //! Runs the complete experiment suite and prints an EXPERIMENTS.md-ready
 //! report (every table and figure of the paper's evaluation section,
 //! plus the related-work comparison and the ablations).
+//!
+//! Report bytes on stdout are identical for any `--jobs` value; timing
+//! chatter goes to stderr only.
+use std::process::ExitCode;
 use std::time::Instant;
-use tc_bench::experiments as exp;
+use tc_bench::experiments::SECTIONS;
 
-fn main() {
-    let opts = tc_bench::ExpOpts::from_env_and_args();
+fn main() -> ExitCode {
+    let opts = match tc_bench::ExpOpts::from_env_and_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: all_experiments [--quick|--full] [--instances N] [--sets N] [--jobs N]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
     let started = Instant::now();
     println!(
         "# Experiment report — A Performance Study of Transitive Closure Algorithms\n\n\
@@ -13,27 +26,20 @@ fn main() {
          (the paper uses 5 × 5; pass --full to match).\n",
         opts.instances, opts.source_sets
     );
-    type Section = (&'static str, fn(&tc_bench::ExpOpts) -> String);
-    let sections: Vec<Section> = vec![
-        ("table2", exp::table2::run),
-        ("table3", exp::table3::run),
-        ("fig6", exp::fig6::run),
-        ("fig7", exp::fig7::run),
-        ("figs8-12", exp::highsel::run),
-        ("table4", exp::table4::run),
-        ("fig13", exp::fig13::run),
-        ("fig14", exp::fig14::run),
-        ("related", exp::related::run),
-        ("ablations", exp::ablations::run),
-        ("advisor", exp::advisor::run),
-    ];
-    for (name, f) in sections {
+    for (name, f) in SECTIONS {
         let t = Instant::now();
-        println!("{}\n", f(&opts));
+        match f(&opts) {
+            Ok(report) => println!("{report}\n"),
+            Err(e) => {
+                eprintln!("[{name} failed: {e}]");
+                return ExitCode::FAILURE;
+            }
+        }
         eprintln!("[{name} done in {:.1}s]", t.elapsed().as_secs_f64());
     }
     eprintln!(
         "[all experiments done in {:.1}s]",
         started.elapsed().as_secs_f64()
     );
+    ExitCode::SUCCESS
 }

@@ -1,0 +1,63 @@
+//! Runs a single experiment section by name and prints its report
+//! fragment to stdout.
+//!
+//! ```text
+//! cargo run --release -p tc-bench --bin section -- table2 --quick
+//! cargo run --release -p tc-bench --bin section -- figs8-12 --jobs 4
+//! ```
+//!
+//! The section name is the first argument; the rest are the usual
+//! experiment options (`--quick`, `--full`, `--instances`, `--sets`,
+//! `--jobs`). Run with no arguments to list the known sections.
+//! Exits non-zero on an unknown section, bad options, or a failing cell.
+use std::process::ExitCode;
+use tc_bench::experiments::{section, SECTIONS};
+
+fn usage() {
+    eprintln!("usage: section <name> [--quick|--full] [--instances N] [--sets N] [--jobs N]");
+    eprintln!(
+        "known sections: {}",
+        SECTIONS
+            .iter()
+            .map(|&(name, _)| name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let name = match args.next() {
+        Some(name) => name,
+        None => {
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let f = match section(&name) {
+        Some(f) => f,
+        None => {
+            eprintln!("error: unknown section `{name}`");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = match tc_bench::ExpOpts::parse(args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    match f(&opts) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("[{name} failed: {e}]");
+            ExitCode::FAILURE
+        }
+    }
+}

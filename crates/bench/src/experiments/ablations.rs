@@ -9,46 +9,67 @@
 //!   cost is the missing inverse clustering.
 
 use crate::corpus::family;
-use crate::experiments::{averaged, run_one, QuerySpec};
+use crate::experiments::{ExpResult, Grid, QuerySpec};
 use crate::opts::ExpOpts;
 use crate::table::{num, Table};
 use tc_core::prelude::*;
 
 /// Runs both ablations.
-pub fn run(opts: &ExpOpts) -> String {
+pub fn run(opts: &ExpOpts) -> ExpResult<String> {
     let fam = family("G6");
+    let mut g = Grid::new(opts);
 
     // Page/list replacement policy sweep.
-    let mut pol = Table::new(["page policy", "list policy", "total I/O", "hit ratio"]);
-    for page in PagePolicy::ALL {
-        for list in ListPolicy::ALL {
+    let policy_points: Vec<_> = PagePolicy::ALL
+        .into_iter()
+        .flat_map(|page| ListPolicy::ALL.into_iter().map(move |list| (page, list)))
+        .collect();
+    let policy_ids: Vec<_> = policy_points
+        .iter()
+        .map(|&(page, list)| {
             let cfg = SystemConfig::with_buffer(10)
                 .page_policy(page)
                 .list_policy(list);
-            let avg = averaged(fam, Algorithm::Btc, QuerySpec::Full, &cfg, opts);
-            pol.row([
-                page.name().to_string(),
-                list.name().to_string(),
-                num(avg.total_io),
-                format!("{:.3}", avg.hit_ratio),
-            ]);
-        }
-    }
+            g.avg(fam, Algorithm::Btc, QuerySpec::Full, &cfg)
+        })
+        .collect();
 
     // JKB preprocessing strategies (restructure+preprocess I/O dominates).
+    let jkb_graphs = ["G5", "G8", "G11"];
+    let base = SystemConfig::with_buffer(10);
+    let mut sorted_cfg = base.clone();
+    sorted_cfg.jkb_sort_preprocessing = true;
+    let jkb_ids: Vec<_> = jkb_graphs
+        .iter()
+        .map(|name| {
+            let f = family(name);
+            (
+                g.one(f, 0, 0, Algorithm::Jkb, QuerySpec::Ptc(10), &base),
+                g.one(f, 0, 0, Algorithm::Jkb, QuerySpec::Ptc(10), &sorted_cfg),
+                g.one(f, 0, 0, Algorithm::Jkb2, QuerySpec::Ptc(10), &base),
+            )
+        })
+        .collect();
+
+    let r = g.run()?;
+
+    let mut pol = Table::new(["page policy", "list policy", "total I/O", "hit ratio"]);
+    for (&(page, list), &id) in policy_points.iter().zip(&policy_ids) {
+        let avg = r.avg(id);
+        pol.row([
+            page.name().to_string(),
+            list.name().to_string(),
+            num(avg.total_io),
+            format!("{:.3}", avg.hit_ratio),
+        ]);
+    }
+
     let mut jkb = Table::new(["graph", "variant", "total I/O", "restructure I/O"]);
-    for name in ["G5", "G8", "G11"] {
-        let f = family(name);
-        let base = SystemConfig::with_buffer(10);
-        let rand = run_one(f, 0, 0, Algorithm::Jkb, QuerySpec::Ptc(10), &base);
-        let mut sorted_cfg = base.clone();
-        sorted_cfg.jkb_sort_preprocessing = true;
-        let sorted = run_one(f, 0, 0, Algorithm::Jkb, QuerySpec::Ptc(10), &sorted_cfg);
-        let dual = run_one(f, 0, 0, Algorithm::Jkb2, QuerySpec::Ptc(10), &base);
+    for (name, &(rand, sorted, dual)) in jkb_graphs.iter().zip(&jkb_ids) {
         for (label, m) in [
-            ("JKB (random insertion)", &rand),
-            ("JKB (external sort)", &sorted),
-            ("JKB2 (dual representation)", &dual),
+            ("JKB (random insertion)", r.one(rand)),
+            ("JKB (external sort)", r.one(sorted)),
+            ("JKB2 (dual representation)", r.one(dual)),
         ] {
             jkb.row([
                 name.to_string(),
@@ -59,7 +80,7 @@ pub fn run(opts: &ExpOpts) -> String {
         }
     }
 
-    format!(
+    Ok(format!(
         "## Ablations\n\n### Replacement policies (BTC, G6, full closure, M = 10)\n\n\
          Expectation (paper §5.1): a secondary effect — small spread across policies\n\
          compared with the algorithm-level differences.\n\n{}\n\
@@ -69,5 +90,5 @@ pub fn run(opts: &ExpOpts) -> String {
          relation is already clustered.\n\n{}",
         pol.render(),
         jkb.render()
-    )
+    ))
 }

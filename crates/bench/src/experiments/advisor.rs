@@ -9,12 +9,11 @@
 //! [`tc_core::Advisor`] recommends from the (restructuring-time) profile.
 //! The regret column shows the advisor's pick's I/O relative to the best.
 
-use crate::corpus::{build_graph, FAMILIES};
-use crate::experiments::{averaged, QuerySpec};
+use crate::corpus::FAMILIES;
+use crate::experiments::{ExpResult, Grid, QuerySpec};
 use crate::opts::ExpOpts;
 use crate::table::{num, Table};
 use tc_core::prelude::*;
-use tc_graph::RectangleModel;
 
 const CANDIDATES: [Algorithm; 4] = [
     Algorithm::Btc,
@@ -22,11 +21,32 @@ const CANDIDATES: [Algorithm; 4] = [
     Algorithm::Jkb2,
     Algorithm::Srch,
 ];
+const SELECTIVITIES: [usize; 3] = [2, 50, 400];
 
 /// Runs the advisor validation sweep.
-pub fn run(opts: &ExpOpts) -> String {
+pub fn run(opts: &ExpOpts) -> ExpResult<String> {
     let advisor = Advisor::default();
     let cfg = SystemConfig::with_buffer(10);
+
+    let mut g = Grid::new(opts);
+    let points: Vec<_> = FAMILIES
+        .iter()
+        .map(|fam| {
+            let shape = g.shape(fam);
+            let per_s: Vec<Vec<_>> = SELECTIVITIES
+                .iter()
+                .map(|&s| {
+                    CANDIDATES
+                        .iter()
+                        .map(|&a| g.avg(fam, a, QuerySpec::Ptc(s), &cfg))
+                        .collect()
+                })
+                .collect();
+            (shape, per_s)
+        })
+        .collect();
+    let r = g.run()?;
+
     let mut t = Table::new([
         "graph",
         "width",
@@ -37,9 +57,9 @@ pub fn run(opts: &ExpOpts) -> String {
     ]);
     let (mut hits, mut cells) = (0usize, 0usize);
     let mut worst_regret = 1.0f64;
-    for fam in &FAMILIES {
-        let rect = RectangleModel::of(&build_graph(fam, 0));
-        for s in [2usize, 50, 400] {
+    for (fam, (shape, per_s)) in FAMILIES.iter().zip(&points) {
+        let rect = r.shape(*shape);
+        for (&s, per_a) in SELECTIVITIES.iter().zip(per_s) {
             let profile = WorkloadProfile {
                 rect: rect.clone(),
                 selectivity: s,
@@ -49,17 +69,19 @@ pub fn run(opts: &ExpOpts) -> String {
             let pick = advisor.recommend(&profile);
             let costs: Vec<(Algorithm, f64)> = CANDIDATES
                 .iter()
-                .map(|&a| (a, averaged(fam, a, QuerySpec::Ptc(s), &cfg, opts).total_io))
+                .zip(per_a)
+                .map(|(&a, &p)| (a, r.avg(p).total_io))
                 .collect();
-            let &(best, best_io) = costs
+            let (best, best_io) = costs
                 .iter()
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
-                .expect("candidates");
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|&(a, io)| (a, io))
+                .unwrap_or((CANDIDATES[0], f64::NAN));
             let pick_io = costs
                 .iter()
                 .find(|&&(a, _)| a == pick)
-                .expect("pick among candidates")
-                .1;
+                .map(|&(_, io)| io)
+                .unwrap_or(f64::NAN);
             let regret = pick_io / best_io.max(1.0);
             worst_regret = worst_regret.max(regret);
             cells += 1;
@@ -76,7 +98,7 @@ pub fn run(opts: &ExpOpts) -> String {
             ]);
         }
     }
-    format!(
+    Ok(format!(
         "## Advisor validation (extension) — picking algorithms from the rectangle model\n\n\
          The paper's future-work hook (§5.3) made concrete: a four-rule advisor over\n\
          (selectivity, width, dual representation). \"Regret\" = advisor's pick ÷ best\n\
@@ -84,5 +106,5 @@ pub fn run(opts: &ExpOpts) -> String {
          Advisor within 5% of the best choice in {hits}/{cells} cells; worst regret {:.2}x.\n",
         t.render(),
         worst_regret
-    )
+    ))
 }

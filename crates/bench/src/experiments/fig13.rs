@@ -8,30 +8,46 @@
 //! only its (doubled) preprocessing cost.
 
 use crate::corpus::family;
-use crate::experiments::{averaged, QuerySpec};
+use crate::experiments::{ExpResult, Grid, QuerySpec};
 use crate::opts::ExpOpts;
 use crate::table::{num, Table};
 use tc_core::prelude::*;
 
+const MS: [usize; 5] = [10, 20, 30, 40, 50];
+
 /// Regenerates Figure 13 (a)–(d).
-pub fn run(opts: &ExpOpts) -> String {
+pub fn run(opts: &ExpOpts) -> ExpResult<String> {
     let algos = [Algorithm::Btc, Algorithm::Jkb2, Algorithm::Srch];
+    let graphs = ["G4", "G11"];
+
+    let mut g = Grid::new(opts);
+    let points: Vec<Vec<Vec<_>>> = graphs
+        .iter()
+        .map(|name| {
+            MS.iter()
+                .map(|&m| {
+                    let cfg = SystemConfig::with_buffer(m);
+                    algos
+                        .iter()
+                        .map(|&a| g.avg(family(name), a, QuerySpec::Ptc(10), &cfg))
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let r = g.run()?;
+
     let mut out = String::from(
         "## Figure 13 — Effect of buffer pool size (G4 and G11, 10 source nodes)\n\n\
          Expectation (paper): total I/O falls and hit ratio rises with M for all three;\n\
          JKB2 reacts the strongest and becomes memory-resident during computation.\n",
     );
-    for name in ["G4", "G11"] {
-        let fam = family(name);
+    for (name, per_m) in graphs.iter().zip(&points) {
         let mut io = Table::new(["M", "BTC", "JKB2", "SRCH"]);
         let mut hit = Table::new(["M", "BTC", "JKB2", "SRCH"]);
         let mut cio = Table::new(["M", "BTC", "JKB2", "SRCH"]);
-        for m in [10usize, 20, 30, 40, 50] {
-            let cfg = SystemConfig::with_buffer(m);
-            let runs: Vec<_> = algos
-                .iter()
-                .map(|&a| averaged(fam, a, QuerySpec::Ptc(10), &cfg, opts))
-                .collect();
+        for (&m, per_a) in MS.iter().zip(per_m) {
+            let runs: Vec<_> = per_a.iter().map(|&p| r.avg(p)).collect();
             io.row(
                 std::iter::once(m.to_string())
                     .chain(runs.iter().map(|r| num(r.total_io)))
@@ -55,5 +71,5 @@ pub fn run(opts: &ExpOpts) -> String {
             cio.render()
         ));
     }
-    out
+    Ok(out)
 }

@@ -10,25 +10,36 @@
 //! orders of magnitude worse here and is omitted, as in the paper.
 
 use crate::corpus::family;
-use crate::experiments::{averaged, QuerySpec};
+use crate::experiments::{ExpResult, Grid, QuerySpec};
 use crate::opts::ExpOpts;
 use crate::table::{num, Table};
 use tc_core::prelude::*;
 
 /// Regenerates Figure 14 (a)–(d).
-pub fn run(opts: &ExpOpts) -> String {
+pub fn run(opts: &ExpOpts) -> ExpResult<String> {
     let fam = family("G9");
     let cfg = SystemConfig::with_buffer(20);
     let algos = [Algorithm::Btc, Algorithm::Bj, Algorithm::Jkb2];
+    let sels = [200usize, 500, 1000, 2000];
+
+    let mut g = Grid::new(opts);
+    let points: Vec<Vec<_>> = sels
+        .iter()
+        .map(|&s| {
+            algos
+                .iter()
+                .map(|&a| g.avg(fam, a, QuerySpec::Ptc(s), &cfg))
+                .collect()
+        })
+        .collect();
+    let r = g.run()?;
+
     let mut io = Table::new(["s", "BTC", "BJ", "JKB2"]);
     let mut tup = Table::new(["s", "BTC", "BJ", "JKB2"]);
     let mut mark = Table::new(["s", "BTC", "BJ", "JKB2"]);
     let mut uni = Table::new(["s", "BTC", "BJ", "JKB2"]);
-    for s in [200usize, 500, 1000, 2000] {
-        let runs: Vec<_> = algos
-            .iter()
-            .map(|&a| averaged(fam, a, QuerySpec::Ptc(s), &cfg, opts))
-            .collect();
+    for (&s, per_a) in sels.iter().zip(&points) {
+        let runs: Vec<_> = per_a.iter().map(|&p| r.avg(p)).collect();
         let label = s.to_string();
         io.row(
             std::iter::once(label.clone())
@@ -51,7 +62,7 @@ pub fn run(opts: &ExpOpts) -> String {
                 .collect::<Vec<_>>(),
         );
     }
-    format!(
+    Ok(format!(
         "## Figure 14 — Low-selectivity trends (G9, M = 20)\n\n\
          Expectation (paper): BJ tracks BTC closely; JKB2's tuple counts rise toward the\n\
          others as s grows while its marking stays near zero and its unions stay high;\n\
@@ -62,5 +73,5 @@ pub fn run(opts: &ExpOpts) -> String {
         tup.render(),
         mark.render(),
         uni.render()
-    )
+    ))
 }

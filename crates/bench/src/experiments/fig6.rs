@@ -7,36 +7,51 @@
 //! identical to BTC).
 
 use crate::corpus::family;
-use crate::experiments::{averaged, QuerySpec};
+use crate::experiments::{ExpResult, Grid, QuerySpec};
 use crate::opts::ExpOpts;
 use crate::table::{num, Table};
 use tc_core::prelude::*;
 
 /// Regenerates Figure 6 as a table of total I/O.
-pub fn run(opts: &ExpOpts) -> String {
+pub fn run(opts: &ExpOpts) -> ExpResult<String> {
     let fam = family("G9");
+    let ms = [10usize, 20, 50];
+    let ilimits = [0.0, 0.1, 0.2, 0.3];
+
+    let mut g = Grid::new(opts);
+    let points: Vec<_> = ms
+        .iter()
+        .map(|&m| {
+            let btc = g.avg(
+                fam,
+                Algorithm::Btc,
+                QuerySpec::Full,
+                &SystemConfig::with_buffer(m),
+            );
+            let hybs: Vec<_> = ilimits
+                .iter()
+                .map(|&ilimit| {
+                    let cfg = SystemConfig::with_buffer(m).ilimit(ilimit);
+                    g.avg(fam, Algorithm::Hyb, QuerySpec::Full, &cfg)
+                })
+                .collect();
+            (btc, hybs)
+        })
+        .collect();
+    let r = g.run()?;
+
     let mut t = Table::new(["M", "BTC", "HYB-0", "HYB-0.1", "HYB-0.2", "HYB-0.3"]);
-    for m in [10usize, 20, 50] {
-        let mut cells = vec![m.to_string()];
-        let btc = averaged(
-            fam,
-            Algorithm::Btc,
-            QuerySpec::Full,
-            &SystemConfig::with_buffer(m),
-            opts,
-        );
-        cells.push(num(btc.total_io));
-        for ilimit in [0.0, 0.1, 0.2, 0.3] {
-            let cfg = SystemConfig::with_buffer(m).ilimit(ilimit);
-            let avg = averaged(fam, Algorithm::Hyb, QuerySpec::Full, &cfg, opts);
-            cells.push(num(avg.total_io));
+    for (&m, (btc, hybs)) in ms.iter().zip(&points) {
+        let mut cells = vec![m.to_string(), num(r.avg(*btc).total_io)];
+        for &h in hybs {
+            cells.push(num(r.avg(h).total_io));
         }
         t.row(cells);
     }
-    format!(
+    Ok(format!(
         "## Figure 6 — Hybrid vs. BTC, effect of blocking (G9, full closure)\n\n\
          Expectation (paper): HYB's I/O grows as ILIMIT grows; HYB-0 equals BTC; all\n\
          curves improve with a larger buffer pool.\n\n{}",
         t.render()
-    )
+    ))
 }

@@ -13,24 +13,47 @@
 //! methodological warning.
 
 use crate::corpus::family;
-use crate::experiments::{averaged, QuerySpec};
+use crate::experiments::{ExpResult, Grid, QuerySpec};
 use crate::opts::ExpOpts;
 use crate::table::{num, Table};
 use tc_core::prelude::*;
 
 /// Regenerates Figure 7 (a) and (b).
-pub fn run(opts: &ExpOpts) -> String {
+pub fn run(opts: &ExpOpts) -> ExpResult<String> {
     let families = ["G2", "G5", "G8", "G11"]; // l = 200, F = 2, 5, 20, 50
     let cfg = SystemConfig::with_buffer(20);
+    let algos = [
+        Algorithm::Btc,
+        Algorithm::Spn,
+        Algorithm::Jkb,
+        Algorithm::Jkb2,
+    ];
+
+    let mut g = Grid::new(opts);
+    let points: Vec<_> = families
+        .iter()
+        .map(|name| {
+            let fam = family(name);
+            let avgs: Vec<_> = algos
+                .iter()
+                .map(|&a| g.avg(fam, a, QuerySpec::Full, &cfg))
+                .collect();
+            let spn_one = g.one(fam, 0, 0, Algorithm::Spn, QuerySpec::Full, &cfg);
+            (avgs, spn_one)
+        })
+        .collect();
+    let r = g.run()?;
 
     let mut io = Table::new(["graph", "F", "BTC", "SPN", "JKB", "JKB2"]);
     let mut dup = Table::new(["graph", "F", "BTC dups", "SPN dups", "SPN pruned"]);
-    for name in families {
+    for (name, (avgs, spn_one)) in families.iter().zip(&points) {
         let fam = family(name);
-        let btc = averaged(fam, Algorithm::Btc, QuerySpec::Full, &cfg, opts);
-        let spn = averaged(fam, Algorithm::Spn, QuerySpec::Full, &cfg, opts);
-        let jkb = averaged(fam, Algorithm::Jkb, QuerySpec::Full, &cfg, opts);
-        let jkb2 = averaged(fam, Algorithm::Jkb2, QuerySpec::Full, &cfg, opts);
+        let [btc, spn, jkb, jkb2] = [
+            r.avg(avgs[0]),
+            r.avg(avgs[1]),
+            r.avg(avgs[2]),
+            r.avg(avgs[3]),
+        ];
         io.row([
             name.to_string(),
             num(fam.f),
@@ -39,17 +62,15 @@ pub fn run(opts: &ExpOpts) -> String {
             num(jkb.total_io),
             num(jkb2.total_io),
         ]);
-        let spn_metrics =
-            crate::experiments::run_one(fam, 0, 0, Algorithm::Spn, QuerySpec::Full, &cfg);
         dup.row([
             name.to_string(),
             num(fam.f),
             num(btc.duplicates),
             num(spn.duplicates),
-            num(spn_metrics.entries_pruned as f64),
+            num(r.one(*spn_one).entries_pruned as f64),
         ]);
     }
-    format!(
+    Ok(format!(
         "## Figure 7 — Successor-tree algorithms vs. BTC (full closure, l = 200, M = 20)\n\n\
          Expectation (paper): (a) BTC lowest I/O; SPN's gap narrows as F grows; JKB worst\n\
          (random-insertion preprocessing) with JKB2 in between. (b) SPN generates far\n\
@@ -57,5 +78,5 @@ pub fn run(opts: &ExpOpts) -> String {
          I/O.\n\n### (a) total page I/O\n\n{}\n### (b) duplicates generated\n\n{}",
         io.render(),
         dup.render()
-    )
+    ))
 }

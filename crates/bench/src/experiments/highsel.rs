@@ -16,7 +16,7 @@
 //!   JKB2, whose missed markings force distant unions.
 
 use crate::corpus::family;
-use crate::experiments::{averaged, QuerySpec};
+use crate::experiments::{ExpResult, Grid, QuerySpec};
 use crate::opts::ExpOpts;
 use crate::table::{num, Table};
 use tc_core::prelude::*;
@@ -35,10 +35,11 @@ struct Sweep {
     graphs: Vec<&'static str>,
 }
 
-fn sweep(opts: &ExpOpts) -> Sweep {
+fn sweep(opts: &ExpOpts) -> ExpResult<Sweep> {
     let graphs = vec!["G4", "G11"];
     let cfg = SystemConfig::with_buffer(10);
-    let data = graphs
+    let mut g = Grid::new(opts);
+    let points: Vec<Vec<Vec<_>>> = graphs
         .iter()
         .map(|name| {
             SELECTIVITIES
@@ -46,13 +47,23 @@ fn sweep(opts: &ExpOpts) -> Sweep {
                 .map(|&s| {
                     ALGOS
                         .iter()
-                        .map(|&a| averaged(family(name), a, QuerySpec::Ptc(s), &cfg, opts))
+                        .map(|&a| g.avg(family(name), a, QuerySpec::Ptc(s), &cfg))
                         .collect()
                 })
                 .collect()
         })
         .collect();
-    Sweep { data, graphs }
+    let r = g.run()?;
+    let data = points
+        .iter()
+        .map(|per_s| {
+            per_s
+                .iter()
+                .map(|per_a| per_a.iter().map(|&p| r.avg(p)).collect())
+                .collect()
+        })
+        .collect();
+    Ok(Sweep { data, graphs })
 }
 
 fn metric_table(sw: &Sweep, f: impl Fn(&crate::avg::AvgMetrics) -> f64) -> String {
@@ -71,8 +82,8 @@ fn metric_table(sw: &Sweep, f: impl Fn(&crate::avg::AvgMetrics) -> f64) -> Strin
 }
 
 /// Regenerates Figures 8–12 from one sweep.
-pub fn run(opts: &ExpOpts) -> String {
-    let sw = sweep(opts);
+pub fn run(opts: &ExpOpts) -> ExpResult<String> {
+    let sw = sweep(opts)?;
     let mut out = String::new();
     out.push_str(
         "## Figures 8–12 — High-selectivity PTC (G4 and G11, M = 10)\n\n\
@@ -97,5 +108,5 @@ pub fn run(opts: &ExpOpts) -> String {
     out.push_str("\n### Figure 12 — average locality of unmarked arcs\n");
     out.push_str("\nExpected: worse (larger) for JKB2 than for BTC/BJ.\n");
     out.push_str(&metric_table(&sw, |m| m.unmarked_locality));
-    out
+    Ok(out)
 }

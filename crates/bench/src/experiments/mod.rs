@@ -1,9 +1,24 @@
-//! One module per table/figure of the paper's evaluation section.
+//! One module per table/figure of the paper's evaluation section, plus
+//! the deterministic parallel scheduler they all run on.
 //!
-//! Every module exposes `run(&ExpOpts) -> String`, returning a markdown
-//! report fragment with the paper's expectation stated next to the
-//! measured numbers, so `all_experiments` can assemble the full
+//! Every module exposes `run(&ExpOpts) -> ExpResult<String>`, returning a
+//! markdown report fragment with the paper's expectation stated next to
+//! the measured numbers, so `all_experiments` can assemble the full
 //! EXPERIMENTS.md.
+//!
+//! # The cell model
+//!
+//! The evaluation is an embarrassingly parallel grid: every data point
+//! is an average over independent *cells*, where one cell is one
+//! execution on a fresh [`Database`] — coordinates (family, instance,
+//! source set, algorithm, query, config). Sections declare their cells
+//! through a [`Grid`], the scheduler executes them across
+//! [`ExpOpts::jobs`] workers, and results are reassembled in canonical
+//! cell order. Because each cell is a pure function of its coordinates
+//! (workload seeds follow `tc-det`'s cell-seeding convention; nothing
+//! reads the clock or the scheduling order), every report fragment is
+//! **byte-identical** at any worker count. `tests/parallel_determinism.rs`
+//! and the CI `parallel-matrix` job hold us to that.
 
 pub mod ablations;
 pub mod advisor;
@@ -18,10 +33,16 @@ pub mod table3;
 pub mod table4;
 
 use crate::avg::AvgMetrics;
-use crate::corpus::{build_graph, source_set, GraphFamily};
+use crate::corpus::{build_graph, source_set, GraphFamily, FAMILIES};
 use crate::opts::ExpOpts;
+use std::fmt;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
 use tc_core::prelude::*;
 use tc_core::CostMetrics;
+use tc_graph::{closure, model, transitive_reduction, ArcLocalityStats, RectangleModel};
+use tc_storage::StorageError;
 
 /// Which query an experiment runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -32,54 +53,625 @@ pub enum QuerySpec {
     Ptc(usize),
 }
 
+impl fmt::Display for QuerySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuerySpec::Full => write!(f, "full"),
+            QuerySpec::Ptc(s) => write!(f, "ptc({s})"),
+        }
+    }
+}
+
+/// A typed experiment failure: the first failing cell aborts the sweep
+/// with its coordinates attached, instead of panicking inside (and
+/// poisoning) a worker thread.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExpError {
+    /// A cell's database build or query run failed.
+    Cell {
+        /// Family name (`"G5"`).
+        fam: &'static str,
+        /// Instance coordinate.
+        instance: u64,
+        /// Source-set coordinate.
+        set: u64,
+        /// Algorithm of the failing run (`None` for analysis cells).
+        algorithm: Option<Algorithm>,
+        /// Query of the failing run (`None` for analysis cells).
+        query: Option<QuerySpec>,
+        /// The underlying storage error.
+        source: StorageError,
+    },
+    /// An internal scheduler/section invariant failed (a harness bug,
+    /// reported as a typed error so sweeps still shut down cleanly).
+    Internal(String),
+}
+
+impl fmt::Display for ExpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExpError::Cell {
+                fam,
+                instance,
+                set,
+                algorithm,
+                query,
+                source,
+            } => {
+                write!(f, "cell {fam}/i{instance}/s{set}")?;
+                if let Some(a) = algorithm {
+                    write!(f, "/{}", a.name())?;
+                }
+                if let Some(q) = query {
+                    write!(f, "/{q}")?;
+                }
+                write!(f, " failed: {source}")
+            }
+            ExpError::Internal(msg) => write!(f, "experiment harness invariant: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExpError {}
+
+/// Result alias for experiment sections and the scheduler.
+pub type ExpResult<T> = Result<T, ExpError>;
+
+/// What one cell computes.
+#[derive(Clone, Debug)]
+pub enum CellTask {
+    /// One query execution on a fresh [`Database`].
+    Query {
+        /// Algorithm under test.
+        algorithm: Algorithm,
+        /// Full or partial closure.
+        query: QuerySpec,
+        /// System parameters of the run.
+        cfg: SystemConfig,
+    },
+    /// Table 2 graph statistics (includes the reference closure — the
+    /// expensive analysis).
+    Stats,
+    /// Rectangle model only (cheap shape probe for Table 4 / advisor).
+    Shape,
+}
+
+/// One schedulable unit: coordinates plus a task. Cells are independent
+/// by construction — a fresh simulated disk per query, per-cell seeds —
+/// so the scheduler may run them in any order on any thread.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Graph family.
+    pub fam: &'static GraphFamily,
+    /// Instance coordinate (selects the generation seed).
+    pub instance: u64,
+    /// Source-set coordinate (selects the source-set stream; 0 for full
+    /// closure and analysis cells).
+    pub set: u64,
+    /// The work to do at these coordinates.
+    pub task: CellTask,
+}
+
+/// Stream constant for [`Cell::seed`] (the workspace's `tc-det` base
+/// seed, see `crates/det`).
+const CELL_STREAM: u64 = 0xDA12_1994;
+
+impl Cell {
+    /// The cell's canonical `tc-det` seed: a pure function of its
+    /// coordinates (family index, instance, set, task discriminant),
+    /// independent of scheduling order and worker count. Any randomness
+    /// a cell ever consumes (e.g. a per-cell fault plan) must derive
+    /// from this via [`tc_det::Rng::from_seed`], per the cell-seeding
+    /// convention documented in `tc-det`.
+    pub fn seed(&self) -> u64 {
+        let fam_idx = FAMILIES
+            .iter()
+            .position(|f| f.name == self.fam.name)
+            .unwrap_or(FAMILIES.len()) as u64;
+        let task = match &self.task {
+            CellTask::Query {
+                algorithm, query, ..
+            } => {
+                let q = match query {
+                    QuerySpec::Full => 0u64,
+                    QuerySpec::Ptc(s) => 1 + *s as u64,
+                };
+                (1u64 << 32) | ((*algorithm as u64) << 16) | q
+            }
+            CellTask::Stats => 2 << 32,
+            CellTask::Shape => 3 << 32,
+        };
+        tc_det::cell_seed(CELL_STREAM, &[fam_idx, self.instance, self.set, task])
+    }
+
+    /// Executes the cell, returning its output or a typed error naming
+    /// these coordinates.
+    pub fn execute(&self) -> ExpResult<CellOutput> {
+        match &self.task {
+            CellTask::Query {
+                algorithm,
+                query,
+                cfg,
+            } => {
+                let graph = build_graph(self.fam, self.instance);
+                let mut db = Database::build(&graph, algorithm.needs_inverse())
+                    .map_err(|e| self.error(e))?;
+                let q = match query {
+                    QuerySpec::Full => Query::full(),
+                    QuerySpec::Ptc(s) => Query::partial(source_set(*s, self.instance, self.set)),
+                };
+                let result = db.run(&q, *algorithm, cfg).map_err(|e| self.error(e))?;
+                Ok(CellOutput::Metrics(Box::new(result.metrics)))
+            }
+            CellTask::Stats => {
+                let g = build_graph(self.fam, self.instance);
+                let levels = model::node_levels(&g);
+                let rect = RectangleModel::with_levels(&g, &levels);
+                let tr = transitive_reduction(&g);
+                let loc = ArcLocalityStats::with_parts(&g, &tr, &levels);
+                let cl = closure::dfs_closure(&g);
+                Ok(CellOutput::Stats(Box::new(GraphStats {
+                    arcs: g.arc_count() as u64,
+                    max_level: rect.max_level,
+                    height: rect.height,
+                    width: rect.width,
+                    avg_loc: loc.avg_all,
+                    avg_irr: loc.avg_irredundant,
+                    tc_pairs: cl.pair_count() as u64,
+                })))
+            }
+            CellTask::Shape => {
+                let g = build_graph(self.fam, self.instance);
+                Ok(CellOutput::Shape(Box::new(RectangleModel::of(&g))))
+            }
+        }
+    }
+
+    fn error(&self, source: StorageError) -> ExpError {
+        let (algorithm, query) = match &self.task {
+            CellTask::Query {
+                algorithm, query, ..
+            } => (Some(*algorithm), Some(*query)),
+            _ => (None, None),
+        };
+        ExpError::Cell {
+            fam: self.fam.name,
+            instance: self.instance,
+            set: self.set,
+            algorithm,
+            query,
+            source,
+        }
+    }
+}
+
+/// Table 2 statistics of one graph instance (one `Stats` cell).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of arcs `|G|`.
+    pub arcs: u64,
+    /// Maximum node level.
+    pub max_level: u32,
+    /// Rectangle-model height.
+    pub height: f64,
+    /// Rectangle-model width.
+    pub width: f64,
+    /// Mean arc locality over all arcs.
+    pub avg_loc: f64,
+    /// Mean locality over transitive-reduction arcs.
+    pub avg_irr: f64,
+    /// Closure size `|TC|`.
+    pub tc_pairs: u64,
+}
+
+/// Output of one cell, matching its [`CellTask`].
+#[derive(Clone, Debug)]
+pub enum CellOutput {
+    /// Metrics of a `Query` cell.
+    Metrics(Box<CostMetrics>),
+    /// Statistics of a `Stats` cell.
+    Stats(Box<GraphStats>),
+    /// Model of a `Shape` cell.
+    Shape(Box<RectangleModel>),
+}
+
+// ---------------------------------------------------------------------
+// The scheduler
+// ---------------------------------------------------------------------
+
+/// Executes `cells` across `jobs` scoped worker threads (a lock-free
+/// work queue over an atomic cursor) and returns their outputs **in cell
+/// order**, regardless of which worker ran what when.
+///
+/// Determinism: a cell's output is a pure function of its coordinates,
+/// and reassembly is positional, so the returned vector is bit-identical
+/// for every `jobs` value. On the first failing cell the queue stops
+/// handing out work and the error (with its coordinates) is returned;
+/// which cell's error is reported may depend on scheduling, but some
+/// typed error always surfaces and no worker thread panics.
+pub fn run_cells(cells: &[Cell], jobs: usize) -> ExpResult<Vec<CellOutput>> {
+    run_cells_jittered(cells, jobs, &[])
+}
+
+/// [`run_cells`] with an artificial pre-execution delay per cell
+/// (`delay_us[i % len]` microseconds before cell `i` runs). Test
+/// support: `tests/scheduler_props.rs` uses it to shake worker
+/// interleavings and prove the output does not depend on them. An empty
+/// slice disables the delays.
+pub fn run_cells_jittered(
+    cells: &[Cell],
+    jobs: usize,
+    delay_us: &[u64],
+) -> ExpResult<Vec<CellOutput>> {
+    let delay = |i: usize| {
+        if delay_us.is_empty() {
+            Duration::ZERO
+        } else {
+            Duration::from_micros(delay_us[i % delay_us.len()])
+        }
+    };
+    let jobs = jobs.max(1).min(cells.len().max(1));
+    if jobs == 1 {
+        // Inline fast path: no threads, earliest cell's error wins.
+        let mut out = Vec::with_capacity(cells.len());
+        for (i, cell) in cells.iter().enumerate() {
+            std::thread::sleep(delay(i));
+            out.push(cell.execute()?);
+        }
+        return Ok(out);
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    // Each worker drains the shared cursor and keeps (index, result)
+    // pairs privately; merging by index afterwards restores canonical
+    // order without any cross-thread locking on the hot path.
+    let mut per_worker: Vec<Vec<(usize, ExpResult<CellOutput>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= cells.len() {
+                            break;
+                        }
+                        std::thread::sleep(delay(i));
+                        let r = cells[i].execute();
+                        if r.is_err() {
+                            stop.store(true, Ordering::Relaxed);
+                        }
+                        mine.push((i, r));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                // A worker can only panic on a harness bug (cells
+                // report failures as Err); propagate it faithfully.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+
+    let mut slots: Vec<Option<ExpResult<CellOutput>>> = (0..cells.len()).map(|_| None).collect();
+    for (i, r) in per_worker.drain(..).flatten() {
+        slots[i] = Some(r);
+    }
+    // Lowest-index error among the completed cells wins the report.
+    if slots.iter().flatten().any(|r| r.is_err()) {
+        for r in slots.into_iter().flatten() {
+            r?;
+        }
+        return Err(ExpError::Internal("error vanished during merge".into()));
+    }
+    let mut out = Vec::with_capacity(cells.len());
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(Ok(v)) => out.push(v),
+            Some(Err(e)) => return Err(e),
+            None => {
+                return Err(ExpError::Internal(format!(
+                    "scheduler left cell {i} unexecuted without reporting an error"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// The grid: how sections declare their cells
+// ---------------------------------------------------------------------
+
+/// Handle to one registered grid point (an averaged data point, a single
+/// run, or an analysis probe). Indexes into [`GridResults`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PointId(usize);
+
+/// Builder collecting a section's data points, expanded into cells and
+/// executed in one parallel sweep by [`Grid::run`].
+///
+/// Registration order is the canonical point order; within a point,
+/// cells enumerate `(instance, set)` in the same nested order the old
+/// serial harness used, so averages fold bit-identically.
+pub struct Grid {
+    opts: ExpOpts,
+    cells: Vec<Cell>,
+    ranges: Vec<Range<usize>>,
+}
+
+impl Grid {
+    /// An empty grid scheduling with `opts.jobs` workers.
+    pub fn new(opts: &ExpOpts) -> Grid {
+        Grid {
+            opts: *opts,
+            cells: Vec::new(),
+            ranges: Vec::new(),
+        }
+    }
+
+    fn push_point(&mut self, cells: impl IntoIterator<Item = Cell>) -> PointId {
+        let start = self.cells.len();
+        self.cells.extend(cells);
+        self.ranges.push(start..self.cells.len());
+        PointId(self.ranges.len() - 1)
+    }
+
+    /// An averaged data point: `instances × (source_sets for PTC, 1 for
+    /// full closure)` query cells.
+    pub fn avg(
+        &mut self,
+        fam: &'static GraphFamily,
+        algorithm: Algorithm,
+        query: QuerySpec,
+        cfg: &SystemConfig,
+    ) -> PointId {
+        let sets = match query {
+            QuerySpec::Full => 1,
+            QuerySpec::Ptc(_) => self.opts.source_sets,
+        };
+        let instances = self.opts.instances;
+        let mut cells = Vec::with_capacity((instances * sets) as usize);
+        for instance in 0..instances {
+            for set in 0..sets {
+                cells.push(Cell {
+                    fam,
+                    instance,
+                    set,
+                    task: CellTask::Query {
+                        algorithm,
+                        query,
+                        cfg: cfg.clone(),
+                    },
+                });
+            }
+        }
+        self.push_point(cells)
+    }
+
+    /// A single query run at explicit `(instance, set)` coordinates (the
+    /// old `run_one` call sites).
+    pub fn one(
+        &mut self,
+        fam: &'static GraphFamily,
+        instance: u64,
+        set: u64,
+        algorithm: Algorithm,
+        query: QuerySpec,
+        cfg: &SystemConfig,
+    ) -> PointId {
+        self.push_point([Cell {
+            fam,
+            instance,
+            set,
+            task: CellTask::Query {
+                algorithm,
+                query,
+                cfg: cfg.clone(),
+            },
+        }])
+    }
+
+    /// Table 2 statistics, one cell per instance.
+    pub fn stats(&mut self, fam: &'static GraphFamily) -> PointId {
+        let cells: Vec<Cell> = (0..self.opts.instances)
+            .map(|instance| Cell {
+                fam,
+                instance,
+                set: 0,
+                task: CellTask::Stats,
+            })
+            .collect();
+        self.push_point(cells)
+    }
+
+    /// Rectangle model of instance 0 (the shape probe Table 4 and the
+    /// advisor section use).
+    pub fn shape(&mut self, fam: &'static GraphFamily) -> PointId {
+        self.push_point([Cell {
+            fam,
+            instance: 0,
+            set: 0,
+            task: CellTask::Shape,
+        }])
+    }
+
+    /// Number of cells registered so far.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Executes every registered cell across `opts.jobs` workers.
+    pub fn run(self) -> ExpResult<GridResults> {
+        let outputs = run_cells(&self.cells, self.opts.jobs)?;
+        Ok(GridResults {
+            outputs,
+            ranges: self.ranges,
+        })
+    }
+}
+
+/// Results of a [`Grid`] sweep, indexed by [`PointId`] in canonical cell
+/// order.
+pub struct GridResults {
+    outputs: Vec<CellOutput>,
+    ranges: Vec<Range<usize>>,
+}
+
+impl GridResults {
+    fn point(&self, id: PointId) -> &[CellOutput] {
+        &self.outputs[self.ranges[id.0].clone()]
+    }
+
+    /// Folds a point's query cells into averaged metrics, in canonical
+    /// `(instance, set)` order — bit-identical to the old serial fold.
+    pub fn avg(&self, id: PointId) -> AvgMetrics {
+        let mut avg = AvgMetrics::default();
+        for m in self.metrics(id) {
+            avg.add(m);
+        }
+        avg
+    }
+
+    /// Iterates a point's raw [`CostMetrics`] in canonical order.
+    pub fn metrics(&self, id: PointId) -> impl Iterator<Item = &CostMetrics> {
+        self.point(id).iter().filter_map(|o| match o {
+            CellOutput::Metrics(m) => Some(&**m),
+            _ => None,
+        })
+    }
+
+    /// The metrics of a single-run point (first query cell).
+    pub fn one(&self, id: PointId) -> &CostMetrics {
+        match self.metrics(id).next() {
+            Some(m) => m,
+            // A PointId can only be minted by the Grid that produced
+            // these results, so a kind mismatch is unreachable.
+            None => unreachable!("point {id:?} has no query cells"),
+        }
+    }
+
+    /// Iterates a `stats` point's per-instance [`GraphStats`].
+    pub fn stats(&self, id: PointId) -> impl Iterator<Item = &GraphStats> {
+        self.point(id).iter().filter_map(|o| match o {
+            CellOutput::Stats(s) => Some(&**s),
+            _ => None,
+        })
+    }
+
+    /// The rectangle model of a `shape` point.
+    pub fn shape(&self, id: PointId) -> &RectangleModel {
+        let shape = self.point(id).iter().find_map(|o| match o {
+            CellOutput::Shape(r) => Some(&**r),
+            _ => None,
+        });
+        match shape {
+            Some(r) => r,
+            None => unreachable!("point {id:?} has no shape cell"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serial convenience wrappers (kept for tests and ad-hoc callers)
+// ---------------------------------------------------------------------
+
 /// Executes one run on a fresh database instance.
 ///
 /// A fresh [`Database`] per run keeps the simulated disk from
 /// accumulating scratch files across the sweep and makes every data
 /// point independent, exactly like rerunning the authors' simulator.
+/// Failures surface as a typed [`ExpError`] naming the coordinates.
 pub fn run_one(
-    fam: &GraphFamily,
+    fam: &'static GraphFamily,
     instance: u64,
     set: u64,
     algorithm: Algorithm,
     query: QuerySpec,
     cfg: &SystemConfig,
-) -> CostMetrics {
-    let graph = build_graph(fam, instance);
-    let mut db = Database::build(&graph, algorithm.needs_inverse()).expect("database build");
-    let q = match query {
-        QuerySpec::Full => Query::full(),
-        QuerySpec::Ptc(s) => Query::partial(source_set(s, instance, set)),
+) -> ExpResult<CostMetrics> {
+    let cell = Cell {
+        fam,
+        instance,
+        set,
+        task: CellTask::Query {
+            algorithm,
+            query,
+            cfg: cfg.clone(),
+        },
     };
-    db.run(&q, algorithm, cfg).expect("run").metrics
+    match cell.execute()? {
+        CellOutput::Metrics(m) => Ok(*m),
+        _ => Err(ExpError::Internal("query cell produced non-metrics".into())),
+    }
 }
 
 /// Averages an experiment point over the configured instances and (for
-/// selections) source sets.
+/// selections) source sets, serially on the calling thread. Sections use
+/// a [`Grid`] instead so their points share one parallel sweep.
 pub fn averaged(
-    fam: &GraphFamily,
+    fam: &'static GraphFamily,
     algorithm: Algorithm,
     query: QuerySpec,
     cfg: &SystemConfig,
     opts: &ExpOpts,
-) -> AvgMetrics {
-    let mut avg = AvgMetrics::default();
-    let sets = match query {
-        QuerySpec::Full => 1,
-        QuerySpec::Ptc(_) => opts.source_sets,
-    };
-    for instance in 0..opts.instances {
-        for set in 0..sets {
-            avg.add(&run_one(fam, instance, set, algorithm, query, cfg));
-        }
-    }
-    avg
+) -> ExpResult<AvgMetrics> {
+    let mut g = Grid::new(&ExpOpts { jobs: 1, ..*opts });
+    let p = g.avg(fam, algorithm, query, cfg);
+    Ok(g.run()?.avg(p))
+}
+
+// ---------------------------------------------------------------------
+// Section registry
+// ---------------------------------------------------------------------
+
+/// A section entry point: builds its grid, runs it, renders a markdown
+/// fragment.
+pub type SectionFn = fn(&ExpOpts) -> ExpResult<String>;
+
+/// Every report section in canonical (paper) order.
+pub const SECTIONS: [(&str, SectionFn); 11] = [
+    ("table2", table2::run),
+    ("table3", table3::run),
+    ("fig6", fig6::run),
+    ("fig7", fig7::run),
+    ("figs8-12", highsel::run),
+    ("table4", table4::run),
+    ("fig13", fig13::run),
+    ("fig14", fig14::run),
+    ("related", related::run),
+    ("ablations", ablations::run),
+    ("advisor", advisor::run),
+];
+
+/// Looks a section up by name.
+pub fn section(name: &str) -> Option<SectionFn> {
+    SECTIONS
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|&(_, f)| f)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::corpus::family;
+
+    fn quick1() -> ExpOpts {
+        ExpOpts {
+            instances: 1,
+            source_sets: 1,
+            jobs: 1,
+        }
+    }
 
     #[test]
     fn run_one_produces_metrics() {
@@ -90,7 +682,8 @@ mod tests {
             Algorithm::Btc,
             QuerySpec::Ptc(2),
             &SystemConfig::default(),
-        );
+        )
+        .expect("run_one");
         assert!(m.total_io() > 0);
     }
 
@@ -99,6 +692,7 @@ mod tests {
         let opts = ExpOpts {
             instances: 2,
             source_sets: 2,
+            jobs: 1,
         };
         let avg = averaged(
             family("G3"),
@@ -106,7 +700,8 @@ mod tests {
             QuerySpec::Ptc(2),
             &SystemConfig::default(),
             &opts,
-        );
+        )
+        .expect("averaged");
         assert_eq!(avg.runs, 4);
         let avg_full = averaged(
             family("G3"),
@@ -114,7 +709,70 @@ mod tests {
             QuerySpec::Full,
             &SystemConfig::default(),
             &opts,
-        );
+        )
+        .expect("averaged full");
         assert_eq!(avg_full.runs, 2, "full closure ignores source sets");
+    }
+
+    #[test]
+    fn grid_results_are_positionally_stable() {
+        let opts = quick1();
+        let mut g = Grid::new(&opts);
+        let cfg = SystemConfig::default();
+        let a = g.avg(family("G3"), Algorithm::Btc, QuerySpec::Ptc(2), &cfg);
+        let b = g.shape(family("G1"));
+        let c = g.stats(family("G2"));
+        let r = g.run().expect("grid");
+        assert_eq!(r.avg(a).runs, 1);
+        assert!(r.shape(b).width > 0.0);
+        assert_eq!(r.stats(c).count(), 1);
+    }
+
+    #[test]
+    fn scheduler_is_order_invariant_for_a_tiny_grid() {
+        let cfg = SystemConfig::default();
+        let cells: Vec<Cell> = (0..3)
+            .map(|i| Cell {
+                fam: family("G3"),
+                instance: 0,
+                set: i,
+                task: CellTask::Query {
+                    algorithm: Algorithm::Btc,
+                    query: QuerySpec::Ptc(2),
+                    cfg: cfg.clone(),
+                },
+            })
+            .collect();
+        let serial = run_cells(&cells, 1).expect("serial");
+        let parallel = run_cells(&cells, 3).expect("parallel");
+        let ios = |outs: &[CellOutput]| -> Vec<u64> {
+            outs.iter()
+                .map(|o| match o {
+                    CellOutput::Metrics(m) => m.total_io(),
+                    _ => 0,
+                })
+                .collect()
+        };
+        assert_eq!(ios(&serial), ios(&parallel));
+    }
+
+    #[test]
+    fn cell_seeds_are_coordinate_pure() {
+        let mk = |instance, set| Cell {
+            fam: family("G5"),
+            instance,
+            set,
+            task: CellTask::Stats,
+        };
+        assert_eq!(mk(0, 1).seed(), mk(0, 1).seed());
+        assert_ne!(mk(0, 1).seed(), mk(1, 0).seed());
+    }
+
+    #[test]
+    fn section_registry_resolves() {
+        assert_eq!(SECTIONS.len(), 11);
+        assert!(section("table2").is_some());
+        assert!(section("FIGS8-12").is_some());
+        assert!(section("nope").is_none());
     }
 }

@@ -5,10 +5,10 @@
 //! locality, and the closure size, averaged over the generated instances
 //! and printed beside the paper's reported values.
 
-use crate::corpus::{build_graph, FAMILIES};
+use crate::corpus::FAMILIES;
+use crate::experiments::{ExpResult, Grid};
 use crate::opts::ExpOpts;
 use crate::table::{num, Table};
-use tc_graph::{closure, model, transitive_reduction, ArcLocalityStats, RectangleModel};
 
 /// Paper values: (|G|, max level, H, W, avg loc, avg irr loc, |TC|).
 const PAPER: [(u32, u32, u32, u32, u32, u32, u64); 12] = [
@@ -27,7 +27,11 @@ const PAPER: [(u32, u32, u32, u32, u32, u32, u64); 12] = [
 ];
 
 /// Regenerates Table 2.
-pub fn run(opts: &ExpOpts) -> String {
+pub fn run(opts: &ExpOpts) -> ExpResult<String> {
+    let mut g = Grid::new(opts);
+    let points: Vec<_> = FAMILIES.iter().map(|fam| g.stats(fam)).collect();
+    let r = g.run()?;
+
     let mut t = Table::new([
         "graph", "|G|", "(paper)", "maxlev", "(p)", "H", "(p)", "W", "(p)", "loc", "(p)",
         "irr.loc", "(p)", "|TC|", "(paper)",
@@ -35,20 +39,14 @@ pub fn run(opts: &ExpOpts) -> String {
     for (i, fam) in FAMILIES.iter().enumerate() {
         let (mut arcs, mut maxlev, mut h, mut w, mut loc, mut irr, mut tc) =
             (0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
-        for inst in 0..opts.instances {
-            let g = build_graph(fam, inst);
-            let levels = model::node_levels(&g);
-            let rect = RectangleModel::with_levels(&g, &levels);
-            let tr = transitive_reduction(&g);
-            let l = ArcLocalityStats::with_parts(&g, &tr, &levels);
-            let cl = closure::dfs_closure(&g);
-            arcs += g.arc_count() as f64;
-            maxlev += rect.max_level as f64;
-            h += rect.height;
-            w += rect.width;
-            loc += l.avg_all;
-            irr += l.avg_irredundant;
-            tc += cl.pair_count() as f64;
+        for s in r.stats(points[i]) {
+            arcs += s.arcs as f64;
+            maxlev += s.max_level as f64;
+            h += s.height;
+            w += s.width;
+            loc += s.avg_loc;
+            irr += s.avg_irr;
+            tc += s.tc_pairs as f64;
         }
         let k = opts.instances as f64;
         let p = PAPER[i];
@@ -70,7 +68,7 @@ pub fn run(opts: &ExpOpts) -> String {
             p.6.to_string(),
         ]);
     }
-    format!(
+    Ok(format!(
         "## Table 2 — Graph parameters (measured vs. paper)\n\n\
          Expectation: every statistic should land in the paper's regime; H, W, max level,\n\
          |G|, |TC| and all-arc locality match closely. The irredundant-locality column\n\
@@ -78,5 +76,5 @@ pub fn run(opts: &ExpOpts) -> String {
          transitive-reduction arcs); see EXPERIMENTS.md for the known discrepancy on the\n\
          sparse deep families.\n\n{}",
         t.render()
-    )
+    ))
 }

@@ -5,12 +5,11 @@
 //! low-width graphs favour Compute_Tree, high-width graphs punish its
 //! missed markings. Height shows no such correlation.
 
-use crate::corpus::{build_graph, FAMILIES};
-use crate::experiments::{averaged, QuerySpec};
+use crate::corpus::FAMILIES;
+use crate::experiments::{ExpResult, Grid, QuerySpec};
 use crate::opts::ExpOpts;
 use crate::table::{num, Table};
 use tc_core::prelude::*;
-use tc_graph::RectangleModel;
 
 /// Paper row: width-sorted graph order with JKB/BTC ratios at s = 5, 10.
 const PAPER: [(&str, f64, f64); 12] = [
@@ -28,19 +27,37 @@ const PAPER: [(&str, f64, f64); 12] = [
     ("G12", 3.24, 3.21),
 ];
 
+const SELECTIVITIES: [usize; 2] = [5, 10];
+
 /// Regenerates Table 4.
-pub fn run(opts: &ExpOpts) -> String {
+pub fn run(opts: &ExpOpts) -> ExpResult<String> {
     let cfg = SystemConfig::with_buffer(10);
+    let mut g = Grid::new(opts);
+    let points: Vec<_> = FAMILIES
+        .iter()
+        .map(|fam| {
+            let shape = g.shape(fam);
+            let ratios: Vec<_> = SELECTIVITIES
+                .iter()
+                .map(|&s| {
+                    (
+                        g.avg(fam, Algorithm::Btc, QuerySpec::Ptc(s), &cfg),
+                        g.avg(fam, Algorithm::Jkb2, QuerySpec::Ptc(s), &cfg),
+                    )
+                })
+                .collect();
+            (shape, ratios)
+        })
+        .collect();
+    let r = g.run()?;
+
     // Measure width (instance 0) and the two ratios for every family.
     let mut rows: Vec<(String, f64, f64, f64, f64)> = Vec::new();
-    for fam in &FAMILIES {
-        let g = build_graph(fam, 0);
-        let rect = RectangleModel::of(&g);
+    for (fam, (shape, ratios)) in FAMILIES.iter().zip(&points) {
+        let rect = r.shape(*shape);
         let mut ratio = [0.0f64; 2];
-        for (i, s) in [5usize, 10].into_iter().enumerate() {
-            let btc = averaged(fam, Algorithm::Btc, QuerySpec::Ptc(s), &cfg, opts);
-            let jkb2 = averaged(fam, Algorithm::Jkb2, QuerySpec::Ptc(s), &cfg, opts);
-            ratio[i] = jkb2.total_io / btc.total_io.max(1.0);
+        for (i, &(btc, jkb2)) in ratios.iter().enumerate() {
+            ratio[i] = r.avg(jkb2).total_io / r.avg(btc).total_io.max(1.0);
         }
         rows.push((
             fam.name.to_string(),
@@ -50,7 +67,7 @@ pub fn run(opts: &ExpOpts) -> String {
             rect.height,
         ));
     }
-    rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite widths"));
+    rows.sort_by(|a, b| a.1.total_cmp(&b.1));
 
     let mut t = Table::new([
         "graph",
@@ -62,25 +79,26 @@ pub fn run(opts: &ExpOpts) -> String {
         "height",
     ]);
     for (name, w, r5, r10, h) in &rows {
-        let paper = PAPER
+        let (p5, p10) = PAPER
             .iter()
             .find(|(n, _, _)| n == name)
-            .expect("family in paper table");
+            .map(|&(_, p5, p10)| (p5, p10))
+            .unwrap_or((f64::NAN, f64::NAN));
         t.row([
             name.clone(),
             num(*w),
             num(*r5),
-            num(paper.1),
+            num(p5),
             num(*r10),
-            num(paper.2),
+            num(p10),
             num(*h),
         ]);
     }
-    format!(
+    Ok(format!(
         "## Table 4 — JKB2 vs. BTC for PTC queries, by graph width (M = 10)\n\n\
          Expectation (paper): the normalized I/O of JKB2 grows with the width of the\n\
          graph — clearly below 1 on the narrow graphs, above 1 on the wide ones — while\n\
          showing no similar correlation with height.\n\n{}",
         t.render()
-    )
+    ))
 }

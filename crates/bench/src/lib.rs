@@ -2,10 +2,23 @@
 //! evaluation section (paper §5–§6).
 //!
 //! Each experiment lives in [`experiments`] and is exposed both as a
-//! library function returning its report as a string and as a binary
-//! (`cargo run -p tc-bench --release --bin table2`, `--bin fig6`, ...).
+//! library function returning its report fragment as a string and
+//! through two binaries: `--bin section <name>` runs one section
+//! (`cargo run -p tc-bench --release --bin section -- table2`), and
 //! `--bin all_experiments` runs the full suite and emits an
 //! `EXPERIMENTS.md`-ready report.
+//!
+//! # Deterministic parallel scheduling
+//!
+//! Every section decomposes into independent *cells* (one
+//! database-build-and-run each) on a shared [`experiments::Grid`]. Cells
+//! execute across `--jobs N` worker threads (env `TC_JOBS`; default:
+//! available parallelism) and results are reassembled in canonical cell
+//! order, so a section's report fragment is **byte-identical** at any
+//! thread count — `--jobs 1` and `--jobs 8` produce the same bytes.
+//! Cell seeds are pure functions of cell coordinates
+//! ([`tc_det::cell_seed`]), never drawn from a shared RNG, so scheduling
+//! order cannot leak into the data.
 //!
 //! The paper averages every data point over 5 generated graph instances
 //! per family and, for selections, 5 source sets per instance. That full
@@ -15,7 +28,7 @@
 //! TC_INSTANCES=5 TC_SOURCE_SETS=5 cargo run --release -p tc-bench --bin all_experiments
 //! ```
 //!
-//! (or `--instances 5 --sets 5` on each binary's command line).
+//! (or `--instances 5 --sets 5 --jobs 4` on each binary's command line).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,12 +1,25 @@
-//! Experiment options (repetition counts).
+//! Experiment options (repetition counts and scheduler parallelism).
 
-/// How many instances / source sets to average over.
+/// How many instances / source sets to average over, and how many worker
+/// threads the cell scheduler may use.
 #[derive(Clone, Copy, Debug)]
 pub struct ExpOpts {
     /// Graph instances per family (paper: 5).
     pub instances: u64,
     /// Source sets per instance for selection queries (paper: 5).
     pub source_sets: u64,
+    /// Worker threads for the experiment grid (`--jobs`, `TC_JOBS`).
+    /// Purely a throughput knob: every report is byte-identical at any
+    /// value. 1 executes cells inline on the calling thread.
+    pub jobs: usize,
+}
+
+/// The scheduler's default worker count: the host's available
+/// parallelism (1 if that cannot be determined).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl Default for ExpOpts {
@@ -14,6 +27,7 @@ impl Default for ExpOpts {
         ExpOpts {
             instances: 2,
             source_sets: 2,
+            jobs: default_jobs(),
         }
     }
 }
@@ -24,6 +38,7 @@ impl ExpOpts {
         ExpOpts {
             instances: 5,
             source_sets: 5,
+            ..ExpOpts::default()
         }
     }
 
@@ -32,46 +47,84 @@ impl ExpOpts {
         ExpOpts {
             instances: 1,
             source_sets: 1,
+            ..ExpOpts::default()
         }
     }
 
-    /// Builds options from (in precedence order) command-line arguments
-    /// (`--instances k`, `--sets k`, `--full`, `--quick`) and the
-    /// `TC_INSTANCES` / `TC_SOURCE_SETS` environment variables.
-    pub fn from_env_and_args() -> ExpOpts {
+    /// Builder-style: set the scheduler worker count (clamped to ≥ 1).
+    pub fn jobs(mut self, jobs: usize) -> ExpOpts {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Builds options from (in precedence order) the given command-line
+    /// arguments (`--instances k`, `--sets k`, `--jobs n`, `--full`,
+    /// `--quick`) and the `TC_INSTANCES` / `TC_SOURCE_SETS` / `TC_JOBS`
+    /// environment variables. Unknown or malformed arguments are a typed
+    /// error, not a panic, so binaries can exit with a usage message.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<ExpOpts, String> {
         let mut o = ExpOpts::default();
-        if let Ok(v) = std::env::var("TC_INSTANCES") {
-            if let Ok(k) = v.parse() {
-                o.instances = k;
-            }
+        if let Some(k) = env_parsed("TC_INSTANCES")? {
+            o.instances = k;
         }
-        if let Ok(v) = std::env::var("TC_SOURCE_SETS") {
-            if let Ok(k) = v.parse() {
-                o.source_sets = k;
-            }
+        if let Some(k) = env_parsed("TC_SOURCE_SETS")? {
+            o.source_sets = k;
         }
-        let args: Vec<String> = std::env::args().collect();
-        let mut i = 1;
+        if let Some(k) = env_parsed::<usize>("TC_JOBS")? {
+            o.jobs = k;
+        }
+        let args: Vec<String> = args.into_iter().collect();
+        let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
-                "--full" => o = ExpOpts::full(),
-                "--quick" => o = ExpOpts::quick(),
-                "--instances" if i + 1 < args.len() => {
-                    o.instances = args[i + 1].parse().expect("--instances takes a number");
-                    i += 1;
+                "--full" => {
+                    o.instances = 5;
+                    o.source_sets = 5;
                 }
-                "--sets" if i + 1 < args.len() => {
-                    o.source_sets = args[i + 1].parse().expect("--sets takes a number");
-                    i += 1;
+                "--quick" => {
+                    o.instances = 1;
+                    o.source_sets = 1;
                 }
-                other => panic!(
-                    "unknown argument {other} (try --full, --quick, --instances k, --sets k)"
-                ),
+                "--instances" => o.instances = flag_value(&args, &mut i)?,
+                "--sets" => o.source_sets = flag_value(&args, &mut i)?,
+                "--jobs" => o.jobs = flag_value(&args, &mut i)?,
+                other => {
+                    return Err(format!(
+                        "unknown argument {other} (try --full, --quick, --instances k, --sets k, --jobs n)"
+                    ))
+                }
             }
             i += 1;
         }
-        assert!(o.instances >= 1 && o.source_sets >= 1);
-        o
+        if o.instances < 1 || o.source_sets < 1 || o.jobs < 1 {
+            return Err("--instances, --sets and --jobs must all be ≥ 1".into());
+        }
+        Ok(o)
+    }
+
+    /// [`ExpOpts::parse`] over the process environment and command line.
+    pub fn from_env_and_args() -> Result<ExpOpts, String> {
+        ExpOpts::parse(std::env::args().skip(1))
+    }
+}
+
+fn flag_value<T: std::str::FromStr>(args: &[String], i: &mut usize) -> Result<T, String> {
+    let flag = &args[*i];
+    let Some(v) = args.get(*i + 1) else {
+        return Err(format!("{flag} takes a number"));
+    };
+    *i += 1;
+    v.parse()
+        .map_err(|_| format!("{flag} takes a number, got {v:?}"))
+}
+
+fn env_parsed<T: std::str::FromStr>(var: &str) -> Result<Option<T>, String> {
+    match std::env::var(var) {
+        Ok(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{var} must be a number, got {v:?}")),
+        Err(_) => Ok(None),
     }
 }
 
@@ -84,5 +137,30 @@ mod tests {
         assert_eq!(ExpOpts::full().instances, 5);
         assert_eq!(ExpOpts::quick().source_sets, 1);
         assert_eq!(ExpOpts::default().instances, 2);
+        assert!(ExpOpts::default().jobs >= 1);
+    }
+
+    #[test]
+    fn parse_flags() {
+        let o =
+            ExpOpts::parse(["--instances", "3", "--sets", "4", "--jobs", "2"].map(String::from))
+                .unwrap();
+        assert_eq!((o.instances, o.source_sets, o.jobs), (3, 4, 2));
+        let o = ExpOpts::parse(["--quick"].map(String::from)).unwrap();
+        assert_eq!((o.instances, o.source_sets), (1, 1));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ExpOpts::parse(["--bogus"].map(String::from)).is_err());
+        assert!(ExpOpts::parse(["--jobs"].map(String::from)).is_err());
+        assert!(ExpOpts::parse(["--jobs", "zero"].map(String::from)).is_err());
+        assert!(ExpOpts::parse(["--jobs", "0"].map(String::from)).is_err());
+    }
+
+    #[test]
+    fn jobs_builder_clamps() {
+        assert_eq!(ExpOpts::default().jobs(0).jobs, 1);
+        assert_eq!(ExpOpts::default().jobs(6).jobs, 6);
     }
 }

@@ -69,6 +69,29 @@ pub use metrics::{CostMetrics, PhaseIo};
 pub use paths::PathIndex;
 pub use query::Query;
 
+// Compile-time thread-safety audit. The experiment scheduler in
+// `tc-bench` ships these across a `std::thread::scope` boundary (a fresh
+// `Database` per cell, `SystemConfig`/`Graph`/`Query` shared by
+// reference), so they must stay `Send` (and the shared ones `Sync`).
+// Introducing an `Rc`, raw pointer or other thread-bound state anywhere
+// inside them turns this into a compile error rather than a scheduler
+// regression.
+const _: fn() = || {
+    fn sendable<T: Send>() {}
+    fn shareable<T: Sync>() {}
+    sendable::<SystemConfig>();
+    shareable::<SystemConfig>();
+    sendable::<Database>();
+    sendable::<Query>();
+    shareable::<Query>();
+    sendable::<Algorithm>();
+    sendable::<CostMetrics>();
+    sendable::<RunResult>();
+    sendable::<tc_graph::Graph>();
+    shareable::<tc_graph::Graph>();
+    sendable::<tc_storage::StorageError>();
+};
+
 /// Convenient glob-import surface: the types needed to load a graph and
 /// run queries.
 pub mod prelude {

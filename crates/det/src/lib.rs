@@ -27,6 +27,25 @@
 //! * Anything that perturbs a simulation result must flow from one of
 //!   these seeds — wall-clock time and addresses must never leak into
 //!   simulated metrics.
+//!
+//! ## Cell seeding (parallel experiment grids)
+//!
+//! The experiment harness decomposes sweeps into independent *cells*
+//! (one graph instance × source set × algorithm × config each) and may
+//! execute them on any number of worker threads. Randomness consumed
+//! inside a cell must therefore be a pure function of the cell's
+//! *coordinates*, never of scheduling order:
+//!
+//! * Derive the cell's seed with [`rng::cell_seed`]`(STREAM, &coords)`,
+//!   where `STREAM` is a per-purpose constant and `coords` the cell's
+//!   canonical coordinates, then start a fresh [`Rng::from_seed`].
+//! * Never [`Rng::fork`] a shared generator *across* cells — fork order
+//!   would then encode the (nondeterministic) execution interleaving.
+//!   Forking is fine *within* one cell, where consumption is sequential.
+//!
+//! Under this convention a sweep's results are bit-identical at any
+//! worker count, which is what `tests/parallel_determinism.rs` and the
+//! CI `parallel-matrix` job enforce.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,4 +55,4 @@ pub mod check;
 pub mod rng;
 
 pub use check::Checker;
-pub use rng::{splitmix64, Rng};
+pub use rng::{cell_seed, splitmix64, Rng};

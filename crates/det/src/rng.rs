@@ -29,6 +29,37 @@ pub fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Derives the canonical seed for one *cell* of an experiment grid.
+///
+/// This is the workspace's cell-seeding convention (see the crate docs):
+/// a parallel scheduler must never hand cells forks of a shared stream —
+/// fork order would then depend on scheduling order, and the sweep would
+/// stop being reproducible. Instead, every cell derives its seed as a
+/// pure function of a stream constant (`base`, one per logical stream)
+/// and the cell's coordinates, by chaining SplitMix64 over them. The
+/// result feeds [`Rng::from_seed`]; [`Rng::fork`] is then safe *within*
+/// the cell, where consumption order is sequential again.
+///
+/// ```
+/// use tc_det::rng::cell_seed;
+/// // (family, instance, set) coordinates; order matters, values commute nowhere.
+/// let a = cell_seed(0xDA12_1994, &[4, 0, 1]);
+/// assert_eq!(a, cell_seed(0xDA12_1994, &[4, 0, 1]));
+/// assert_ne!(a, cell_seed(0xDA12_1994, &[4, 1, 0]));
+/// assert_ne!(a, cell_seed(0xBEEF, &[4, 0, 1]));
+/// ```
+pub fn cell_seed(base: u64, coords: &[u64]) -> u64 {
+    let mut state = base;
+    let mut out = splitmix64(&mut state);
+    for &c in coords {
+        // Fold each coordinate into the state before mixing so that
+        // permuted coordinates yield unrelated streams.
+        state ^= c.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        out = splitmix64(&mut state);
+    }
+    out
+}
+
 /// A deterministic xoshiro256++ generator with a `rand`-flavoured API.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Rng {

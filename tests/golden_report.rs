@@ -1,0 +1,76 @@
+//! Golden report digests: end-to-end pin of every experiment section.
+//!
+//! `golden_seed.rs` pins the workload generator; this test pins the
+//! other end of the pipeline — the full report fragment each section
+//! renders on the quick grid (`ExpOpts::quick()`, 1 instance × 1 source
+//! set). Any change to an algorithm, the storage substrate, the buffer
+//! policies, the averaging, or the report formatting shows up here as a
+//! digest mismatch naming the section.
+//!
+//! If an intentional change lands, regenerate the constants below (the
+//! failure message prints the new values) and note the break in
+//! CHANGES.md: previously recorded experiment numbers for that section
+//! become incomparable.
+
+use tc_bench::experiments::section;
+use tc_bench::ExpOpts;
+
+/// FNV-1a over a report fragment's bytes (same family as
+/// `golden_seed.rs`'s arc checksum).
+fn digest(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in s.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Golden quick-grid digests, one per registered section, in canonical
+/// section order.
+const GOLDEN: [(&str, u64); 11] = [
+    ("table2", 0xFF6B_4C4A_52F0_F50B),
+    ("table3", 0xA9E9_188F_935F_0B68),
+    ("fig6", 0xBE30_F49A_8623_A929),
+    ("fig7", 0x474F_CD9A_B824_276E),
+    ("figs8-12", 0x04EF_0112_49D4_BAB9),
+    ("table4", 0xE3CC_983C_8866_E4DE),
+    ("fig13", 0x9ECE_DEB3_67B8_AFD5),
+    ("fig14", 0xDF06_D3BF_DC84_5410),
+    ("related", 0x65AF_1E01_873F_7F46),
+    ("ablations", 0x95ED_6DF1_481D_B021),
+    ("advisor", 0x9013_8046_901C_6AC6),
+];
+
+#[test]
+fn quick_grid_sections_match_golden_digests() {
+    let opts = ExpOpts::quick();
+    let mut mismatches = Vec::new();
+    for (name, golden) in GOLDEN {
+        let f = section(name).unwrap_or_else(|| panic!("unknown golden section {name}"));
+        let fragment = f(&opts).unwrap_or_else(|e| panic!("{name} failed on the quick grid: {e}"));
+        let d = digest(&fragment);
+        if d != golden {
+            mismatches.push(format!("    (\"{name}\", {d:#018X}),"));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "quick-grid report fragments changed — if intentional, update GOLDEN \
+         to the values below and note the break in CHANGES.md:\n{}",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn golden_table_covers_every_registered_section() {
+    let registered: Vec<&str> = tc_bench::experiments::SECTIONS
+        .iter()
+        .map(|&(name, _)| name)
+        .collect();
+    let pinned: Vec<&str> = GOLDEN.iter().map(|&(name, _)| name).collect();
+    assert_eq!(
+        registered, pinned,
+        "section registry and golden table diverged — pin new sections here"
+    );
+}

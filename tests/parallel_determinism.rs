@@ -1,0 +1,48 @@
+//! Differential serial ≡ parallel test for the experiment scheduler.
+//!
+//! The scheduler's contract (DESIGN.md §"Deterministic parallel
+//! scheduling") is that `--jobs` is purely a throughput knob: every
+//! report fragment is byte-identical at any worker count, because cells
+//! are pure functions of their coordinates and results are reassembled
+//! in canonical cell order. This test runs every registered section on
+//! the quick grid at `jobs = 1` (inline serial path) and `jobs = 4`
+//! (work-queue path, oversubscribed on small hosts so workers genuinely
+//! interleave) and compares FNV-1a digests of the fragments — the same
+//! digest family `golden_seed.rs` uses for workload pinning.
+
+use tc_bench::experiments::SECTIONS;
+use tc_bench::ExpOpts;
+
+/// FNV-1a over a report fragment's bytes.
+fn digest(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in s.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[test]
+fn every_section_is_byte_identical_serial_vs_parallel() {
+    let serial = ExpOpts::quick().jobs(1);
+    let parallel = ExpOpts::quick().jobs(4);
+    let mut diverged = Vec::new();
+    for (name, f) in SECTIONS {
+        let a = f(&serial).unwrap_or_else(|e| panic!("{name} failed at jobs=1: {e}"));
+        let b = f(&parallel).unwrap_or_else(|e| panic!("{name} failed at jobs=4: {e}"));
+        if a != b {
+            diverged.push(format!(
+                "{name}: jobs=1 digest {:#018X} != jobs=4 digest {:#018X}",
+                digest(&a),
+                digest(&b)
+            ));
+        }
+    }
+    assert!(
+        diverged.is_empty(),
+        "sections diverged between serial and parallel execution — a cell is \
+         reading shared state (wall clock, shared RNG, scheduling order?):\n{}",
+        diverged.join("\n")
+    );
+}

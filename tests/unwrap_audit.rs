@@ -5,8 +5,12 @@
 //! typed, injectable `StorageError` into a panic. This test freezes the
 //! audit — the page-transfer paths of `tc-storage` and `tc-buffer` must
 //! stay free of `unwrap()`/`expect()` outside `#[cfg(test)]` modules.
-//! The CI grep gate enforces the same rule repo-side; this test makes it
-//! fail locally first.
+//! The same rule covers all of `crates/bench/src`: an experiment cell
+//! failure must surface as a typed [`ExpError`] naming the cell, never a
+//! worker-thread panic. The CI grep gate enforces the same rule
+//! repo-side; this test makes it fail locally first.
+//!
+//! [`ExpError`]: tc_bench::experiments::ExpError
 
 use std::fs;
 use std::path::Path;
@@ -24,6 +28,33 @@ const IO_PATH_FILES: &[&str] = &[
 /// conversions in the page accessors (documented as programming errors,
 /// not data-dependent conditions). Format: (file, needle).
 const ALLOWLIST: &[(&str, &str)] = &[("crates/storage/src/page.rs", "expect(\"in-page offset\")")];
+
+/// All `.rs` files under `dir` (recursing into `bin/`, `experiments/`,
+/// ...), as repo-relative paths in sorted order.
+fn rust_files_under(repo: &Path, dir: &str) -> Vec<String> {
+    let mut stack = vec![repo.join(dir)];
+    let mut out = Vec::new();
+    while let Some(d) = stack.pop() {
+        let entries = fs::read_dir(&d).unwrap_or_else(|e| panic!("read_dir {}: {e}", d.display()));
+        for entry in entries {
+            let path = entry
+                .unwrap_or_else(|e| panic!("read_dir entry: {e}"))
+                .path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let rel = path
+                    .strip_prefix(repo)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .into_owned();
+                out.push(rel);
+            }
+        }
+    }
+    out.sort();
+    out
+}
 
 fn violations_in(repo: &Path, rel: &str) -> Vec<String> {
     let text = fs::read_to_string(repo.join(rel)).unwrap_or_else(|e| panic!("read {rel}: {e}"));
@@ -68,6 +99,31 @@ fn io_paths_stay_free_of_unwrap_and_expect() {
     assert!(
         violations.is_empty(),
         "unwrap()/expect() on I/O paths (convert to StorageResult plumbing, \
+         or add an audited allowlist entry here AND in .github/workflows/ci.yml):\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn bench_run_paths_stay_free_of_unwrap_and_expect() {
+    // The experiment scheduler joins worker threads and reassembles cell
+    // results; a panic inside a cell would tear down the whole sweep
+    // instead of reporting which coordinates failed. Audit every file in
+    // the bench crate, including the binaries and the section modules.
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let files = rust_files_under(repo, "crates/bench/src");
+    assert!(
+        files.len() >= 15,
+        "bench audit walked only {} files — directory layout changed?",
+        files.len()
+    );
+    let mut violations = Vec::new();
+    for rel in &files {
+        violations.extend(violations_in(repo, rel));
+    }
+    assert!(
+        violations.is_empty(),
+        "unwrap()/expect() on bench run paths (convert to ExpResult plumbing, \
          or add an audited allowlist entry here AND in .github/workflows/ci.yml):\n{}",
         violations.join("\n")
     );
