@@ -8,13 +8,16 @@
 //!
 //! The section name is the first argument; the rest are the usual
 //! experiment options (`--quick`, `--full`, `--instances`, `--sets`,
-//! `--jobs`). Run with no arguments to list the known sections.
+//! `--jobs`, `--trace DIR` for per-cell JSONL event traces). Run with no
+//! arguments to list the known sections.
 //! Exits non-zero on an unknown section, bad options, or a failing cell.
 use std::process::ExitCode;
 use tc_bench::experiments::{section, SECTIONS};
 
 fn usage() {
-    eprintln!("usage: section <name> [--quick|--full] [--instances N] [--sets N] [--jobs N]");
+    eprintln!(
+        "usage: section <name> [--quick|--full] [--instances N] [--sets N] [--jobs N] [--trace DIR]"
+    );
     eprintln!(
         "known sections: {}",
         SECTIONS

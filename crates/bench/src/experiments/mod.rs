@@ -36,13 +36,18 @@ use crate::avg::AvgMetrics;
 use crate::corpus::{build_graph, source_set, GraphFamily, FAMILIES};
 use crate::opts::ExpOpts;
 use std::fmt;
+use std::fs;
+use std::io::BufWriter;
 use std::ops::Range;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 use tc_core::prelude::*;
 use tc_core::CostMetrics;
 use tc_graph::{closure, model, transitive_reduction, ArcLocalityStats, RectangleModel};
 use tc_storage::StorageError;
+use tc_trace::{JsonlSink, Tracer};
 
 /// Which query an experiment runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -184,9 +189,39 @@ impl Cell {
         tc_det::cell_seed(CELL_STREAM, &[fam_idx, self.instance, self.set, task])
     }
 
+    /// Canonical trace file name for this cell at canonical index `i`.
+    ///
+    /// The index prefix disambiguates sweeps that revisit the same
+    /// coordinates under different configs (e.g. fig6's buffer-size
+    /// sweep); the coordinate suffix keeps the file human-findable.
+    pub fn trace_file_name(&self, i: usize) -> String {
+        let task = match &self.task {
+            CellTask::Query {
+                algorithm, query, ..
+            } => match query {
+                QuerySpec::Full => format!("{}-full", algorithm.name()),
+                QuerySpec::Ptc(s) => format!("{}-ptc{s}", algorithm.name()),
+            },
+            CellTask::Stats => "stats".to_string(),
+            CellTask::Shape => "shape".to_string(),
+        };
+        format!(
+            "{i:04}-{}-i{}-s{}-{task}.jsonl",
+            self.fam.name, self.instance, self.set
+        )
+    }
+
     /// Executes the cell, returning its output or a typed error naming
     /// these coordinates.
     pub fn execute(&self) -> ExpResult<CellOutput> {
+        self.execute_traced(Tracer::disabled())
+    }
+
+    /// [`Cell::execute`] with the run's event stream routed through
+    /// `tracer`. Query cells arm the tracer on their [`SystemConfig`];
+    /// analysis cells (`Stats`/`Shape`) run no engine and emit nothing.
+    /// A disabled tracer makes this byte-identical to [`Cell::execute`].
+    pub fn execute_traced(&self, tracer: Tracer) -> ExpResult<CellOutput> {
         match &self.task {
             CellTask::Query {
                 algorithm,
@@ -200,7 +235,8 @@ impl Cell {
                     QuerySpec::Full => Query::full(),
                     QuerySpec::Ptc(s) => Query::partial(source_set(*s, self.instance, self.set)),
                 };
-                let result = db.run(&q, *algorithm, cfg).map_err(|e| self.error(e))?;
+                let cfg = cfg.clone().traced(tracer);
+                let result = db.run(&q, *algorithm, &cfg).map_err(|e| self.error(e))?;
                 Ok(CellOutput::Metrics(Box::new(result.metrics)))
             }
             CellTask::Stats => {
@@ -290,7 +326,22 @@ pub enum CellOutput {
 /// which cell's error is reported may depend on scheduling, but some
 /// typed error always surfaces and no worker thread panics.
 pub fn run_cells(cells: &[Cell], jobs: usize) -> ExpResult<Vec<CellOutput>> {
-    run_cells_jittered(cells, jobs, &[])
+    run_cells_inner(cells, jobs, &[], None)
+}
+
+/// [`run_cells`] writing one JSONL event trace per cell under
+/// `trace_dir` (created if absent), named by [`Cell::trace_file_name`].
+/// Each cell gets its own sink, so trace files — like cell outputs — are
+/// a pure function of cell coordinates, identical at any worker count.
+pub fn run_cells_traced(
+    cells: &[Cell],
+    jobs: usize,
+    trace_dir: &Path,
+) -> ExpResult<Vec<CellOutput>> {
+    fs::create_dir_all(trace_dir).map_err(|e| {
+        ExpError::Internal(format!("create trace dir {}: {e}", trace_dir.display()))
+    })?;
+    run_cells_inner(cells, jobs, &[], Some(trace_dir))
 }
 
 /// [`run_cells`] with an artificial pre-execution delay per cell
@@ -302,6 +353,32 @@ pub fn run_cells_jittered(
     cells: &[Cell],
     jobs: usize,
     delay_us: &[u64],
+) -> ExpResult<Vec<CellOutput>> {
+    run_cells_inner(cells, jobs, delay_us, None)
+}
+
+/// Runs cell `i`, tracing into `trace_dir` when given. The sink is
+/// per-cell and flushed before the output is returned, so a cell's trace
+/// file is complete once its result exists.
+fn exec_cell(cell: &Cell, i: usize, trace_dir: Option<&Path>) -> ExpResult<CellOutput> {
+    let Some(dir) = trace_dir else {
+        return cell.execute();
+    };
+    let path = dir.join(cell.trace_file_name(i));
+    let file = fs::File::create(&path)
+        .map_err(|e| ExpError::Internal(format!("create trace file {}: {e}", path.display())))?;
+    let sink = Arc::new(JsonlSink::new(BufWriter::new(file)));
+    let out = cell.execute_traced(Tracer::new(sink.clone()))?;
+    sink.finish()
+        .map_err(|e| ExpError::Internal(format!("write trace file {}: {e}", path.display())))?;
+    Ok(out)
+}
+
+fn run_cells_inner(
+    cells: &[Cell],
+    jobs: usize,
+    delay_us: &[u64],
+    trace_dir: Option<&Path>,
 ) -> ExpResult<Vec<CellOutput>> {
     let delay = |i: usize| {
         if delay_us.is_empty() {
@@ -316,7 +393,7 @@ pub fn run_cells_jittered(
         let mut out = Vec::with_capacity(cells.len());
         for (i, cell) in cells.iter().enumerate() {
             std::thread::sleep(delay(i));
-            out.push(cell.execute()?);
+            out.push(exec_cell(cell, i, trace_dir)?);
         }
         return Ok(out);
     }
@@ -340,7 +417,7 @@ pub fn run_cells_jittered(
                             break;
                         }
                         std::thread::sleep(delay(i));
-                        let r = cells[i].execute();
+                        let r = exec_cell(&cells[i], i, trace_dir);
                         if r.is_err() {
                             stop.store(true, Ordering::Relaxed);
                         }
@@ -412,7 +489,7 @@ impl Grid {
     /// An empty grid scheduling with `opts.jobs` workers.
     pub fn new(opts: &ExpOpts) -> Grid {
         Grid {
-            opts: *opts,
+            opts: opts.clone(),
             cells: Vec::new(),
             ranges: Vec::new(),
         }
@@ -509,9 +586,13 @@ impl Grid {
         self.cells.len()
     }
 
-    /// Executes every registered cell across `opts.jobs` workers.
+    /// Executes every registered cell across `opts.jobs` workers,
+    /// tracing each cell into `opts.trace_dir` when set.
     pub fn run(self) -> ExpResult<GridResults> {
-        let outputs = run_cells(&self.cells, self.opts.jobs)?;
+        let outputs = match &self.opts.trace_dir {
+            Some(dir) => run_cells_traced(&self.cells, self.opts.jobs, dir)?,
+            None => run_cells(&self.cells, self.opts.jobs)?,
+        };
         Ok(GridResults {
             outputs,
             ranges: self.ranges,
@@ -624,7 +705,10 @@ pub fn averaged(
     cfg: &SystemConfig,
     opts: &ExpOpts,
 ) -> ExpResult<AvgMetrics> {
-    let mut g = Grid::new(&ExpOpts { jobs: 1, ..*opts });
+    let mut g = Grid::new(&ExpOpts {
+        jobs: 1,
+        ..opts.clone()
+    });
     let p = g.avg(fam, algorithm, query, cfg);
     Ok(g.run()?.avg(p))
 }
@@ -670,6 +754,7 @@ mod tests {
             instances: 1,
             source_sets: 1,
             jobs: 1,
+            trace_dir: None,
         }
     }
 
@@ -693,6 +778,7 @@ mod tests {
             instances: 2,
             source_sets: 2,
             jobs: 1,
+            trace_dir: None,
         };
         let avg = averaged(
             family("G3"),

@@ -1,8 +1,12 @@
-//! Experiment options (repetition counts and scheduler parallelism).
+//! Experiment options (repetition counts, scheduler parallelism and
+//! event tracing).
 
-/// How many instances / source sets to average over, and how many worker
-/// threads the cell scheduler may use.
-#[derive(Clone, Copy, Debug)]
+use std::path::PathBuf;
+
+/// How many instances / source sets to average over, how many worker
+/// threads the cell scheduler may use, and where (if anywhere) per-cell
+/// event traces go.
+#[derive(Clone, Debug)]
 pub struct ExpOpts {
     /// Graph instances per family (paper: 5).
     pub instances: u64,
@@ -12,6 +16,11 @@ pub struct ExpOpts {
     /// Purely a throughput knob: every report is byte-identical at any
     /// value. 1 executes cells inline on the calling thread.
     pub jobs: usize,
+    /// Directory for per-cell JSONL event traces (`--trace <dir>`).
+    /// `None` (the default) runs untraced; trace file contents are a pure
+    /// function of each cell's coordinates, so they too are identical at
+    /// any worker count.
+    pub trace_dir: Option<PathBuf>,
 }
 
 /// The scheduler's default worker count: the host's available
@@ -28,6 +37,7 @@ impl Default for ExpOpts {
             instances: 2,
             source_sets: 2,
             jobs: default_jobs(),
+            trace_dir: None,
         }
     }
 }
@@ -54,6 +64,12 @@ impl ExpOpts {
     /// Builder-style: set the scheduler worker count (clamped to ≥ 1).
     pub fn jobs(mut self, jobs: usize) -> ExpOpts {
         self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Builder-style: write per-cell JSONL event traces under `dir`.
+    pub fn trace_dir(mut self, dir: impl Into<PathBuf>) -> ExpOpts {
+        self.trace_dir = Some(dir.into());
         self
     }
 
@@ -88,9 +104,16 @@ impl ExpOpts {
                 "--instances" => o.instances = flag_value(&args, &mut i)?,
                 "--sets" => o.source_sets = flag_value(&args, &mut i)?,
                 "--jobs" => o.jobs = flag_value(&args, &mut i)?,
+                "--trace" => {
+                    let Some(dir) = args.get(i + 1) else {
+                        return Err("--trace takes a directory".into());
+                    };
+                    i += 1;
+                    o.trace_dir = Some(PathBuf::from(dir));
+                }
                 other => {
                     return Err(format!(
-                        "unknown argument {other} (try --full, --quick, --instances k, --sets k, --jobs n)"
+                        "unknown argument {other} (try --full, --quick, --instances k, --sets k, --jobs n, --trace dir)"
                     ))
                 }
             }
@@ -162,5 +185,16 @@ mod tests {
     fn jobs_builder_clamps() {
         assert_eq!(ExpOpts::default().jobs(0).jobs, 1);
         assert_eq!(ExpOpts::default().jobs(6).jobs, 6);
+    }
+
+    #[test]
+    fn parse_trace_dir() {
+        let o = ExpOpts::parse(["--trace", "/tmp/traces"].map(String::from)).unwrap();
+        assert_eq!(
+            o.trace_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/traces"))
+        );
+        assert!(ExpOpts::parse(["--trace"].map(String::from)).is_err());
+        assert!(ExpOpts::default().trace_dir.is_none());
     }
 }

@@ -7,6 +7,7 @@ use tc_storage::{
     with_retries, DiskSim, FileId, FileKind, Page, PageId, Pager, RetryPolicy, RetryTally,
     StorageError, StorageResult,
 };
+use tc_trace::{Event, Tracer};
 
 struct Frame {
     pid: PageId,
@@ -34,6 +35,9 @@ pub struct BufferPool {
     policy: Box<dyn ReplacementPolicy>,
     stats: BufferStats,
     retry: RetryPolicy,
+    /// Event tracer; disabled (free) unless a run arms one. Every
+    /// counted buffer operation emits exactly one event.
+    tracer: Tracer,
 }
 
 impl BufferPool {
@@ -50,7 +54,17 @@ impl BufferPool {
             policy: policy.build(capacity),
             stats: BufferStats::default(),
             retry: RetryPolicy::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches the event tracer to the pool *and* the wrapped disk, so
+    /// logical (hit/miss/evict/flush) and physical (page read/write)
+    /// events interleave in one stream. Pass a disabled tracer to detach
+    /// both.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.disk.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     /// Sets the retry policy applied to physical transfers (transient
@@ -100,6 +114,7 @@ impl BufferPool {
     pub fn pin(&mut self, pid: PageId) -> StorageResult<()> {
         let f = self.fetch(pid)?;
         self.frames[f].pins += 1;
+        self.tracer.emit(Event::Pin { page: pid.0 });
         Ok(())
     }
 
@@ -111,6 +126,7 @@ impl BufferPool {
         };
         assert!(self.frames[f].pins > 0, "unpin of unpinned page");
         self.frames[f].pins -= 1;
+        self.tracer.emit(Event::Unpin { page: pid.0 });
     }
 
     /// Number of frames currently holding at least one pin.
@@ -199,9 +215,21 @@ impl BufferPool {
             let page = &mut self.frames[f].page;
             with_retries(&policy, &mut tally, || disk.read_page(pid, page))
         };
+        self.tally_retries(tally);
+        r
+    }
+
+    /// Folds a transfer's retry tally into the stats, emitting one
+    /// `Retry` event per retried transfer.
+    fn tally_retries(&mut self, tally: RetryTally) {
+        if tally.retries > 0 {
+            self.tracer.emit(Event::Retry {
+                n: tally.retries,
+                backoff_ms: tally.backoff_ms,
+            });
+        }
         self.stats.retries += tally.retries;
         self.stats.retry_backoff_ms += tally.backoff_ms;
-        r
     }
 
     /// Physically writes frame `f` back to its page, retrying transient
@@ -216,8 +244,7 @@ impl BufferPool {
                 disk.write_page(frame.pid, &frame.page)
             })
         };
-        self.stats.retries += tally.retries;
-        self.stats.retry_backoff_ms += tally.backoff_ms;
+        self.tally_retries(tally);
         r
     }
 
@@ -228,6 +255,9 @@ impl BufferPool {
                 self.write_back(f)?;
                 self.frames[f].dirty = false;
                 self.stats.flush_writes += 1;
+                self.tracer.emit(Event::FlushWrite {
+                    page: self.frames[f].pid.0,
+                });
             }
         }
         Ok(())
@@ -243,6 +273,7 @@ impl BufferPool {
                     self.write_back(f)?;
                     self.frames[f].dirty = false;
                     self.stats.flush_writes += 1;
+                    self.tracer.emit(Event::FlushWrite { page: pid.0 });
                 }
             }
         }
@@ -256,6 +287,9 @@ impl BufferPool {
                 self.write_back(f)?;
                 self.frames[f].dirty = false;
                 self.stats.flush_writes += 1;
+                self.tracer.emit(Event::FlushWrite {
+                    page: self.frames[f].pid.0,
+                });
             }
         }
         Ok(())
@@ -264,12 +298,16 @@ impl BufferPool {
     /// Deletes `file`: evicts its resident frames without write-back,
     /// then releases the pages on disk for reuse.
     pub fn free_file(&mut self, file: FileId) -> StorageResult<()> {
-        let victims: Vec<(PageId, usize)> = self
+        let mut victims: Vec<(PageId, usize)> = self
             .map
             .iter()
             .map(|(&pid, &f)| (pid, f))
             .filter(|&(pid, _)| self.disk.page_file(pid) == Ok(file))
             .collect();
+        // The map's iteration order is per-process random; sort so the
+        // free-stack order (and thus future frame placement and policy
+        // state) stays a pure function of the request stream.
+        victims.sort_unstable_by_key(|&(pid, _)| pid.0);
         for (pid, f) in victims {
             assert_eq!(self.frames[f].pins, 0, "freeing a pinned page");
             self.map.remove(&pid);
@@ -304,10 +342,14 @@ impl BufferPool {
             if read {
                 self.stats.read_hits += 1;
             }
+            self.tracer.emit(Event::BufHit { page: pid.0, read });
             self.policy.on_access(f);
             return Ok(f);
         }
+        // The miss is counted (and traced) even if the physical read
+        // below fails: the request happened.
         self.stats.misses += 1;
+        self.tracer.emit(Event::BufMiss { page: pid.0, read });
         let f = self.take_frame()?;
         if let Err(e) = self.read_into(pid, f) {
             // Return the frame to the free list so a failed fetch leaks
@@ -353,7 +395,8 @@ impl BufferPool {
             .ok_or(StorageError::AllFramesPinned)?;
         debug_assert_eq!(self.frames[victim].pins, 0);
         let old_pid = self.frames[victim].pid;
-        if self.frames[victim].dirty {
+        let was_dirty = self.frames[victim].dirty;
+        if was_dirty {
             // On failure the victim stays resident and dirty; nothing is
             // lost and the caller sees the error.
             self.write_back(victim)?;
@@ -361,6 +404,10 @@ impl BufferPool {
             self.stats.dirty_writebacks += 1;
         }
         self.stats.evictions += 1;
+        self.tracer.emit(Event::Evict {
+            page: old_pid.0,
+            dirty: was_dirty,
+        });
         self.map.remove(&old_pid);
         self.policy.on_evict(victim);
         Ok(victim)
@@ -388,9 +435,15 @@ impl Pager for BufferPool {
     /// (matching how a real buffer manager defers new-page writes).
     fn alloc_page(&mut self, file: FileId) -> StorageResult<PageId> {
         let pid = self.disk.alloc(file)?;
-        // Install a zeroed frame without reading from disk.
+        // Install a zeroed frame without reading from disk. The request
+        // counts as a non-read miss (no physical transfer yet — the
+        // write is charged on eviction or flush).
         self.stats.requests += 1;
         self.stats.misses += 1;
+        self.tracer.emit(Event::BufMiss {
+            page: pid.0,
+            read: false,
+        });
         let f = self.take_frame()?;
         self.frames[f].page.clear();
         self.frames[f].pid = pid;

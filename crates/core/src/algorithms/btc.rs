@@ -66,9 +66,9 @@ pub fn expand_node(
     // immediate children written during restructuring) — this read is the
     // paper's "tuples of the input relation ... converted into successor
     // lists" being picked back up for expansion.
-    metrics.list_fetches += 1;
+    metrics.count_list_fetch();
     for e in ListCursor::new(&r.store, u).collect_entries(pool)? {
-        metrics.tuple_reads += 1;
+        metrics.count_tuple_read();
         bitvec.insert(e.node);
     }
     let is_source = r.is_source[u as usize];
@@ -76,30 +76,28 @@ pub fn expand_node(
     let mut marked = vec![false; nchildren];
     for ci in 0..nchildren {
         let c = r.children[u as usize][ci];
-        metrics.arcs_processed += 1;
         if marked[ci] {
-            metrics.arcs_marked += 1;
+            metrics.count_arc(true);
             continue;
         }
-        metrics.unions += 1;
-        metrics.list_fetches += 1;
-        metrics.unmarked_locality_sum += r.arc_locality(u, c);
-        metrics.unmarked_locality_count += 1;
+        metrics.count_arc(false);
+        metrics.count_union();
+        metrics.count_list_fetch();
+        metrics.count_locality(r.arc_locality(u, c));
 
         // Union S_c into S_u (materialized: see ListCursor::collect_entries).
         let entries = ListCursor::new(&r.store, c).collect_entries(pool)?;
         for e in entries {
-            metrics.tuple_reads += 1;
+            metrics.count_tuple_read();
             let x = e.node;
             if bitvec.insert(x) {
                 r.store.append_flat(pool, u, x)?;
-                metrics.tuples_generated += 1;
+                metrics.count_generated(is_source);
                 if is_source {
-                    metrics.source_tuples += 1;
                     answer.emit(u, x);
                 }
             } else {
-                metrics.duplicates += 1;
+                metrics.count_duplicate();
                 // Marking optimization: x reached u through c, so a
                 // direct arc (u, x) not yet expanded is redundant.
                 if let Some(cj) = cidx.position(x) {

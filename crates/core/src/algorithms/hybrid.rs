@@ -149,9 +149,9 @@ fn process_block(
         let mut child_pos: HashMap<NodeId, HashMap<NodeId, usize>> = HashMap::new();
         for &u in block {
             let mut bv = NodeBitVec::new(n);
-            metrics.list_fetches += 1;
+            metrics.count_list_fetch();
             for e in ListCursor::new(&r.store, u).collect_entries(pool)? {
-                metrics.tuple_reads += 1;
+                metrics.count_tuple_read();
                 bv.insert(e.node);
             }
             bitvecs.insert(u, bv);
@@ -190,27 +190,25 @@ fn process_block(
                 continue;
             }
             // One fetch of S_j serves every taker — blocking's benefit.
-            metrics.list_fetches += 1;
+            metrics.count_list_fetch();
             let entries = ListCursor::new(&r.store, j).collect_entries(pool)?;
             for (u, ci) in takers {
-                metrics.arcs_processed += 1;
-                metrics.unions += 1;
-                metrics.unmarked_locality_sum += r.arc_locality(u, j);
-                metrics.unmarked_locality_count += 1;
+                metrics.count_arc(false);
+                metrics.count_union();
+                metrics.count_locality(r.arc_locality(u, j));
                 let is_source = r.is_source[u as usize];
                 let bv = bitvecs.get_mut(&u).expect("block bitvec");
                 for e in &entries {
-                    metrics.tuple_reads += 1;
+                    metrics.count_tuple_read();
                     let x = e.node;
                     if bv.insert(x) {
                         r.store.append_flat(pool, u, x)?;
-                        metrics.tuples_generated += 1;
+                        metrics.count_generated(is_source);
                         if is_source {
-                            metrics.source_tuples += 1;
                             answer.emit(u, x);
                         }
                     } else {
-                        metrics.duplicates += 1;
+                        metrics.count_duplicate();
                         if let Some(&cj) = child_pos[&u].get(&x) {
                             let done_u = &state.done[&u];
                             let marked_u = state.marked.get_mut(&u).expect("marked");
@@ -234,31 +232,29 @@ fn process_block(
                 if state.done[&u][ci] {
                     continue;
                 }
-                metrics.arcs_processed += 1;
                 if state.marked[&u][ci] {
-                    metrics.arcs_marked += 1;
+                    metrics.count_arc(true);
                     state.done.get_mut(&u).expect("done")[ci] = true;
                     continue;
                 }
-                metrics.unions += 1;
-                metrics.list_fetches += 1;
-                metrics.unmarked_locality_sum += r.arc_locality(u, c);
-                metrics.unmarked_locality_count += 1;
+                metrics.count_arc(false);
+                metrics.count_union();
+                metrics.count_list_fetch();
+                metrics.count_locality(r.arc_locality(u, c));
                 let is_source = r.is_source[u as usize];
                 let entries = ListCursor::new(&r.store, c).collect_entries(pool)?;
                 let bv = bitvecs.get_mut(&u).expect("block bitvec");
                 for e in entries {
-                    metrics.tuple_reads += 1;
+                    metrics.count_tuple_read();
                     let x = e.node;
                     if bv.insert(x) {
                         r.store.append_flat(pool, u, x)?;
-                        metrics.tuples_generated += 1;
+                        metrics.count_generated(is_source);
                         if is_source {
-                            metrics.source_tuples += 1;
                             answer.emit(u, x);
                         }
                     } else {
-                        metrics.duplicates += 1;
+                        metrics.count_duplicate();
                         if let Some(&cj) = child_pos[&u].get(&x) {
                             let done_u = &state.done[&u];
                             let marked_u = state.marked.get_mut(&u).expect("marked");
@@ -273,8 +269,7 @@ fn process_block(
             // Also account marked off-diagonal arcs never unioned.
             for (ci, _) in children.iter().enumerate() {
                 if state.marked[&u][ci] && !state.done[&u][ci] {
-                    metrics.arcs_processed += 1;
-                    metrics.arcs_marked += 1;
+                    metrics.count_arc(true);
                     state.done.get_mut(&u).expect("done")[ci] = true;
                 }
             }

@@ -70,7 +70,7 @@ pub fn preprocess(
                     inv_rel.probe_range(pool, x, lo, hi, &mut buf)?;
                 }
                 for &p in &buf {
-                    metrics.tuple_reads += 1;
+                    metrics.count_tuple_read();
                     // Keep only magic predecessors.
                     if r.pos[p as usize] != usize::MAX {
                         pred.append_flat(pool, x, p)?;
@@ -153,9 +153,9 @@ pub fn compute(
     for &x in &r.order {
         bitvec.clear_fast();
         covered.clear_fast();
-        metrics.list_fetches += 1;
+        metrics.count_list_fetch();
         let mut preds = ListCursor::new(pred, x).collect_entries(pool)?;
-        metrics.tuple_reads += preds.len() as u64;
+        metrics.count_tuple_reads(preds.len() as u64);
         // Merge the largest contributions first: broad trees that already
         // contain a merge point land before the narrow related paths they
         // cover, which keeps those paths from masquerading as new roots.
@@ -184,7 +184,7 @@ pub fn compute(
 
         for pe in preds {
             let p = pe.node;
-            metrics.arcs_processed += 1;
+            metrics.count_arc(false);
             let p_special = special[p as usize];
             let p_tree_empty = trees.is_empty(p);
             if !p_special && p_tree_empty {
@@ -198,18 +198,16 @@ pub fn compute(
             // marking opportunity, so the redundant union is performed —
             // "this redundant union requires the predecessor tree of d to
             // be in memory, and may cause an I/O" (§6.3.3, Figure 11).
-            metrics.unions += 1;
-            metrics.list_fetches += 1;
-            metrics.unmarked_locality_sum += r.arc_locality(p, x);
-            metrics.unmarked_locality_count += 1;
+            metrics.count_union();
+            metrics.count_list_fetch();
+            metrics.count_locality(r.arc_locality(p, x));
 
             if p_special && bitvec.insert(p) {
                 // p roots its own contribution.
                 appender.append(pool, &mut trees, x, p)?;
                 roots.push((p, true));
-                metrics.tuples_generated += 1;
+                metrics.count_generated(r.is_source[p as usize]);
                 if r.is_source[p as usize] {
-                    metrics.source_tuples += 1;
                     answer.emit(p, x);
                     output.push(pool, (p, x))?;
                 }
@@ -224,14 +222,14 @@ pub fn compute(
             for e in entries {
                 match state.step(e, &mut skips) {
                     TreeStep::Marker => {
-                        metrics.tuple_reads += 1;
+                        metrics.count_tuple_read();
                     }
                     TreeStep::Pruned(v) => {
-                        metrics.entries_pruned += 1;
+                        metrics.count_pruned(1);
                         covered.insert(v);
                     }
                     TreeStep::Visit { parent, node: v } => {
-                        metrics.tuple_reads += 1;
+                        metrics.count_tuple_read();
                         seen_this_union.push(v);
                         let at_root = parent == p && !p_special;
                         if bitvec.insert(v) {
@@ -240,14 +238,13 @@ pub fn compute(
                             if at_root {
                                 roots.push((v, true));
                             }
-                            metrics.tuples_generated += 1;
+                            metrics.count_generated(r.is_source[v as usize]);
                             if r.is_source[v as usize] {
-                                metrics.source_tuples += 1;
                                 answer.emit(v, x);
                                 output.push(pool, (v, x))?;
                             }
                         } else {
-                            metrics.duplicates += 1;
+                            metrics.count_duplicate();
                             if !at_root {
                                 // v is nested under another special node:
                                 // if it entered as a root, demote it.

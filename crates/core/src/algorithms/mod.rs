@@ -15,6 +15,7 @@ pub mod seminaive;
 pub mod spn;
 
 use tc_graph::NodeId;
+use tc_trace::{Event, Tracer};
 
 /// Collects answer tuples: always counts, optionally materializes the
 /// pairs for validation. Collection is an in-memory bookkeeping device
@@ -23,15 +24,22 @@ pub struct AnswerCollector {
     collect: bool,
     count: u64,
     pairs: Vec<(NodeId, NodeId)>,
+    trace: Tracer,
 }
 
 impl AnswerCollector {
     /// Creates a collector; `collect` keeps the pairs.
     pub fn new(collect: bool) -> AnswerCollector {
+        AnswerCollector::traced(collect, Tracer::disabled())
+    }
+
+    /// Creates a collector that also emits every tuple through `tracer`.
+    pub fn traced(collect: bool, tracer: Tracer) -> AnswerCollector {
         AnswerCollector {
             collect,
             count: 0,
             pairs: Vec::new(),
+            trace: tracer,
         }
     }
 
@@ -39,6 +47,7 @@ impl AnswerCollector {
     #[inline]
     pub fn emit(&mut self, s: NodeId, x: NodeId) {
         self.count += 1;
+        self.trace.emit(Event::TupleEmit { source: s, node: x });
         if self.collect {
             self.pairs.push((s, x));
         }

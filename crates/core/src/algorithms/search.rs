@@ -49,31 +49,28 @@ pub fn run_search(
         let mut kids: Vec<u32> = Vec::new();
         while let Some(y) = stack.pop() {
             visited_any.insert(y);
-            metrics.unions += 1;
-            metrics.list_fetches += 1;
+            metrics.count_union();
+            metrics.count_list_fetch();
             kids.clear();
             if let Some((lo, hi)) = db.index.probe(pool, y)? {
                 db.relation.probe_range(pool, y, lo, hi, &mut kids)?;
             }
-            metrics.arcs_processed += kids.len() as u64;
+            metrics.count_arcs_bulk(kids.len() as u64);
             for &c in &kids {
-                metrics.tuple_reads += 1;
-                metrics.unmarked_locality_sum +=
-                    levels[y as usize] as f64 - levels[c as usize] as f64;
-                metrics.unmarked_locality_count += 1;
+                metrics.count_tuple_read();
+                metrics.count_locality(levels[y as usize] as f64 - levels[c as usize] as f64);
                 if c != s && reached.insert(c) {
                     store.append_flat(pool, s, c)?;
-                    metrics.tuples_generated += 1;
-                    metrics.source_tuples += 1;
+                    metrics.count_generated(true);
                     answer.emit(s, c);
                     stack.push(c);
                 } else {
-                    metrics.duplicates += 1;
+                    metrics.count_duplicate();
                 }
             }
         }
     }
-    metrics.magic_nodes = visited_any.len() as u64;
+    metrics.set_magic_nodes(visited_any.len() as u64);
     Ok(store)
 }
 

@@ -26,6 +26,7 @@ use crate::metrics::CostMetrics;
 use tc_buffer::BufferPool;
 use tc_graph::NodeId;
 use tc_storage::{external_sort, FileKind, RelationFile, StorageResult, TupleWriter};
+use tc_trace::Event;
 
 /// Runs seminaive iteration for the given sources. Returns the final
 /// closure file (sorted by `(source, successor)`).
@@ -46,9 +47,9 @@ pub fn run_seminaive(
         if let Some((lo, hi)) = db.index.probe(pool, s)? {
             db.relation.probe_range(pool, s, lo, hi, &mut kids)?;
         }
-        metrics.list_fetches += 1;
+        metrics.count_list_fetch();
         for &c in &kids {
-            metrics.tuple_reads += 1;
+            metrics.count_tuple_read();
             if c != s {
                 cand.push(pool, (s, c))?;
             }
@@ -57,7 +58,10 @@ pub fn run_seminaive(
 
     let mut tc = TupleWriter::new(pool, FileKind::Output).finish(); // empty closure
     let mut delta: RelationFile;
+    let mut round: u64 = 0;
     loop {
+        metrics.trace.emit(Event::IterationBegin { i: round });
+        round += 1;
         // Sort this round's candidates and merge them into the closure.
         let cand_file = cand.finish();
         let produced = cand_file.tuple_count();
@@ -68,7 +72,7 @@ pub fn run_seminaive(
         pool.free_file(tc.file_id())?;
         tc = new_tc;
         delta = new_delta;
-        metrics.duplicates += (produced - delta.tuple_count()) as u64;
+        metrics.count_duplicates((produced - delta.tuple_count()) as u64);
         if delta.tuple_count() == 0 {
             pool.free_file(delta.file_id())?;
             break;
@@ -80,15 +84,15 @@ pub fn run_seminaive(
         delta.scan_pages(pool, &mut |chunk| frontier.extend_from_slice(chunk))?;
         pool.free_file(delta.file_id())?;
         for (s, x) in frontier {
-            metrics.unions += 1;
-            metrics.list_fetches += 1;
+            metrics.count_union();
+            metrics.count_list_fetch();
             kids.clear();
             if let Some((lo, hi)) = db.index.probe(pool, x)? {
                 db.relation.probe_range(pool, x, lo, hi, &mut kids)?;
             }
-            metrics.arcs_processed += kids.len() as u64;
+            metrics.count_arcs_bulk(kids.len() as u64);
             for &c in &kids {
-                metrics.tuple_reads += 1;
+                metrics.count_tuple_read();
                 if c != s {
                     cand.push(pool, (s, c))?;
                 }
@@ -139,8 +143,7 @@ fn merge_round(
         if old.binary_search(&t).is_err() {
             out.push(pool, t)?;
             delta.push(pool, t)?;
-            metrics.tuples_generated += 1;
-            metrics.source_tuples += 1;
+            metrics.count_generated(true);
             answer.emit(t.0, t.1);
         }
     }

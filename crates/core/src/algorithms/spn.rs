@@ -52,10 +52,10 @@ pub fn expand_all(
 
         // Seed from the initial (flat, root-level) list of children; the
         // node is expanded exactly once, so no parent markers exist yet.
-        metrics.list_fetches += 1;
+        metrics.count_list_fetch();
         for e in ListCursor::new(&r.store, u).collect_entries(pool)? {
             debug_assert!(!e.tagged);
-            metrics.tuple_reads += 1;
+            metrics.count_tuple_read();
             bitvec.insert(e.node);
         }
         let is_source = r.is_source[u as usize];
@@ -64,15 +64,14 @@ pub fn expand_all(
         let mut marked = vec![false; nchildren];
         for ci in 0..nchildren {
             let c = r.children[u as usize][ci];
-            metrics.arcs_processed += 1;
             if marked[ci] {
-                metrics.arcs_marked += 1;
+                metrics.count_arc(true);
                 continue;
             }
-            metrics.unions += 1;
-            metrics.list_fetches += 1;
-            metrics.unmarked_locality_sum += r.arc_locality(u, c);
-            metrics.unmarked_locality_count += 1;
+            metrics.count_arc(false);
+            metrics.count_union();
+            metrics.count_list_fetch();
+            metrics.count_locality(r.arc_locality(u, c));
 
             // Union the successor tree of c into the tree of u, pruning
             // subtrees rooted at already-present nodes. The raw entries
@@ -85,29 +84,28 @@ pub fn expand_all(
             for e in entries {
                 match state.step(e, &mut skips) {
                     TreeStep::Marker => {
-                        metrics.tuple_reads += 1;
+                        metrics.count_tuple_read();
                     }
                     TreeStep::Pruned(x) => {
-                        metrics.entries_pruned += 1;
+                        metrics.count_pruned(1);
                         // x sits under a covered ancestor, so succ(x) is
                         // fully present too.
                         covered.insert(x);
                     }
                     TreeStep::Visit { parent, node: x } => {
-                        metrics.tuple_reads += 1;
+                        metrics.count_tuple_read();
                         seen_this_union.push(x);
                         if bitvec.insert(x) {
                             // Root-level entries of S_c arrive with
                             // parent == c, which is where they belong in
                             // u's tree (c is a child of u, so present).
                             appender.append(pool, &mut r.store, parent, x)?;
-                            metrics.tuples_generated += 1;
+                            metrics.count_generated(is_source);
                             if is_source {
-                                metrics.source_tuples += 1;
                                 answer.emit(u, x);
                             }
                         } else {
-                            metrics.duplicates += 1;
+                            metrics.count_duplicate();
                             // Marking is sound even when x is not yet
                             // covered: x ∈ succ(c), and this union's
                             // completion delivers all of succ(c).

@@ -3,6 +3,7 @@
 use tc_buffer::PagePolicy;
 use tc_storage::{FaultConfig, IoCostModel, RetryPolicy};
 use tc_succ::ListPolicy;
+use tc_trace::Tracer;
 
 /// The system parameters of one experiment: buffer pool size, page and
 /// list replacement policies, the Hybrid algorithm's blocking ratio, and
@@ -41,6 +42,9 @@ pub struct SystemConfig {
     /// Retry policy for transient storage faults (only observable when
     /// `fault` is set).
     pub retry: RetryPolicy,
+    /// Event-trace sink for the run. Disabled by default: every emission
+    /// is a single branch on a `None` and costs nothing.
+    pub trace: Tracer,
 }
 
 impl Default for SystemConfig {
@@ -59,6 +63,7 @@ impl Default for SystemConfig {
             collect_answer: false,
             fault: None,
             retry: RetryPolicy::default(),
+            trace: Tracer::disabled(),
         }
     }
 }
@@ -112,6 +117,12 @@ impl SystemConfig {
     /// Builder-style: set the transient-fault retry policy.
     pub fn retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Builder-style: record the run's event trace through `tracer`.
+    pub fn traced(mut self, tracer: Tracer) -> Self {
+        self.trace = tracer;
         self
     }
 }

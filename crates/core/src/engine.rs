@@ -13,6 +13,7 @@ use tc_graph::{closure, MagicGraph, NodeId};
 use tc_storage::{
     DiskStats, FaultEvent, FaultPlan, FileKind, StorageError, StorageResult, TupleWriter,
 };
+use tc_trace::{Event, Phase, Tracer};
 
 /// The outcome of one query execution.
 #[derive(Clone, Debug)]
@@ -48,9 +49,17 @@ pub(crate) fn run(
     }
     let mut pool = BufferPool::new(disk, cfg.buffer_pages, cfg.page_policy);
     pool.set_retry_policy(cfg.retry);
-    let mut metrics = CostMetrics::new(algorithm);
-    let mut answer = AnswerCollector::new(cfg.validate || cfg.collect_answer);
+    pool.set_tracer(cfg.trace.clone());
+    let mut metrics = CostMetrics::traced(algorithm, cfg.trace.clone());
+    let mut answer = AnswerCollector::traced(cfg.validate || cfg.collect_answer, cfg.trace.clone());
 
+    cfg.trace.emit(Event::RunBegin {
+        algorithm: algorithm.name(),
+        ms_per_io: cfg.io_model.ms_per_io,
+    });
+    cfg.trace.emit(Event::PhaseBegin {
+        phase: Phase::Restructure,
+    });
     let disk_base = pool.disk().stats().clone();
     let outcome = execute(
         db,
@@ -67,7 +76,14 @@ pub(crate) fn run(
     // poisons the database for subsequent queries.
     let disk_stats_total = pool.disk().stats().clone();
     metrics.buffer = pool.stats().clone();
+    cfg.trace.emit(Event::PhaseEnd {
+        phase: Phase::Compute,
+    });
+    cfg.trace.emit(Event::RunEnd);
     let mut disk = pool.into_disk_discard();
+    // The disk outlives the run inside the database; disarm its tracer so
+    // a later un-traced run on the same database emits nothing.
+    disk.set_tracer(Tracer::disabled());
     let fault = disk.clear_fault_plan();
     db.disk = Some(disk);
     let snapshot = outcome?;
@@ -100,6 +116,9 @@ pub(crate) fn run(
     };
     metrics.elapsed = start.elapsed();
     metrics.estimated_io_seconds = cfg.io_model.estimate_seconds(metrics.total_io());
+    // The metrics leave the engine on the RunResult; the trace belongs to
+    // the run, not to whoever clones the metrics afterwards.
+    metrics.trace = Tracer::disabled();
 
     let answer_pairs = if cfg.validate || cfg.collect_answer {
         let pairs = answer.into_pairs();
@@ -133,9 +152,20 @@ fn execute(
     metrics: &mut CostMetrics,
     answer: &mut AnswerCollector,
 ) -> StorageResult<PhaseSnapshot> {
-    let snapshot = |pool: &BufferPool| PhaseSnapshot {
-        disk_at_phase_end: pool.disk().stats().clone(),
-        buffer_at_phase_end: pool.stats().clone(),
+    // The phase-boundary events are emitted at the exact point the
+    // counters are snapshot, so replay's phase attribution reproduces
+    // the snapshot deltas.
+    let snapshot = |pool: &BufferPool| {
+        cfg.trace.emit(Event::PhaseEnd {
+            phase: Phase::Restructure,
+        });
+        cfg.trace.emit(Event::PhaseBegin {
+            phase: Phase::Compute,
+        });
+        PhaseSnapshot {
+            disk_at_phase_end: pool.disk().stats().clone(),
+            buffer_at_phase_end: pool.stats().clone(),
+        }
     };
 
     match algorithm {
@@ -165,7 +195,7 @@ fn execute(
                 _ => btc::expand_all(pool, &mut r, metrics, answer)?,
             }
             write_out_lists(pool, &r.store, &r.sources, query)?;
-            metrics.tuple_writes = r.store.stats().entries_written;
+            metrics.set_tuple_writes(r.store.stats().entries_written);
             Ok(snap)
         }
         Algorithm::Srch => {
@@ -187,7 +217,7 @@ fn execute(
             // computation phase is only the write-out.
             let snap = snapshot(pool);
             pool.flush_file(store.file_id())?;
-            metrics.tuple_writes = store.stats().entries_written;
+            metrics.set_tuple_writes(store.stats().entries_written);
             Ok(snap)
         }
         Algorithm::Jkb | Algorithm::Jkb2 => {
@@ -220,7 +250,7 @@ fn execute(
             pool.flush_file(out_file.file_id())?;
             pool.discard_file(trees.file_id())?;
             pool.discard_file(pred.file_id())?;
-            metrics.tuple_writes = pred.stats().entries_written + trees.stats().entries_written;
+            metrics.set_tuple_writes(pred.stats().entries_written + trees.stats().entries_written);
             Ok(snap)
         }
         Algorithm::Seminaive => {
@@ -229,7 +259,7 @@ fn execute(
             let sources = query.effective_sources(db.n());
             let tc_file = seminaive::run_seminaive(db, pool, &sources, metrics, answer)?;
             pool.flush_file(tc_file.file_id())?;
-            metrics.tuple_writes = tc_file.tuple_count() as u64;
+            metrics.set_tuple_writes(tc_file.tuple_count() as u64);
             Ok(snap)
         }
     }

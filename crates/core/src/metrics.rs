@@ -12,6 +12,7 @@ use std::time::Duration;
 use tc_buffer::BufferStats;
 use tc_graph::RectangleModel;
 use tc_storage::DiskStats;
+use tc_trace::{Event, Tracer};
 
 /// Physical page I/O of one execution phase.
 #[derive(Clone, Default, Debug, PartialEq, Eq)]
@@ -116,6 +117,11 @@ pub struct CostMetrics {
     pub elapsed: Duration,
     /// Estimated I/O time at the configured ms-per-I/O (Table 3).
     pub estimated_io_seconds: f64,
+
+    /// Event-trace sink the `count_*` methods emit through. Disabled by
+    /// default; the engine arms it from the [`crate::SystemConfig`] for
+    /// the duration of the run and disarms it before returning.
+    pub(crate) trace: Tracer,
 }
 
 impl CostMetrics {
@@ -150,7 +156,16 @@ impl CostMetrics {
             answer_tuples: 0,
             elapsed: Duration::ZERO,
             estimated_io_seconds: 0.0,
+            trace: Tracer::disabled(),
         }
+    }
+
+    /// Fresh zeroed metrics whose `count_*` methods also emit through
+    /// `tracer`.
+    pub fn traced(algorithm: Algorithm, tracer: Tracer) -> CostMetrics {
+        let mut m = CostMetrics::new(algorithm);
+        m.trace = tracer;
+        m
     }
 
     /// Total physical page I/O — the paper's primary cost measure.
@@ -210,6 +225,193 @@ impl CostMetrics {
     /// survives the generosity by orders of magnitude.
     pub fn estimated_cpu_seconds(&self) -> f64 {
         self.cpu_ops() as f64 * 1e-6
+    }
+
+    // ---- Count-and-emit ----
+    //
+    // Each counted unit of work goes through exactly one of these, which
+    // bumps the counter *and* emits the matching trace event, so the
+    // `metrics == replay(trace)` oracle cannot drift: there is no code
+    // path that does one without the other. With tracing disabled each
+    // emit is a single branch on a `None`.
+
+    /// One successor-list union.
+    #[inline]
+    pub fn count_union(&mut self) {
+        self.unions += 1;
+        self.trace.emit(Event::Union);
+    }
+
+    /// One successor-list fetch.
+    #[inline]
+    pub fn count_list_fetch(&mut self) {
+        self.list_fetches += 1;
+        self.trace.emit(Event::ListFetch);
+    }
+
+    /// One arc considered for expansion; `marked` if the marking
+    /// optimization skipped it.
+    #[inline]
+    pub fn count_arc(&mut self, marked: bool) {
+        self.arcs_processed += 1;
+        if marked {
+            self.arcs_marked += 1;
+        }
+        self.trace.emit(Event::ArcProcessed { marked });
+    }
+
+    /// `n` arcs processed in bulk (none marked).
+    #[inline]
+    pub fn count_arcs_bulk(&mut self, n: u64) {
+        self.arcs_processed += n;
+        self.trace.emit(Event::ArcsProcessed { n });
+    }
+
+    /// One entry read from a successor structure.
+    #[inline]
+    pub fn count_tuple_read(&mut self) {
+        self.tuple_reads += 1;
+        self.trace.emit(Event::TupleRead);
+    }
+
+    /// `n` entries read from successor structures in bulk.
+    #[inline]
+    pub fn count_tuple_reads(&mut self, n: u64) {
+        self.tuple_reads += n;
+        self.trace.emit(Event::TupleReads { n });
+    }
+
+    /// One distinct tuple generated; `source` if it belongs to a
+    /// source-node result.
+    #[inline]
+    pub fn count_generated(&mut self, source: bool) {
+        self.tuples_generated += 1;
+        if source {
+            self.source_tuples += 1;
+        }
+        self.trace.emit(Event::Generated { source });
+    }
+
+    /// One duplicate derivation.
+    #[inline]
+    pub fn count_duplicate(&mut self) {
+        self.duplicates += 1;
+        self.trace.emit(Event::Duplicate);
+    }
+
+    /// `n` duplicate derivations in bulk.
+    #[inline]
+    pub fn count_duplicates(&mut self, n: u64) {
+        self.duplicates += n;
+        self.trace.emit(Event::Duplicates { n });
+    }
+
+    /// `n` entries pruned by a tree union.
+    #[inline]
+    pub fn count_pruned(&mut self, n: u64) {
+        self.entries_pruned += n;
+        self.trace.emit(Event::Pruned { n });
+    }
+
+    /// One expanded (unmarked) arc's level distance.
+    #[inline]
+    pub fn count_locality(&mut self, delta: f64) {
+        self.unmarked_locality_sum += delta;
+        self.unmarked_locality_count += 1;
+        self.trace.emit(Event::Locality { delta });
+    }
+
+    /// Final tuple-write total for the run (assignment, not increment).
+    #[inline]
+    pub fn set_tuple_writes(&mut self, n: u64) {
+        self.tuple_writes = n;
+        self.trace.emit(Event::TupleWrites { n });
+    }
+
+    /// Magic-graph node count (assignment).
+    #[inline]
+    pub fn set_magic_nodes(&mut self, n: u64) {
+        self.magic_nodes = n;
+        self.trace.emit(Event::MagicNodes { n });
+    }
+
+    /// Magic-graph arc count (assignment).
+    #[inline]
+    pub fn set_magic_arcs(&mut self, n: u64) {
+        self.magic_arcs = n;
+        self.trace.emit(Event::MagicArcs { n });
+    }
+
+    /// Rectangle model of the processed graph (assignment).
+    pub fn set_rect(&mut self, rect: RectangleModel) {
+        self.trace.emit(Event::Rect {
+            height: rect.height,
+            width: rect.width,
+            max_level: rect.max_level,
+            arcs: rect.arcs as u64,
+            nodes: rect.nodes as u64,
+        });
+        self.rect = Some(rect);
+    }
+
+    /// The view of these metrics that [`tc_trace::replay`] reconstructs:
+    /// every field except wall-clock `elapsed`. Comparing
+    /// `metrics.to_replayed() == replay(trace)` is the equivalence
+    /// oracle the trace layer is built around.
+    pub fn to_replayed(&self) -> tc_trace::ReplayedMetrics {
+        let buf = |b: &BufferStats| tc_trace::ReplayedBufferStats {
+            requests: b.requests,
+            hits: b.hits,
+            misses: b.misses,
+            read_requests: b.read_requests,
+            read_hits: b.read_hits,
+            evictions: b.evictions,
+            dirty_writebacks: b.dirty_writebacks,
+            flush_writes: b.flush_writes,
+            retries: b.retries,
+            retry_backoff_ms: b.retry_backoff_ms,
+        };
+        tc_trace::ReplayedMetrics {
+            algorithm: self.algorithm.name().to_string(),
+            restructure_io: tc_trace::ReplayedPhaseIo {
+                reads: self.restructure_io.reads,
+                writes: self.restructure_io.writes,
+            },
+            compute_io: tc_trace::ReplayedPhaseIo {
+                reads: self.compute_io.reads,
+                writes: self.compute_io.writes,
+            },
+            io_by_kind: self.io_by_kind,
+            tuples_generated: self.tuples_generated,
+            duplicates: self.duplicates,
+            source_tuples: self.source_tuples,
+            unions: self.unions,
+            arcs_processed: self.arcs_processed,
+            arcs_marked: self.arcs_marked,
+            tuple_reads: self.tuple_reads,
+            tuple_writes: self.tuple_writes,
+            entries_pruned: self.entries_pruned,
+            list_fetches: self.list_fetches,
+            unmarked_locality_sum: self.unmarked_locality_sum,
+            unmarked_locality_count: self.unmarked_locality_count,
+            buffer: buf(&self.buffer),
+            buffer_compute: buf(&self.buffer_compute),
+            magic_nodes: self.magic_nodes,
+            magic_arcs: self.magic_arcs,
+            rect: self.rect.as_ref().map(|r| tc_trace::ReplayedRect {
+                height: r.height,
+                width: r.width,
+                max_level: r.max_level,
+                arcs: r.arcs as u64,
+                nodes: r.nodes as u64,
+            }),
+            io_retries: self.io_retries,
+            retry_backoff_ms: self.retry_backoff_ms,
+            faults_injected: self.faults_injected,
+            corruptions_detected: self.corruptions_detected,
+            answer_tuples: self.answer_tuples,
+            estimated_io_seconds: self.estimated_io_seconds,
+        }
     }
 }
 

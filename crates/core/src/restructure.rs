@@ -201,17 +201,14 @@ pub fn restructure(
                     store.append_flat(pool, u, v)?;
                 }
                 // The immediate successors are result tuples too.
-                metrics.tuples_generated += 1;
-                if is_source[u as usize] {
-                    metrics.source_tuples += 1;
-                }
+                metrics.count_generated(is_source[u as usize]);
             }
         }
     }
 
-    metrics.magic_nodes = order.len() as u64;
-    metrics.magic_arcs = arcs as u64;
-    metrics.rect = Some(rect.clone());
+    metrics.set_magic_nodes(order.len() as u64);
+    metrics.set_magic_arcs(arcs as u64);
+    metrics.set_rect(rect.clone());
 
     Ok(Restructured {
         store,

@@ -13,6 +13,7 @@ use crate::fault::{with_retries, FaultPlan, RetryPolicy, RetryTally};
 use crate::page::{Page, PageId};
 use crate::pager::Pager;
 use std::fmt;
+use tc_trace::{Event, Kind, Tracer};
 
 /// What role a file plays in the study's storage layout.
 ///
@@ -174,6 +175,9 @@ pub struct DiskSim {
     /// buffered access retries in `tc-buffer` instead.
     retry: RetryPolicy,
     retry_tally: RetryTally,
+    /// Event tracer; disabled (free) unless the engine arms one for a
+    /// run. Emits one event per successful transfer and per injection.
+    tracer: Tracer,
 }
 
 impl DiskSim {
@@ -189,7 +193,21 @@ impl DiskSim {
             fault: None,
             retry: RetryPolicy::default(),
             retry_tally: RetryTally::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches (or, with a disabled tracer, detaches) the event tracer.
+    /// Every successful page transfer then emits one
+    /// [`Event::PageRead`]/[`Event::PageWrite`], and every injected
+    /// fault one [`Event::FaultInjected`]/[`Event::CorruptionDetected`].
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The currently attached tracer handle.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Arms deterministic fault injection: subsequent page transfers are
@@ -285,7 +303,16 @@ impl DiskSim {
             return Err(StorageError::PageOutOfBounds(pid));
         }
         let op = match self.fault.as_mut() {
-            Some(plan) => Some(plan.on_read(pid)?),
+            Some(plan) => match plan.on_read(pid) {
+                Ok(op) => Some(op),
+                Err(e) => {
+                    self.tracer.emit(Event::FaultInjected {
+                        page: pid.0,
+                        write: false,
+                    });
+                    return Err(e);
+                }
+            },
             None => None,
         };
         out.bytes_mut()
@@ -297,6 +324,7 @@ impl DiskSim {
                 if let Some(plan) = self.fault.as_mut() {
                     plan.on_detection(op, pid);
                 }
+                self.tracer.emit(Event::CorruptionDetected { page: pid.0 });
                 return Err(StorageError::ChecksumMismatch {
                     pid,
                     stored,
@@ -306,7 +334,12 @@ impl DiskSim {
         }
         self.stats.reads += 1;
         let file = self.page_file[pid.index()];
-        self.stats.reads_by_kind[self.files[file.0 as usize].kind.idx()] += 1;
+        let kind = self.files[file.0 as usize].kind;
+        self.stats.reads_by_kind[kind.idx()] += 1;
+        self.tracer.emit(Event::PageRead {
+            page: pid.0,
+            kind: Kind::from_idx(kind.idx()),
+        });
         Ok(())
     }
 
@@ -321,7 +354,16 @@ impl DiskSim {
             return Err(StorageError::PageOutOfBounds(pid));
         }
         let corrupt_at = match self.fault.as_mut() {
-            Some(plan) => plan.on_write(pid)?.1,
+            Some(plan) => match plan.on_write(pid) {
+                Ok((_, off)) => off,
+                Err(e) => {
+                    self.tracer.emit(Event::FaultInjected {
+                        page: pid.0,
+                        write: true,
+                    });
+                    return Err(e);
+                }
+            },
             None => None,
         };
         // Record the checksum of the bytes the writer intended; a torn
@@ -330,11 +372,21 @@ impl DiskSim {
         let dst = &mut self.pages[pid.index()];
         dst.bytes_mut().copy_from_slice(data.bytes());
         if let Some(off) = corrupt_at {
+            // A torn write is a silent injection: it reports success.
             dst.bytes_mut()[off] ^= 0xFF;
+            self.tracer.emit(Event::FaultInjected {
+                page: pid.0,
+                write: true,
+            });
         }
         self.stats.writes += 1;
         let file = self.page_file[pid.index()];
-        self.stats.writes_by_kind[self.files[file.0 as usize].kind.idx()] += 1;
+        let kind = self.files[file.0 as usize].kind;
+        self.stats.writes_by_kind[kind.idx()] += 1;
+        self.tracer.emit(Event::PageWrite {
+            page: pid.0,
+            kind: Kind::from_idx(kind.idx()),
+        });
         Ok(())
     }
 

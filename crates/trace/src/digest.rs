@@ -1,0 +1,313 @@
+//! FNV-1a digests over canonical event encodings.
+//!
+//! The workspace pins golden values with FNV-1a (same constants as
+//! `golden_seed.rs` / `golden_fault_trace.rs`); this module extends the
+//! convention to event streams. Every event folds into the digest
+//! through a canonical byte encoding — a discriminant byte followed by
+//! the fields in declaration order, integers little-endian, `f64` via
+//! `to_bits`, strings as length + bytes — so the digest is a pure
+//! function of the event sequence, independent of process, machine and
+//! scheduling.
+
+use crate::event::{Event, Kind, Phase};
+
+/// Incremental FNV-1a (64-bit) hasher.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
+
+impl Fnv {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv {
+        Fnv(0xCBF2_9CE4_8422_2325)
+    }
+
+    /// The digest so far.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+
+    /// Folds one byte.
+    #[inline]
+    pub fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+
+    /// Folds a little-endian `u32`.
+    #[inline]
+    pub fn u32(&mut self, x: u32) {
+        for b in x.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    /// Folds a little-endian `u64`.
+    #[inline]
+    pub fn u64(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    /// Folds an `f64` by its IEEE-754 bit pattern.
+    #[inline]
+    pub fn f64(&mut self, x: f64) {
+        self.u64(x.to_bits());
+    }
+
+    /// Folds a string as length + UTF-8 bytes.
+    pub fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        for &b in s.as_bytes() {
+            self.byte(b);
+        }
+    }
+
+    /// Folds a bool as one byte.
+    #[inline]
+    pub fn bool(&mut self, b: bool) {
+        self.byte(b as u8);
+    }
+
+    /// Folds one event through its canonical encoding.
+    pub fn event(&mut self, ev: &Event) {
+        fold_event(self, ev);
+    }
+}
+
+/// The digest of an event stream: the FNV-1a hash plus the event count
+/// (the count disambiguates streams whose hashes would need a collision
+/// to confuse, and makes failure messages actionable).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct TraceDigest {
+    /// FNV-1a over the canonical event encodings.
+    pub hash: u64,
+    /// Number of events folded.
+    pub count: u64,
+}
+
+/// Digests a complete event sequence.
+pub fn digest_events<'a>(events: impl IntoIterator<Item = &'a Event>) -> TraceDigest {
+    let mut h = Fnv::new();
+    let mut count = 0u64;
+    for e in events {
+        h.event(e);
+        count += 1;
+    }
+    TraceDigest {
+        hash: h.finish(),
+        count,
+    }
+}
+
+fn phase(h: &mut Fnv, p: Phase) {
+    h.byte(p.code());
+}
+
+fn kind(h: &mut Fnv, k: Kind) {
+    h.byte(k.idx() as u8);
+}
+
+fn fold_event(h: &mut Fnv, ev: &Event) {
+    // Discriminant bytes are assigned in declaration order and are part
+    // of the golden-trace contract: renumbering them invalidates every
+    // pinned trace digest.
+    match *ev {
+        Event::RunBegin {
+            algorithm,
+            ms_per_io,
+        } => {
+            h.byte(0);
+            h.str(algorithm);
+            h.f64(ms_per_io);
+        }
+        Event::RunEnd => h.byte(1),
+        Event::PhaseBegin { phase: p } => {
+            h.byte(2);
+            phase(h, p);
+        }
+        Event::PhaseEnd { phase: p } => {
+            h.byte(3);
+            phase(h, p);
+        }
+        Event::IterationBegin { i } => {
+            h.byte(4);
+            h.u64(i);
+        }
+        Event::PageRead { page, kind: k } => {
+            h.byte(5);
+            h.u32(page);
+            kind(h, k);
+        }
+        Event::PageWrite { page, kind: k } => {
+            h.byte(6);
+            h.u32(page);
+            kind(h, k);
+        }
+        Event::FaultInjected { page, write } => {
+            h.byte(7);
+            h.u32(page);
+            h.bool(write);
+        }
+        Event::CorruptionDetected { page } => {
+            h.byte(8);
+            h.u32(page);
+        }
+        Event::BufHit { page, read } => {
+            h.byte(9);
+            h.u32(page);
+            h.bool(read);
+        }
+        Event::BufMiss { page, read } => {
+            h.byte(10);
+            h.u32(page);
+            h.bool(read);
+        }
+        Event::Evict { page, dirty } => {
+            h.byte(11);
+            h.u32(page);
+            h.bool(dirty);
+        }
+        Event::FlushWrite { page } => {
+            h.byte(12);
+            h.u32(page);
+        }
+        Event::Pin { page } => {
+            h.byte(13);
+            h.u32(page);
+        }
+        Event::Unpin { page } => {
+            h.byte(14);
+            h.u32(page);
+        }
+        Event::Retry { n, backoff_ms } => {
+            h.byte(15);
+            h.u64(n);
+            h.u64(backoff_ms);
+        }
+        Event::ListFetch => h.byte(16),
+        Event::Union => h.byte(17),
+        Event::ArcProcessed { marked } => {
+            h.byte(18);
+            h.bool(marked);
+        }
+        Event::ArcsProcessed { n } => {
+            h.byte(19);
+            h.u64(n);
+        }
+        Event::TupleRead => h.byte(20),
+        Event::TupleReads { n } => {
+            h.byte(21);
+            h.u64(n);
+        }
+        Event::Generated { source } => {
+            h.byte(22);
+            h.bool(source);
+        }
+        Event::Duplicate => h.byte(23),
+        Event::Duplicates { n } => {
+            h.byte(24);
+            h.u64(n);
+        }
+        Event::Pruned { n } => {
+            h.byte(25);
+            h.u64(n);
+        }
+        Event::Locality { delta } => {
+            h.byte(26);
+            h.f64(delta);
+        }
+        Event::TupleEmit { source, node } => {
+            h.byte(27);
+            h.u32(source);
+            h.u32(node);
+        }
+        Event::TupleWrites { n } => {
+            h.byte(28);
+            h.u64(n);
+        }
+        Event::MagicNodes { n } => {
+            h.byte(29);
+            h.u64(n);
+        }
+        Event::MagicArcs { n } => {
+            h.byte(30);
+            h.u64(n);
+        }
+        Event::Rect {
+            height,
+            width,
+            max_level,
+            arcs,
+            nodes,
+        } => {
+            h.byte(31);
+            h.f64(height);
+            h.f64(width);
+            h.u32(max_level);
+            h.u64(arcs);
+            h.u64(nodes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vector() {
+        // FNV-1a("a") is a published test vector.
+        let mut h = Fnv::new();
+        h.byte(b'a');
+        assert_eq!(h.finish(), 0xAF63_DC4C_8601_EC8C);
+    }
+
+    #[test]
+    fn digest_distinguishes_field_values_and_order() {
+        // Events differing only in a field value, or only in order,
+        // must produce different digests.
+        let a = [
+            Event::BufHit {
+                page: 1,
+                read: true,
+            },
+            Event::BufMiss {
+                page: 2,
+                read: false,
+            },
+        ];
+        let b = [
+            Event::BufHit {
+                page: 1,
+                read: false,
+            },
+            Event::BufMiss {
+                page: 2,
+                read: false,
+            },
+        ];
+        let c = [
+            Event::BufMiss {
+                page: 2,
+                read: false,
+            },
+            Event::BufHit {
+                page: 1,
+                read: true,
+            },
+        ];
+        let (da, db, dc) = (digest_events(&a), digest_events(&b), digest_events(&c));
+        assert_ne!(da.hash, db.hash);
+        assert_ne!(da.hash, dc.hash);
+        assert_eq!(da.count, 2);
+        // Same stream, same digest.
+        assert_eq!(da, digest_events(&a));
+    }
+}

@@ -1,0 +1,442 @@
+//! The trace event vocabulary.
+//!
+//! One [`Event`] per counted unit of work, grouped by the layer that
+//! emits it. Events are small `Copy` values — constructing one never
+//! allocates, so the disabled-tracer fast path stays allocation-free.
+//!
+//! The variants mirror the cost-metric suite one-to-one: each metric
+//! counter has exactly one event (or event field) that increments it,
+//! which is what makes [`crate::replay`] an exact reconstruction rather
+//! than an estimate. Events that carry no metric (pin/unpin, iteration
+//! markers) exist purely for observability and are ignored by replay.
+
+use std::io::{self, Write};
+
+/// The two phases of the study's uniform algorithm framework (§4).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Phase {
+    /// Topological sort + successor-list construction (preprocessing).
+    Restructure,
+    /// List expansion and final write-out.
+    Compute,
+}
+
+impl Phase {
+    /// Stable single-byte encoding, used by trace digests.
+    pub fn code(self) -> u8 {
+        match self {
+            Phase::Restructure => 0,
+            Phase::Compute => 1,
+        }
+    }
+
+    /// Lower-case name, used by the JSONL export.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Restructure => "restructure",
+            Phase::Compute => "compute",
+        }
+    }
+}
+
+/// File kind of a page transfer — a dependency-free mirror of
+/// `tc_storage::FileKind`, carried by index so the two stay aligned
+/// through `idx()`/[`Kind::from_idx`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Kind {
+    /// The clustered relation file.
+    Relation,
+    /// The inverse relation (clustered on destination).
+    InverseRelation,
+    /// The sparse clustered index.
+    Index,
+    /// Successor-list / tree pages.
+    SuccessorList,
+    /// Scratch pages (external sort runs, deltas, ...).
+    Temp,
+    /// Final answer output pages.
+    Output,
+}
+
+impl Kind {
+    /// All kinds, indexed by [`Kind::idx`] (same order as
+    /// `tc_storage::FileKind::ALL`).
+    pub const ALL: [Kind; 6] = [
+        Kind::Relation,
+        Kind::InverseRelation,
+        Kind::Index,
+        Kind::SuccessorList,
+        Kind::Temp,
+        Kind::Output,
+    ];
+
+    /// Stable index, aligned with `tc_storage::FileKind::idx`.
+    pub fn idx(self) -> usize {
+        match self {
+            Kind::Relation => 0,
+            Kind::InverseRelation => 1,
+            Kind::Index => 2,
+            Kind::SuccessorList => 3,
+            Kind::Temp => 4,
+            Kind::Output => 5,
+        }
+    }
+
+    /// Inverse of [`Kind::idx`] (panics on an out-of-range index — a
+    /// programming error, not a data condition).
+    pub fn from_idx(idx: usize) -> Kind {
+        Kind::ALL[idx]
+    }
+
+    /// Lower-case name, used by the JSONL export (matches
+    /// `tc_storage::FileKind::name`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Kind::Relation => "relation",
+            Kind::InverseRelation => "inverse-relation",
+            Kind::Index => "index",
+            Kind::SuccessorList => "successor-list",
+            Kind::Temp => "temp",
+            Kind::Output => "output",
+        }
+    }
+}
+
+/// One traced unit of work.
+///
+/// Page numbers are raw `u32` values (the storage layer's `PageId.0`):
+/// the crate is dependency-free by design, so it cannot name the
+/// newtypes of the layers above it.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Event {
+    // ---- Run structure ----
+    /// A query execution started.
+    RunBegin {
+        /// `Algorithm::name()` of the run ("BTC", "SEMINAIVE", ...).
+        algorithm: &'static str,
+        /// Configured milliseconds per page transfer (the I/O model).
+        ms_per_io: f64,
+    },
+    /// The execution finished (buffer flushed, counters final).
+    RunEnd,
+    /// A phase started.
+    PhaseBegin {
+        /// Which phase.
+        phase: Phase,
+    },
+    /// A phase ended. The position of `PhaseEnd(Restructure)` in the
+    /// stream is exactly where the engine snapshots its counters, so a
+    /// replay fold can split per-phase totals at the same boundary.
+    PhaseEnd {
+        /// Which phase.
+        phase: Phase,
+    },
+    /// A fixpoint iteration started (Seminaive).
+    IterationBegin {
+        /// 0-based iteration number.
+        i: u64,
+    },
+
+    // ---- Physical storage (tc-storage) ----
+    /// A successful physical page read.
+    PageRead {
+        /// Raw page number.
+        page: u32,
+        /// File kind of the page.
+        kind: Kind,
+    },
+    /// A successful physical page write.
+    PageWrite {
+        /// Raw page number.
+        page: u32,
+        /// File kind of the page.
+        kind: Kind,
+    },
+    /// The armed fault plan injected a fault into this transfer attempt
+    /// (transient/permanent failure, or a silent torn write).
+    FaultInjected {
+        /// Raw page number.
+        page: u32,
+        /// Whether the faulted attempt was a write.
+        write: bool,
+    },
+    /// Checksum verification caught a corrupted page image on read.
+    CorruptionDetected {
+        /// Raw page number.
+        page: u32,
+    },
+
+    // ---- Buffer manager (tc-buffer) ----
+    /// A page request satisfied from the pool.
+    BufHit {
+        /// Raw page number.
+        page: u32,
+        /// Whether the request was a read access.
+        read: bool,
+    },
+    /// A page request that missed the pool (faulting the page in, or
+    /// allocating a fresh page directly in a frame).
+    BufMiss {
+        /// Raw page number.
+        page: u32,
+        /// Whether the request was a read access.
+        read: bool,
+    },
+    /// A frame eviction.
+    Evict {
+        /// Raw page number of the victim.
+        page: u32,
+        /// Whether the victim was dirty (forced a write-back).
+        dirty: bool,
+    },
+    /// A dirty page written back by an explicit flush (not an eviction).
+    FlushWrite {
+        /// Raw page number.
+        page: u32,
+    },
+    /// A page was pinned into its frame.
+    Pin {
+        /// Raw page number.
+        page: u32,
+    },
+    /// A pin was released.
+    Unpin {
+        /// Raw page number.
+        page: u32,
+    },
+    /// A page transfer needed `n` re-attempts after transient faults.
+    Retry {
+        /// Re-attempts performed.
+        n: u64,
+        /// Total simulated backoff charged, in milliseconds.
+        backoff_ms: u64,
+    },
+
+    // ---- Logical work (tc-core) ----
+    /// A successor list was fetched.
+    ListFetch,
+    /// A successor-list union was performed.
+    Union,
+    /// One arc was considered for expansion.
+    ArcProcessed {
+        /// Whether the marking optimization skipped it.
+        marked: bool,
+    },
+    /// `n` arcs were considered at once (bulk accounting; none marked).
+    ArcsProcessed {
+        /// Arc count.
+        n: u64,
+    },
+    /// One entry was read from a successor structure.
+    TupleRead,
+    /// `n` entries were read at once (bulk accounting).
+    TupleReads {
+        /// Entry count.
+        n: u64,
+    },
+    /// A distinct tuple was inserted into a successor structure.
+    Generated {
+        /// Whether it belongs to a source node's result (an `stc` tuple).
+        source: bool,
+    },
+    /// A derivation found its tuple already present.
+    Duplicate,
+    /// `n` duplicate derivations at once (bulk accounting).
+    Duplicates {
+        /// Duplicate count.
+        n: u64,
+    },
+    /// A tree union pruned `n` entries without processing them.
+    Pruned {
+        /// Pruned-entry count.
+        n: u64,
+    },
+    /// An unmarked arc was expanded at level distance `delta`. Replay
+    /// accumulates these in stream order, so the f64 sum is bit-identical
+    /// to the engine's.
+    Locality {
+        /// `level(i) − level(j)` of the expanded arc.
+        delta: f64,
+    },
+    /// An answer tuple `(source, node)` was produced.
+    TupleEmit {
+        /// Source node id.
+        source: u32,
+        /// Reached node id.
+        node: u32,
+    },
+    /// Final count of entries appended to successor structures
+    /// (assignment, not increment — emitted once per run).
+    TupleWrites {
+        /// Entry count.
+        n: u64,
+    },
+    /// Nodes of the (magic) graph processed (assignment semantics).
+    MagicNodes {
+        /// Node count.
+        n: u64,
+    },
+    /// Arcs of the (magic) graph processed (assignment semantics).
+    MagicArcs {
+        /// Arc count.
+        n: u64,
+    },
+    /// Rectangle model of the processed graph (assignment semantics).
+    Rect {
+        /// Mean node level `H(G)`.
+        height: f64,
+        /// `|G| / H(G)`.
+        width: f64,
+        /// Maximum node level.
+        max_level: u32,
+        /// Arc count.
+        arcs: u64,
+        /// Node count.
+        nodes: u64,
+    },
+}
+
+impl Event {
+    /// The variant name, as used by the JSONL export's `ev` field.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::RunBegin { .. } => "run_begin",
+            Event::RunEnd => "run_end",
+            Event::PhaseBegin { .. } => "phase_begin",
+            Event::PhaseEnd { .. } => "phase_end",
+            Event::IterationBegin { .. } => "iteration_begin",
+            Event::PageRead { .. } => "page_read",
+            Event::PageWrite { .. } => "page_write",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::CorruptionDetected { .. } => "corruption_detected",
+            Event::BufHit { .. } => "buf_hit",
+            Event::BufMiss { .. } => "buf_miss",
+            Event::Evict { .. } => "evict",
+            Event::FlushWrite { .. } => "flush_write",
+            Event::Pin { .. } => "pin",
+            Event::Unpin { .. } => "unpin",
+            Event::Retry { .. } => "retry",
+            Event::ListFetch => "list_fetch",
+            Event::Union => "union",
+            Event::ArcProcessed { .. } => "arc",
+            Event::ArcsProcessed { .. } => "arcs",
+            Event::TupleRead => "tuple_read",
+            Event::TupleReads { .. } => "tuple_reads",
+            Event::Generated { .. } => "generated",
+            Event::Duplicate => "duplicate",
+            Event::Duplicates { .. } => "duplicates",
+            Event::Pruned { .. } => "pruned",
+            Event::Locality { .. } => "locality",
+            Event::TupleEmit { .. } => "tuple_emit",
+            Event::TupleWrites { .. } => "tuple_writes",
+            Event::MagicNodes { .. } => "magic_nodes",
+            Event::MagicArcs { .. } => "magic_arcs",
+            Event::Rect { .. } => "rect",
+        }
+    }
+
+    /// Writes the event as one JSON object on one line (JSONL). The
+    /// vocabulary needs no string escaping: every string field is a
+    /// fixed identifier ([`Event::name`], algorithm names, kind names).
+    pub fn write_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        write!(w, "{{\"ev\":\"{}\"", self.name())?;
+        match *self {
+            Event::RunBegin {
+                algorithm,
+                ms_per_io,
+            } => write!(w, ",\"algorithm\":\"{algorithm}\",\"ms_per_io\":{ms_per_io}")?,
+            Event::PhaseBegin { phase } | Event::PhaseEnd { phase } => {
+                write!(w, ",\"phase\":\"{}\"", phase.name())?
+            }
+            Event::IterationBegin { i } => write!(w, ",\"i\":{i}")?,
+            Event::PageRead { page, kind } | Event::PageWrite { page, kind } => {
+                write!(w, ",\"page\":{page},\"kind\":\"{}\"", kind.name())?
+            }
+            Event::FaultInjected { page, write } => {
+                write!(w, ",\"page\":{page},\"write\":{write}")?
+            }
+            Event::CorruptionDetected { page }
+            | Event::FlushWrite { page }
+            | Event::Pin { page }
+            | Event::Unpin { page } => write!(w, ",\"page\":{page}")?,
+            Event::BufHit { page, read } | Event::BufMiss { page, read } => {
+                write!(w, ",\"page\":{page},\"read\":{read}")?
+            }
+            Event::Evict { page, dirty } => write!(w, ",\"page\":{page},\"dirty\":{dirty}")?,
+            Event::Retry { n, backoff_ms } => write!(w, ",\"n\":{n},\"backoff_ms\":{backoff_ms}")?,
+            Event::ArcProcessed { marked } => write!(w, ",\"marked\":{marked}")?,
+            Event::ArcsProcessed { n }
+            | Event::TupleReads { n }
+            | Event::Duplicates { n }
+            | Event::Pruned { n }
+            | Event::TupleWrites { n }
+            | Event::MagicNodes { n }
+            | Event::MagicArcs { n } => write!(w, ",\"n\":{n}")?,
+            Event::Generated { source } => write!(w, ",\"source\":{source}")?,
+            Event::Locality { delta } => write!(w, ",\"delta\":{delta}")?,
+            Event::TupleEmit { source, node } => {
+                write!(w, ",\"source\":{source},\"node\":{node}")?
+            }
+            Event::Rect {
+                height,
+                width,
+                max_level,
+                arcs,
+                nodes,
+            } => write!(
+                w,
+                ",\"height\":{height},\"width\":{width},\"max_level\":{max_level},\"arcs\":{arcs},\"nodes\":{nodes}"
+            )?,
+            Event::RunEnd
+            | Event::ListFetch
+            | Event::Union
+            | Event::TupleRead
+            | Event::Duplicate => {}
+        }
+        writeln!(w, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_index_roundtrips() {
+        for k in Kind::ALL {
+            assert_eq!(Kind::from_idx(k.idx()), k);
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_are_wellformed() {
+        let events = [
+            Event::RunBegin {
+                algorithm: "BTC",
+                ms_per_io: 20.0,
+            },
+            Event::PageRead {
+                page: 3,
+                kind: Kind::SuccessorList,
+            },
+            Event::Locality { delta: 1.5 },
+            Event::TupleEmit { source: 1, node: 9 },
+            Event::RunEnd,
+        ];
+        let mut buf = Vec::new();
+        for e in events {
+            e.write_jsonl(&mut buf).unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 5);
+        for line in text.lines() {
+            assert!(
+                line.starts_with("{\"ev\":\"") && line.ends_with('}'),
+                "{line}"
+            );
+        }
+        assert!(text.contains("\"algorithm\":\"BTC\""));
+        assert!(text.contains("\"kind\":\"successor-list\""));
+        assert!(text.contains("\"delta\":1.5"));
+    }
+}

@@ -1,0 +1,331 @@
+//! Trace sinks and the [`Tracer`] handle.
+//!
+//! A [`Tracer`] is the only thing the instrumented layers see: a
+//! cloneable handle that is either *disabled* (the default — emitting is
+//! an inlined `None` branch, no allocation, no locking) or backed by a
+//! shared [`TraceSink`]. Sinks take `&self` and must be `Send + Sync`:
+//! one tracer may be cloned into the disk, the buffer pool and the
+//! metrics of a single run, and whole configs cross the experiment
+//! scheduler's thread boundary.
+//!
+//! Sink interior mutability uses `Mutex` with poison recovery
+//! (`into_inner` on a poisoned lock): a panicking test thread must not
+//! cascade into unrelated cells, and the audited run paths forbid
+//! `unwrap`.
+
+use crate::digest::{Fnv, TraceDigest};
+use crate::event::Event;
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Receiver of trace events. Implementations must be cheap: `emit` is
+/// called once per counted unit of work, millions of times on a large
+/// workload.
+pub trait TraceSink: Send + Sync {
+    /// Records one event.
+    fn emit(&self, ev: Event);
+}
+
+/// A cloneable tracing handle: disabled by default, or a shared
+/// reference to a [`TraceSink`].
+#[derive(Clone, Default)]
+pub struct Tracer(Option<Arc<dyn TraceSink>>);
+
+impl Tracer {
+    /// The no-op tracer (the production default).
+    pub fn disabled() -> Tracer {
+        Tracer(None)
+    }
+
+    /// A tracer backed by `sink`.
+    pub fn new(sink: Arc<dyn TraceSink>) -> Tracer {
+        Tracer(Some(sink))
+    }
+
+    /// Whether a sink is attached.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Emits `ev` if a sink is attached. The disabled path is a single
+    /// branch over a `Copy` value — safe to leave in release hot loops.
+    #[inline]
+    pub fn emit(&self, ev: Event) {
+        if let Some(sink) = &self.0 {
+            sink.emit(ev);
+        }
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.is_enabled() {
+            "Tracer(enabled)"
+        } else {
+            "Tracer(disabled)"
+        })
+    }
+}
+
+/// Recovers the data from a possibly-poisoned mutex: the sink's
+/// invariants are simple counters/buffers that stay consistent even if
+/// a panicking thread abandoned the lock mid-update.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+// ---------------------------------------------------------------------
+// VecSink
+// ---------------------------------------------------------------------
+
+struct VecInner {
+    events: Vec<Event>,
+    /// Next overwrite position when the ring is full.
+    head: usize,
+    dropped: u64,
+}
+
+/// Collects events in memory — everything, or (bounded) the most recent
+/// `cap` as a ring. The workhorse of replay tests on small workloads;
+/// prefer [`DigestSink`] at G5 scale.
+pub struct VecSink {
+    cap: Option<usize>,
+    inner: Mutex<VecInner>,
+}
+
+impl VecSink {
+    /// Collects every event.
+    pub fn unbounded() -> VecSink {
+        VecSink {
+            cap: None,
+            inner: Mutex::new(VecInner {
+                events: Vec::new(),
+                head: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Keeps only the most recent `cap` events (`cap >= 1`), counting
+    /// the overwritten ones in [`VecSink::dropped`].
+    pub fn bounded(cap: usize) -> VecSink {
+        VecSink {
+            cap: Some(cap.max(1)),
+            inner: Mutex::new(VecInner {
+                events: Vec::new(),
+                head: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// The collected events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        let inner = lock_unpoisoned(&self.inner);
+        let mut out = Vec::with_capacity(inner.events.len());
+        out.extend_from_slice(&inner.events[inner.head..]);
+        out.extend_from_slice(&inner.events[..inner.head]);
+        out
+    }
+
+    /// Events overwritten by the bounded ring (0 when unbounded).
+    pub fn dropped(&self) -> u64 {
+        lock_unpoisoned(&self.inner).dropped
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        lock_unpoisoned(&self.inner).events.len()
+    }
+
+    /// Whether no event has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for VecSink {
+    fn emit(&self, ev: Event) {
+        let mut inner = lock_unpoisoned(&self.inner);
+        match self.cap {
+            Some(cap) if inner.events.len() == cap => {
+                let head = inner.head;
+                inner.events[head] = ev;
+                inner.head = (head + 1) % cap;
+                inner.dropped += 1;
+            }
+            _ => inner.events.push(ev),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// DigestSink
+// ---------------------------------------------------------------------
+
+/// Streams events into an FNV-1a digest without storing them: constant
+/// memory, so full G5 traces (millions of events) can be pinned golden.
+pub struct DigestSink {
+    inner: Mutex<(Fnv, u64)>,
+}
+
+impl Default for DigestSink {
+    fn default() -> Self {
+        DigestSink::new()
+    }
+}
+
+impl DigestSink {
+    /// A fresh digest sink.
+    pub fn new() -> DigestSink {
+        DigestSink {
+            inner: Mutex::new((Fnv::new(), 0)),
+        }
+    }
+
+    /// The digest of everything emitted so far.
+    pub fn digest(&self) -> TraceDigest {
+        let inner = lock_unpoisoned(&self.inner);
+        TraceDigest {
+            hash: inner.0.finish(),
+            count: inner.1,
+        }
+    }
+}
+
+impl TraceSink for DigestSink {
+    fn emit(&self, ev: Event) {
+        let mut inner = lock_unpoisoned(&self.inner);
+        inner.0.event(&ev);
+        inner.1 += 1;
+    }
+}
+
+// ---------------------------------------------------------------------
+// JsonlSink
+// ---------------------------------------------------------------------
+
+struct JsonlInner<W> {
+    writer: W,
+    /// First write error, deferred: `emit` is infallible by contract,
+    /// so failures surface at [`JsonlSink::finish`].
+    error: Option<io::Error>,
+}
+
+/// Writes one JSON object per event to a writer (JSONL). I/O errors are
+/// deferred to [`JsonlSink::finish`] — after the first error further
+/// events are discarded.
+pub struct JsonlSink<W: Write + Send> {
+    inner: Mutex<JsonlInner<W>>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps `writer` (use a `BufWriter` for files).
+    pub fn new(writer: W) -> JsonlSink<W> {
+        JsonlSink {
+            inner: Mutex::new(JsonlInner {
+                writer,
+                error: None,
+            }),
+        }
+    }
+
+    /// Flushes and reports the first deferred write error, if any.
+    pub fn finish(&self) -> io::Result<()> {
+        let mut inner = lock_unpoisoned(&self.inner);
+        if let Some(e) = inner.error.take() {
+            return Err(e);
+        }
+        inner.writer.flush()
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn emit(&self, ev: Event) {
+        let mut inner = lock_unpoisoned(&self.inner);
+        if inner.error.is_some() {
+            return;
+        }
+        if let Err(e) = ev.write_jsonl(&mut inner.writer) {
+            inner.error = Some(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::digest_events;
+
+    fn ev(page: u32) -> Event {
+        Event::FlushWrite { page }
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        t.emit(Event::RunEnd); // must be a no-op
+        assert_eq!(format!("{t:?}"), "Tracer(disabled)");
+    }
+
+    #[test]
+    fn vec_sink_collects_in_order() {
+        let sink = Arc::new(VecSink::unbounded());
+        let t = Tracer::new(sink.clone());
+        assert!(t.is_enabled());
+        for p in 0..5 {
+            t.emit(ev(p));
+        }
+        assert_eq!(sink.events(), (0..5).map(ev).collect::<Vec<_>>());
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn bounded_ring_keeps_the_most_recent_events() {
+        let sink = VecSink::bounded(3);
+        for p in 0..7 {
+            sink.emit(ev(p));
+        }
+        assert_eq!(sink.events(), vec![ev(4), ev(5), ev(6)]);
+        assert_eq!(sink.dropped(), 4);
+        assert_eq!(sink.len(), 3);
+    }
+
+    #[test]
+    fn digest_sink_matches_offline_digest() {
+        let events: Vec<Event> = (0..100)
+            .map(|i| Event::BufHit {
+                page: i,
+                read: i % 2 == 0,
+            })
+            .collect();
+        let sink = DigestSink::new();
+        for e in &events {
+            sink.emit(*e);
+        }
+        assert_eq!(sink.digest(), digest_events(&events));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines_and_finishes_clean() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.emit(Event::Union);
+        sink.emit(ev(2));
+        sink.finish().unwrap();
+        let inner = lock_unpoisoned(&sink.inner);
+        let text = String::from_utf8(inner.writer.clone()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("\"ev\":\"union\""));
+    }
+
+    #[test]
+    fn tracer_clones_share_the_sink() {
+        let sink = Arc::new(VecSink::unbounded());
+        let a = Tracer::new(sink.clone());
+        let b = a.clone();
+        a.emit(ev(1));
+        b.emit(ev(2));
+        assert_eq!(sink.len(), 2);
+    }
+}

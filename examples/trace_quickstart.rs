@@ -1,0 +1,67 @@
+//! The observability layer end to end: capture a run's event trace,
+//! replay it back into the full metric suite, and export it as JSONL.
+//!
+//! ```text
+//! cargo run --release --example trace_quickstart
+//! ```
+
+use std::io::BufWriter;
+use std::sync::Arc;
+use tc_study::core::prelude::*;
+use tc_study::graph::DagGenerator;
+use tc_study::trace::{digest_events, replay, JsonlSink, Tracer, VecSink};
+
+fn main() {
+    // A small instance of the paper's G5 parameterization (seeded, so
+    // this example prints the same numbers on every machine).
+    let graph = DagGenerator::new(500, 4.0, 100).seed(7).generate();
+    let mut db = Database::build(&graph, false).expect("load database");
+
+    // 1. Capture: attach a VecSink through the system configuration.
+    //    Every counted unit of work — page transfers, buffer hits,
+    //    unions, generated tuples, answer emissions — becomes one typed
+    //    event in the sink.
+    let sink = Arc::new(VecSink::unbounded());
+    let cfg = SystemConfig::with_buffer(20).traced(Tracer::new(sink.clone()));
+    let res = db
+        .run(&Query::partial(vec![3, 141]), Algorithm::Btc, &cfg)
+        .expect("run BTC");
+    let events = sink.events();
+    println!(
+        "captured {} events ({} page I/Os, {} answer tuples)",
+        events.len(),
+        res.metrics.total_io(),
+        res.metrics.answer_tuples,
+    );
+
+    // 2. Replay: fold the stream back into metrics. This is an
+    //    independent code path from the engine's snapshot-delta
+    //    accounting, and the two must agree field by field — the
+    //    machine-checked contract behind tests/trace_replay.rs.
+    let replayed = replay(events.iter().cloned()).expect("replay trace");
+    let expected = res.metrics.to_replayed();
+    assert_eq!(replayed, expected, "replay(trace) != metrics");
+    println!(
+        "replay(trace) == metrics ✓  (total_io {}, unions {}, hit ratio {:.3})",
+        replayed.total_io(),
+        replayed.unions,
+        replayed.buffer.hits as f64 / replayed.buffer.requests.max(1) as f64,
+    );
+
+    // 3. Digest: traces are deterministic (no timestamps, no
+    //    addresses), so a 16-byte FNV-1a digest pins an entire stream —
+    //    how tests/golden_trace.rs freezes the canonical G5 traces.
+    let d = digest_events(events.iter());
+    println!("trace digest: {:#018X} over {} events", d.hash, d.count);
+
+    // 4. Export: the same stream as JSONL, one event per line — what
+    //    `tcq --trace` and `section --trace` write for offline analysis.
+    let path = std::env::temp_dir().join("trace_quickstart.jsonl");
+    let file = std::fs::File::create(&path).expect("create trace file");
+    let jsonl = Arc::new(JsonlSink::new(BufWriter::new(file)));
+    let cfg = SystemConfig::with_buffer(20).traced(Tracer::new(jsonl.clone()));
+    db.run(&Query::partial(vec![3, 141]), Algorithm::Btc, &cfg)
+        .expect("traced rerun");
+    jsonl.finish().expect("flush trace file");
+    println!("JSONL trace written to {}", path.display());
+}

@@ -5,9 +5,12 @@
 //! tcq deps.txt --sources libssl --print-answer
 //! ```
 
+use std::io::BufWriter;
 use std::process::ExitCode;
+use std::sync::Arc;
 use tc_study::cli::{CliArgs, LabeledGraph, USAGE};
 use tc_study::core::prelude::*;
+use tc_study::trace::{JsonlSink, Tracer};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -56,7 +59,18 @@ fn run(cli: &CliArgs) -> Result<(), String> {
     } else {
         Query::partial(sources)
     };
-    let cfg = SystemConfig::with_buffer(cli.buffer).collecting();
+    let mut cfg = SystemConfig::with_buffer(cli.buffer).collecting();
+    // One JSONL sink for the whole invocation (cyclic inputs trace every
+    // condensed sub-run into the same file).
+    let sink = match &cli.trace {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            let sink = Arc::new(JsonlSink::new(BufWriter::new(file)));
+            cfg = cfg.traced(Tracer::new(sink.clone()));
+            Some((path, sink))
+        }
+        None => None,
+    };
 
     // Cyclic inputs go through the condensation pipeline; DAGs through
     // the engine directly (optionally advisor-routed).
@@ -72,6 +86,11 @@ fn run(cli: &CliArgs) -> Result<(), String> {
         let res = run_cyclic(&lg.graph, &query, algo, &cfg).map_err(|e| e.to_string())?;
         (algo, res.answer, res.metrics)
     };
+
+    if let Some((path, sink)) = sink {
+        sink.finish().map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("trace written to {path}");
+    }
 
     eprintln!(
         "{algo}: {} reachability facts, {} simulated page I/O ({} restructure + {} compute), est. {:.1}s at 20ms/IO",

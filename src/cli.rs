@@ -83,6 +83,8 @@ pub struct CliArgs {
     pub buffer: usize,
     /// Print every answer tuple (not just the summary).
     pub print_answer: bool,
+    /// Write the run's JSONL event trace here (`--trace <path>`).
+    pub trace: Option<String>,
 }
 
 impl CliArgs {
@@ -95,6 +97,7 @@ impl CliArgs {
             algorithm: None,
             buffer: 20,
             print_answer: false,
+            trace: None,
         };
         let mut i = 0;
         while i < args.len() {
@@ -133,6 +136,11 @@ impl CliArgs {
                     }
                 }
                 "--print-answer" => out.print_answer = true,
+                "--trace" => {
+                    i += 1;
+                    let v = args.get(i).ok_or("--trace needs an output path")?;
+                    out.trace = Some(v.clone());
+                }
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 flag if flag.starts_with('-') => {
                     return Err(format!("unknown flag {flag}\n{USAGE}"))
@@ -158,6 +166,7 @@ usage: tcq <edges-file> [options]
   -a, --algo NAME       btc|hyb|bj|srch|spn|jkb|jkb2|seminaive (default: advisor)
   -m, --buffer N        buffer pool pages (default: 20)
       --print-answer    print every (source, reachable) pair
+      --trace PATH      write the run's event trace as JSONL to PATH
 Cyclic inputs are condensed automatically (strongly connected components);
 the advisor default applies to acyclic inputs, cyclic ones run BTC unless
 --algo says otherwise.";
@@ -203,6 +212,8 @@ mod tests {
             "-m",
             "50",
             "--print-answer",
+            "--trace",
+            "t.jsonl",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -213,6 +224,7 @@ mod tests {
         assert_eq!(c.algorithm, Some(Algorithm::Jkb2));
         assert_eq!(c.buffer, 50);
         assert!(c.print_answer);
+        assert_eq!(c.trace.as_deref(), Some("t.jsonl"));
     }
 
     #[test]
@@ -221,7 +233,9 @@ mod tests {
         assert!(c.sources.is_empty());
         assert_eq!(c.algorithm, None);
         assert_eq!(c.buffer, 20);
+        assert!(c.trace.is_none());
         assert!(CliArgs::parse(&[]).is_err());
+        assert!(CliArgs::parse(&["g.txt".into(), "--trace".into()]).is_err());
         assert!(CliArgs::parse(&["a".into(), "b".into()]).is_err());
         assert!(CliArgs::parse(&["g.txt".into(), "--algo".into(), "nope".into()]).is_err());
         assert!(CliArgs::parse(&["g.txt".into(), "--buffer".into(), "0".into()]).is_err());

@@ -9,6 +9,7 @@
 //! * [`graph`] — DAG workloads, rectangle model, reference closures.
 //! * [`succ`] — the paged successor-list / successor-tree store.
 //! * [`core`] — the seven algorithm implementations and the query engine.
+//! * [`trace`] — typed event traces, JSONL export, trace⇒metrics replay.
 //!
 //! See the repository README for a quickstart and `DESIGN.md` for the
 //! full system inventory.
@@ -23,5 +24,6 @@ pub use tc_det as det;
 pub use tc_graph as graph;
 pub use tc_storage as storage;
 pub use tc_succ as succ;
+pub use tc_trace as trace;
 
 pub use tc_core::prelude::*;

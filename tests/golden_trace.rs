@@ -1,0 +1,97 @@
+//! Golden trace-digest test: the observability layer's determinism guard.
+//!
+//! Companion to `golden_seed.rs` (which pins the canonical G5 workload)
+//! and `golden_fault_trace.rs` (which pins its failure trace): this test
+//! pins the FNV-1a digest of the *event trace* each of the eight
+//! algorithms emits on the canonical G5 workload (n = 2000, F = 5,
+//! l = 200, seed 7, 20-page buffer, sources {11, 503, 977}). The digest
+//! covers every event's discriminant and fields in canonical encoding,
+//! so any change to instrumentation points, event ordering, or the
+//! algorithms themselves shows up as a digest break.
+//!
+//! If an intentional change lands, regenerate the constants below (the
+//! failure message prints the new table) and note the break in
+//! CHANGES.md: previously exported traces stop matching.
+
+use std::sync::Arc;
+use tc_study::core::prelude::*;
+use tc_study::graph::DagGenerator;
+use tc_study::trace::{digest_events, replay, DigestSink, Tracer};
+
+/// Pinned (algorithm, digest hash, event count) per algorithm, in
+/// `Algorithm::ALL` order.
+const GOLDEN: [(&str, u64, u64); 8] = [
+    ("BTC", 0x7E6A7FCFBFDA326F, 11526365),
+    ("HYB", 0xE668FDB92EA1CAF9, 12334046),
+    ("BJ", 0xE64CECB7634126A8, 10414280),
+    ("SRCH", 0x9591AEEE6E8E4FD6, 125146),
+    ("SPN", 0xC8C3BF3FE278FC88, 9973066),
+    ("JKB", 0xEC8B3C2BDABAE354, 146418),
+    ("JKB2", 0x2914DE4E6B2A2763, 177953),
+    ("SEMINAIVE", 0xD722EBD2C24E1B6A, 154898),
+];
+
+fn canonical_db() -> Database {
+    let g = DagGenerator::new(2000, 5.0, 200).seed(7).generate();
+    Database::build(&g, true).unwrap()
+}
+
+fn canonical_query() -> Query {
+    Query::partial(vec![11, 503, 977])
+}
+
+#[test]
+fn every_algorithm_trace_matches_its_golden_digest() {
+    let mut db = canonical_db();
+    let mut table = Vec::new();
+    for algo in Algorithm::ALL {
+        let sink = Arc::new(DigestSink::new());
+        let cfg = SystemConfig::with_buffer(20).traced(Tracer::new(sink.clone()));
+        db.run(&canonical_query(), algo, &cfg).unwrap();
+        let d = sink.digest();
+        table.push((algo.name(), d.hash, d.count));
+    }
+    let rendered = table
+        .iter()
+        .map(|(name, hash, count)| format!("    ({name:?}, {hash:#018X}, {count}),"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert_eq!(
+        table, GOLDEN,
+        "the canonical G5 event traces changed — if intentional, replace \
+         the GOLDEN table with:\n{rendered}\nand note the trace break in \
+         CHANGES.md",
+    );
+}
+
+#[test]
+fn replay_reconstructs_metrics_for_every_algorithm_on_golden_g5() {
+    // The acceptance bar for the observability layer: on the canonical
+    // workload, folding the event stream re-derives the engine's full
+    // cost-metric suite field-by-field, for all eight algorithms. The
+    // two sides come from independent code paths (snapshot-delta
+    // accounting vs. a pure fold), so a lost or double-counted unit of
+    // work on either side fails here.
+    let mut db = canonical_db();
+    for algo in Algorithm::ALL {
+        let sink = Arc::new(tc_study::trace::VecSink::unbounded());
+        let cfg = SystemConfig::with_buffer(20).traced(Tracer::new(sink.clone()));
+        let res = db.run(&canonical_query(), algo, &cfg).unwrap();
+        let events = sink.events();
+        // The streaming digest and the offline digest agree on the
+        // captured stream (VecSink lost nothing).
+        assert_eq!(sink.dropped(), 0, "{algo}: VecSink dropped events");
+        let replayed = replay(events.iter().cloned()).unwrap();
+        let expected = res.metrics.to_replayed();
+        assert_eq!(
+            replayed,
+            expected,
+            "{algo}: replay(trace) != metrics; field diff:\n{}",
+            expected.diff(&replayed).join("\n")
+        );
+        // Sanity: the digest of the captured events is the digest a
+        // streaming sink would have produced (same canonical encoding).
+        let d = digest_events(events.iter());
+        assert_eq!(d.count, events.len() as u64);
+    }
+}

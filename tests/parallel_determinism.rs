@@ -10,8 +10,10 @@
 //! interleave) and compares FNV-1a digests of the fragments — the same
 //! digest family `golden_seed.rs` uses for workload pinning.
 
-use tc_bench::experiments::SECTIONS;
+use tc_bench::corpus::family;
+use tc_bench::experiments::{run_cells_traced, Cell, CellTask, QuerySpec, SECTIONS};
 use tc_bench::ExpOpts;
+use tc_study::core::prelude::*;
 
 /// FNV-1a over a report fragment's bytes.
 fn digest(s: &str) -> u64 {
@@ -43,6 +45,58 @@ fn every_section_is_byte_identical_serial_vs_parallel() {
         diverged.is_empty(),
         "sections diverged between serial and parallel execution — a cell is \
          reading shared state (wall clock, shared RNG, scheduling order?):\n{}",
+        diverged.join("\n")
+    );
+}
+
+#[test]
+fn per_cell_traces_are_byte_identical_serial_vs_parallel() {
+    // The same contract, one layer deeper: with `--trace` the scheduler
+    // writes one JSONL event stream per cell, each through its own sink,
+    // so every trace file must be byte-identical at any worker count —
+    // worker interleaving must never blend two cells' streams.
+    let cells: Vec<Cell> = [Algorithm::Btc, Algorithm::Srch, Algorithm::Seminaive]
+        .into_iter()
+        .flat_map(|algorithm| {
+            (0..2).map(move |set| Cell {
+                fam: family("G3"),
+                instance: 0,
+                set,
+                task: CellTask::Query {
+                    algorithm,
+                    query: QuerySpec::Ptc(2),
+                    cfg: SystemConfig::default(),
+                },
+            })
+        })
+        .collect();
+    let root = std::env::temp_dir().join(format!("tc-trace-det-{}", std::process::id()));
+    let dir1 = root.join("jobs1");
+    let dir4 = root.join("jobs4");
+    run_cells_traced(&cells, 1, &dir1).expect("jobs=1 traced sweep");
+    run_cells_traced(&cells, 4, &dir4).expect("jobs=4 traced sweep");
+
+    let mut diverged = Vec::new();
+    for (i, cell) in cells.iter().enumerate() {
+        let name = cell.trace_file_name(i);
+        let a = std::fs::read(dir1.join(&name)).unwrap_or_else(|e| panic!("{name} at jobs=1: {e}"));
+        let b = std::fs::read(dir4.join(&name)).unwrap_or_else(|e| panic!("{name} at jobs=4: {e}"));
+        assert!(!a.is_empty(), "{name}: empty trace at jobs=1");
+        if a != b {
+            diverged.push(format!(
+                "{name}: jobs=1 digest {:#018X} ({} bytes) != jobs=4 digest {:#018X} ({} bytes)",
+                digest(&String::from_utf8_lossy(&a)),
+                a.len(),
+                digest(&String::from_utf8_lossy(&b)),
+                b.len(),
+            ));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    assert!(
+        diverged.is_empty(),
+        "per-cell traces diverged between serial and parallel execution — \
+         a sink is shared across cells or a cell reads shared state:\n{}",
         diverged.join("\n")
     );
 }

@@ -7,8 +7,11 @@
 //! stay free of `unwrap()`/`expect()` outside `#[cfg(test)]` modules.
 //! The same rule covers all of `crates/bench/src`: an experiment cell
 //! failure must surface as a typed [`ExpError`] naming the cell, never a
-//! worker-thread panic. The CI grep gate enforces the same rule
-//! repo-side; this test makes it fail locally first.
+//! worker-thread panic. And it covers all of `crates/trace/src`: a trace
+//! sink rides inside every instrumented run, so a sink I/O failure (or a
+//! poisoned sink mutex) must never panic the engine it is observing. The
+//! CI grep gate enforces the same rule repo-side; this test makes it
+//! fail locally first.
 //!
 //! [`ExpError`]: tc_bench::experiments::ExpError
 
@@ -125,6 +128,32 @@ fn bench_run_paths_stay_free_of_unwrap_and_expect() {
         violations.is_empty(),
         "unwrap()/expect() on bench run paths (convert to ExpResult plumbing, \
          or add an audited allowlist entry here AND in .github/workflows/ci.yml):\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn trace_paths_stay_free_of_unwrap_and_expect() {
+    // A Tracer is threaded through the engine, buffer pool and disk of
+    // every instrumented run; a panic inside a sink would take the run
+    // down with it. Sink errors are deferred (`JsonlSink::finish`) and
+    // mutex poisoning is recovered, never unwrapped.
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let files = rust_files_under(repo, "crates/trace/src");
+    assert!(
+        files.len() >= 5,
+        "trace audit walked only {} files — directory layout changed?",
+        files.len()
+    );
+    let mut violations = Vec::new();
+    for rel in &files {
+        violations.extend(violations_in(repo, rel));
+    }
+    assert!(
+        violations.is_empty(),
+        "unwrap()/expect() in tc-trace (defer sink errors, recover poisoned \
+         locks, or add an audited allowlist entry here AND in \
+         .github/workflows/ci.yml):\n{}",
         violations.join("\n")
     );
 }
