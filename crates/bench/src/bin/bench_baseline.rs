@@ -1,0 +1,90 @@
+//! Regenerates (or checks) the committed performance baseline.
+//!
+//! ```text
+//! # regenerate after an intentional performance change:
+//! cargo run --release -p tc-bench --bin bench_baseline -- --jobs 4 > BENCH_5.json
+//!
+//! # CI regression gate — non-zero exit on any byte drift:
+//! cargo run --release -p tc-bench --bin bench_baseline -- --check BENCH_5.json
+//! ```
+//!
+//! The output is byte-deterministic at any `--jobs` value, so a plain
+//! byte comparison is the whole gate.
+
+use std::process::ExitCode;
+use tc_bench::baseline::{baseline_json, diff_report};
+
+fn usage() {
+    eprintln!("usage: bench_baseline [--jobs N] [--check PATH]");
+}
+
+fn main() -> ExitCode {
+    let mut jobs = tc_bench::opts::default_jobs();
+    let mut check: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--jobs" => {
+                i += 1;
+                jobs = match args.get(i).map(|v| v.parse::<usize>()) {
+                    Some(Ok(n)) if n >= 1 => n,
+                    _ => {
+                        eprintln!("error: --jobs takes a number ≥ 1");
+                        usage();
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--check" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => check = Some(path.clone()),
+                    None => {
+                        eprintln!("error: --check takes a path");
+                        usage();
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other => {
+                eprintln!("error: unknown argument {other}");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let current = match baseline_json(jobs) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: baseline suite failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(path) = check else {
+        print!("{current}");
+        return ExitCode::SUCCESS;
+    };
+    let committed = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match diff_report(&current, &committed) {
+        None => {
+            eprintln!("baseline OK: {path} matches ({} bytes)", current.len());
+            ExitCode::SUCCESS
+        }
+        Some(report) => {
+            eprintln!("{report}");
+            eprintln!(
+                "regenerate intentionally with: cargo run --release -p tc-bench --bin bench_baseline > {path}"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -8,7 +8,8 @@
 //!
 //! The section name is the first argument; the rest are the usual
 //! experiment options (`--quick`, `--full`, `--instances`, `--sets`,
-//! `--jobs`, `--trace DIR` for per-cell JSONL event traces). Run with no
+//! `--jobs`, `--trace DIR` for per-cell JSONL event traces,
+//! `--profile DIR` for per-cell rendered profile reports). Run with no
 //! arguments to list the known sections.
 //! Exits non-zero on an unknown section, bad options, or a failing cell.
 use std::process::ExitCode;
@@ -16,7 +17,7 @@ use tc_bench::experiments::{section, SECTIONS};
 
 fn usage() {
     eprintln!(
-        "usage: section <name> [--quick|--full] [--instances N] [--sets N] [--jobs N] [--trace DIR]"
+        "usage: section <name> [--quick|--full] [--instances N] [--sets N] [--jobs N] [--trace DIR] [--profile DIR]"
     );
     eprintln!(
         "known sections: {}",

@@ -27,6 +27,7 @@ pub mod fig14;
 pub mod fig6;
 pub mod fig7;
 pub mod highsel;
+pub mod predictiveness;
 pub mod related;
 pub mod table2;
 pub mod table3;
@@ -46,8 +47,9 @@ use std::time::Duration;
 use tc_core::prelude::*;
 use tc_core::CostMetrics;
 use tc_graph::{closure, model, transitive_reduction, ArcLocalityStats, RectangleModel};
+use tc_profile::{render, ProfileSink};
 use tc_storage::StorageError;
-use tc_trace::{JsonlSink, Tracer};
+use tc_trace::{JsonlSink, TeeSink, TraceSink, Tracer};
 
 /// Which query an experiment runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -189,6 +191,14 @@ impl Cell {
         tc_det::cell_seed(CELL_STREAM, &[fam_idx, self.instance, self.set, task])
     }
 
+    /// Canonical profile report file name for this cell at canonical
+    /// index `i`: the trace name with `.jsonl` replaced by
+    /// `.profile.txt`, so a cell's trace and profile sort together.
+    pub fn profile_file_name(&self, i: usize) -> String {
+        let name = self.trace_file_name(i);
+        format!("{}.profile.txt", name.trim_end_matches(".jsonl"))
+    }
+
     /// Canonical trace file name for this cell at canonical index `i`.
     ///
     /// The index prefix disambiguates sweeps that revisit the same
@@ -326,7 +336,7 @@ pub enum CellOutput {
 /// which cell's error is reported may depend on scheduling, but some
 /// typed error always surfaces and no worker thread panics.
 pub fn run_cells(cells: &[Cell], jobs: usize) -> ExpResult<Vec<CellOutput>> {
-    run_cells_inner(cells, jobs, &[], None)
+    run_cells_inner(cells, jobs, &[], Sinks::None)
 }
 
 /// [`run_cells`] writing one JSONL event trace per cell under
@@ -338,10 +348,54 @@ pub fn run_cells_traced(
     jobs: usize,
     trace_dir: &Path,
 ) -> ExpResult<Vec<CellOutput>> {
-    fs::create_dir_all(trace_dir).map_err(|e| {
-        ExpError::Internal(format!("create trace dir {}: {e}", trace_dir.display()))
-    })?;
-    run_cells_inner(cells, jobs, &[], Some(trace_dir))
+    run_cells_dirs(cells, jobs, Some(trace_dir), None)
+}
+
+/// [`run_cells`] with optional per-cell JSONL traces under `trace_dir`
+/// and/or rendered profile reports under `profile_dir` (both created if
+/// absent, named by [`Cell::trace_file_name`] /
+/// [`Cell::profile_file_name`]). When both are set, one event stream is
+/// teed into both sinks, so the trace and the profile of a cell describe
+/// the same run. Like cell outputs, both files are a pure function of
+/// cell coordinates, identical at any worker count.
+pub fn run_cells_dirs(
+    cells: &[Cell],
+    jobs: usize,
+    trace_dir: Option<&Path>,
+    profile_dir: Option<&Path>,
+) -> ExpResult<Vec<CellOutput>> {
+    for dir in [trace_dir, profile_dir].into_iter().flatten() {
+        fs::create_dir_all(dir)
+            .map_err(|e| ExpError::Internal(format!("create sink dir {}: {e}", dir.display())))?;
+    }
+    run_cells_inner(
+        cells,
+        jobs,
+        &[],
+        Sinks::Dirs {
+            trace: trace_dir,
+            profile: profile_dir,
+        },
+    )
+}
+
+/// [`run_cells`] with a caller-supplied [`Tracer`] per cell (slot `i`
+/// traces cell `i`; `tracers.len()` must equal `cells.len()`). The
+/// baseline harness uses this to tee every cell's event stream into a
+/// digest and a profile fold at once.
+pub fn run_cells_each_traced(
+    cells: &[Cell],
+    jobs: usize,
+    tracers: &[Tracer],
+) -> ExpResult<Vec<CellOutput>> {
+    if tracers.len() != cells.len() {
+        return Err(ExpError::Internal(format!(
+            "run_cells_each_traced: {} tracers for {} cells",
+            tracers.len(),
+            cells.len()
+        )));
+    }
+    run_cells_inner(cells, jobs, &[], Sinks::Each(tracers))
 }
 
 /// [`run_cells`] with an artificial pre-execution delay per cell
@@ -354,23 +408,74 @@ pub fn run_cells_jittered(
     jobs: usize,
     delay_us: &[u64],
 ) -> ExpResult<Vec<CellOutput>> {
-    run_cells_inner(cells, jobs, delay_us, None)
+    run_cells_inner(cells, jobs, delay_us, Sinks::None)
 }
 
-/// Runs cell `i`, tracing into `trace_dir` when given. The sink is
-/// per-cell and flushed before the output is returned, so a cell's trace
-/// file is complete once its result exists.
-fn exec_cell(cell: &Cell, i: usize, trace_dir: Option<&Path>) -> ExpResult<CellOutput> {
-    let Some(dir) = trace_dir else {
-        return cell.execute();
+/// Where (if anywhere) each cell's event stream goes.
+#[derive(Clone, Copy)]
+enum Sinks<'a> {
+    /// Untraced.
+    None,
+    /// Per-cell files derived from the cell's canonical name.
+    Dirs {
+        trace: Option<&'a Path>,
+        profile: Option<&'a Path>,
+    },
+    /// Caller-supplied tracer per cell index.
+    Each(&'a [Tracer]),
+}
+
+/// Runs cell `i` with its sinks attached. File-backed sinks are per-cell
+/// and flushed before the output is returned, so a cell's trace and
+/// profile files are complete once its result exists.
+fn exec_cell(cell: &Cell, i: usize, sinks: Sinks<'_>) -> ExpResult<CellOutput> {
+    let (trace, profile) = match sinks {
+        Sinks::None => return cell.execute(),
+        Sinks::Each(tracers) => {
+            let Some(t) = tracers.get(i) else {
+                return Err(ExpError::Internal(format!("no tracer for cell {i}")));
+            };
+            return cell.execute_traced(t.clone());
+        }
+        Sinks::Dirs { trace, profile } => (trace, profile),
     };
-    let path = dir.join(cell.trace_file_name(i));
-    let file = fs::File::create(&path)
-        .map_err(|e| ExpError::Internal(format!("create trace file {}: {e}", path.display())))?;
-    let sink = Arc::new(JsonlSink::new(BufWriter::new(file)));
-    let out = cell.execute_traced(Tracer::new(sink.clone()))?;
-    sink.finish()
-        .map_err(|e| ExpError::Internal(format!("write trace file {}: {e}", path.display())))?;
+    let file_err = |what: &str, path: &Path, e: std::io::Error| {
+        ExpError::Internal(format!("{what} {}: {e}", path.display()))
+    };
+    let jsonl = match trace {
+        Some(dir) => {
+            let path = dir.join(cell.trace_file_name(i));
+            let file =
+                fs::File::create(&path).map_err(|e| file_err("create trace file", &path, e))?;
+            Some((path, Arc::new(JsonlSink::new(BufWriter::new(file)))))
+        }
+        None => None,
+    };
+    let prof = profile.map(|dir| {
+        (
+            dir.join(cell.profile_file_name(i)),
+            Arc::new(ProfileSink::new()),
+        )
+    });
+    let mut branches: Vec<Arc<dyn TraceSink>> = Vec::new();
+    if let Some((_, s)) = &jsonl {
+        branches.push(s.clone());
+    }
+    if let Some((_, s)) = &prof {
+        branches.push(s.clone());
+    }
+    if branches.is_empty() {
+        return cell.execute();
+    }
+    let out = cell.execute_traced(Tracer::new(Arc::new(TeeSink::new(branches))))?;
+    if let Some((path, s)) = jsonl {
+        s.finish()
+            .map_err(|e| file_err("write trace file", &path, e))?;
+    }
+    if let Some((path, s)) = prof {
+        fs::write(&path, render(&s.finish()))
+            .map_err(|e| file_err("write profile file", &path, e))?;
+    }
     Ok(out)
 }
 
@@ -378,7 +483,7 @@ fn run_cells_inner(
     cells: &[Cell],
     jobs: usize,
     delay_us: &[u64],
-    trace_dir: Option<&Path>,
+    sinks: Sinks<'_>,
 ) -> ExpResult<Vec<CellOutput>> {
     let delay = |i: usize| {
         if delay_us.is_empty() {
@@ -393,7 +498,7 @@ fn run_cells_inner(
         let mut out = Vec::with_capacity(cells.len());
         for (i, cell) in cells.iter().enumerate() {
             std::thread::sleep(delay(i));
-            out.push(exec_cell(cell, i, trace_dir)?);
+            out.push(exec_cell(cell, i, sinks)?);
         }
         return Ok(out);
     }
@@ -417,7 +522,7 @@ fn run_cells_inner(
                             break;
                         }
                         std::thread::sleep(delay(i));
-                        let r = exec_cell(&cells[i], i, trace_dir);
+                        let r = exec_cell(&cells[i], i, sinks);
                         if r.is_err() {
                             stop.store(true, Ordering::Relaxed);
                         }
@@ -587,12 +692,15 @@ impl Grid {
     }
 
     /// Executes every registered cell across `opts.jobs` workers,
-    /// tracing each cell into `opts.trace_dir` when set.
+    /// tracing each cell into `opts.trace_dir` and writing each cell's
+    /// rendered profile report into `opts.profile_dir` when set.
     pub fn run(self) -> ExpResult<GridResults> {
-        let outputs = match &self.opts.trace_dir {
-            Some(dir) => run_cells_traced(&self.cells, self.opts.jobs, dir)?,
-            None => run_cells(&self.cells, self.opts.jobs)?,
-        };
+        let outputs = run_cells_dirs(
+            &self.cells,
+            self.opts.jobs,
+            self.opts.trace_dir.as_deref(),
+            self.opts.profile_dir.as_deref(),
+        )?;
         Ok(GridResults {
             outputs,
             ranges: self.ranges,
@@ -722,13 +830,14 @@ pub fn averaged(
 pub type SectionFn = fn(&ExpOpts) -> ExpResult<String>;
 
 /// Every report section in canonical (paper) order.
-pub const SECTIONS: [(&str, SectionFn); 11] = [
+pub const SECTIONS: [(&str, SectionFn); 12] = [
     ("table2", table2::run),
     ("table3", table3::run),
     ("fig6", fig6::run),
     ("fig7", fig7::run),
     ("figs8-12", highsel::run),
     ("table4", table4::run),
+    ("predictiveness", predictiveness::run),
     ("fig13", fig13::run),
     ("fig14", fig14::run),
     ("related", related::run),
@@ -755,6 +864,7 @@ mod tests {
             source_sets: 1,
             jobs: 1,
             trace_dir: None,
+            profile_dir: None,
         }
     }
 
@@ -779,6 +889,7 @@ mod tests {
             source_sets: 2,
             jobs: 1,
             trace_dir: None,
+            profile_dir: None,
         };
         let avg = averaged(
             family("G3"),
@@ -856,9 +967,10 @@ mod tests {
 
     #[test]
     fn section_registry_resolves() {
-        assert_eq!(SECTIONS.len(), 11);
+        assert_eq!(SECTIONS.len(), 12);
         assert!(section("table2").is_some());
         assert!(section("FIGS8-12").is_some());
+        assert!(section("predictiveness").is_some());
         assert!(section("nope").is_none());
     }
 }

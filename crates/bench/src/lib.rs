@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod avg;
+pub mod baseline;
 pub mod corpus;
 pub mod experiments;
 pub mod opts;

@@ -21,6 +21,10 @@ pub struct ExpOpts {
     /// function of each cell's coordinates, so they too are identical at
     /// any worker count.
     pub trace_dir: Option<PathBuf>,
+    /// Directory for per-cell rendered profile reports
+    /// (`--profile <dir>`). Like traces, report contents are a pure
+    /// function of each cell's coordinates.
+    pub profile_dir: Option<PathBuf>,
 }
 
 /// The scheduler's default worker count: the host's available
@@ -38,6 +42,7 @@ impl Default for ExpOpts {
             source_sets: 2,
             jobs: default_jobs(),
             trace_dir: None,
+            profile_dir: None,
         }
     }
 }
@@ -70,6 +75,12 @@ impl ExpOpts {
     /// Builder-style: write per-cell JSONL event traces under `dir`.
     pub fn trace_dir(mut self, dir: impl Into<PathBuf>) -> ExpOpts {
         self.trace_dir = Some(dir.into());
+        self
+    }
+
+    /// Builder-style: write per-cell profile reports under `dir`.
+    pub fn profile_dir(mut self, dir: impl Into<PathBuf>) -> ExpOpts {
+        self.profile_dir = Some(dir.into());
         self
     }
 
@@ -111,9 +122,16 @@ impl ExpOpts {
                     i += 1;
                     o.trace_dir = Some(PathBuf::from(dir));
                 }
+                "--profile" => {
+                    let Some(dir) = args.get(i + 1) else {
+                        return Err("--profile takes a directory".into());
+                    };
+                    i += 1;
+                    o.profile_dir = Some(PathBuf::from(dir));
+                }
                 other => {
                     return Err(format!(
-                        "unknown argument {other} (try --full, --quick, --instances k, --sets k, --jobs n, --trace dir)"
+                        "unknown argument {other} (try --full, --quick, --instances k, --sets k, --jobs n, --trace dir, --profile dir)"
                     ))
                 }
             }
@@ -196,5 +214,16 @@ mod tests {
         );
         assert!(ExpOpts::parse(["--trace"].map(String::from)).is_err());
         assert!(ExpOpts::default().trace_dir.is_none());
+    }
+
+    #[test]
+    fn parse_profile_dir() {
+        let o = ExpOpts::parse(["--profile", "/tmp/profiles"].map(String::from)).unwrap();
+        assert_eq!(
+            o.profile_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/profiles"))
+        );
+        assert!(ExpOpts::parse(["--profile"].map(String::from)).is_err());
+        assert!(ExpOpts::default().profile_dir.is_none());
     }
 }

@@ -7,7 +7,7 @@ use tc_storage::{
     with_retries, DiskSim, FileId, FileKind, Page, PageId, Pager, RetryPolicy, RetryTally,
     StorageError, StorageResult,
 };
-use tc_trace::{Event, Tracer};
+use tc_trace::{Event, Kind, Tracer};
 
 struct Frame {
     pid: PageId,
@@ -315,6 +315,14 @@ impl BufferPool {
             self.policy.on_evict(f);
             self.free.push(f);
         }
+        // Retire every page of the file (resident or not) in allocation
+        // order: the ids may be recycled for an unrelated file, so a
+        // profile fold must treat any later request as a new page.
+        if self.tracer.is_enabled() {
+            for pid in self.disk.file_pages(file) {
+                self.tracer.emit(Event::PageFreed { page: pid.0 });
+            }
+        }
         self.disk.free_file(file)
     }
 
@@ -451,6 +459,10 @@ impl Pager for BufferPool {
         self.frames[f].pins = 0;
         self.map.insert(pid, f);
         self.policy.on_admit(f);
+        self.tracer.emit(Event::PageAlloc {
+            page: pid.0,
+            kind: Kind::from_idx(self.disk.file_kind(file).idx()),
+        });
         Ok(pid)
     }
 

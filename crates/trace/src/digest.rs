@@ -254,6 +254,15 @@ fn fold_event(h: &mut Fnv, ev: &Event) {
             h.u64(arcs);
             h.u64(nodes);
         }
+        Event::PageAlloc { page, kind: k } => {
+            h.byte(32);
+            h.u32(page);
+            kind(h, k);
+        }
+        Event::PageFreed { page } => {
+            h.byte(33);
+            h.u32(page);
+        }
     }
 }
 

@@ -294,6 +294,28 @@ pub enum Event {
         /// Node count.
         nodes: u64,
     },
+
+    // ---- Page lifecycle (tc-buffer; declared last so the digest
+    // discriminants of the original vocabulary stay stable) ----
+    /// A fresh page was allocated directly into a buffer frame. This is
+    /// the only event that names a page's file kind at birth, so a
+    /// profile fold can attribute every later buffer event on the page.
+    /// Pure observability: ignored by replay.
+    PageAlloc {
+        /// Raw page number.
+        page: u32,
+        /// File kind of the page.
+        kind: Kind,
+    },
+    /// A page's file was discarded: the page number may be recycled for
+    /// an unrelated file, so any later request of the same number is a
+    /// *new* logical page. Emitted for every page of the freed file,
+    /// resident or not, in allocation order. Pure observability: ignored
+    /// by replay.
+    PageFreed {
+        /// Raw page number.
+        page: u32,
+    },
 }
 
 impl Event {
@@ -332,6 +354,8 @@ impl Event {
             Event::MagicNodes { .. } => "magic_nodes",
             Event::MagicArcs { .. } => "magic_arcs",
             Event::Rect { .. } => "rect",
+            Event::PageAlloc { .. } => "page_alloc",
+            Event::PageFreed { .. } => "page_freed",
         }
     }
 
@@ -349,7 +373,9 @@ impl Event {
                 write!(w, ",\"phase\":\"{}\"", phase.name())?
             }
             Event::IterationBegin { i } => write!(w, ",\"i\":{i}")?,
-            Event::PageRead { page, kind } | Event::PageWrite { page, kind } => {
+            Event::PageRead { page, kind }
+            | Event::PageWrite { page, kind }
+            | Event::PageAlloc { page, kind } => {
                 write!(w, ",\"page\":{page},\"kind\":\"{}\"", kind.name())?
             }
             Event::FaultInjected { page, write } => {
@@ -358,7 +384,8 @@ impl Event {
             Event::CorruptionDetected { page }
             | Event::FlushWrite { page }
             | Event::Pin { page }
-            | Event::Unpin { page } => write!(w, ",\"page\":{page}")?,
+            | Event::Unpin { page }
+            | Event::PageFreed { page } => write!(w, ",\"page\":{page}")?,
             Event::BufHit { page, read } | Event::BufMiss { page, read } => {
                 write!(w, ",\"page\":{page},\"read\":{read}")?
             }

@@ -43,6 +43,7 @@
 //! | [`VecSink`] | all events (optionally a bounded ring) | replay tests |
 //! | [`DigestSink`] | 16 bytes | golden pins at G5 scale (millions of events) |
 //! | [`JsonlSink`] | external writer | `--trace` export for offline analysis |
+//! | [`TeeSink`] | none (fan-out) | one stream into several sinks (digest + profile) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,7 +58,7 @@ pub use event::{Event, Kind, Phase};
 pub use replay::{
     replay, ReplayError, ReplayedBufferStats, ReplayedMetrics, ReplayedPhaseIo, ReplayedRect,
 };
-pub use sink::{DigestSink, JsonlSink, TraceSink, Tracer, VecSink};
+pub use sink::{DigestSink, JsonlSink, TeeSink, TraceSink, Tracer, VecSink};
 
 // Compile-time thread-safety audit: tracers are embedded in
 // `SystemConfig` / `CostMetrics`, which the experiment scheduler ships

@@ -390,7 +390,9 @@ pub fn replay(events: impl IntoIterator<Item = Event>) -> Result<ReplayedMetrics
             | Event::PhaseEnd { .. }
             | Event::IterationBegin { .. }
             | Event::Pin { .. }
-            | Event::Unpin { .. } => {}
+            | Event::Unpin { .. }
+            | Event::PageAlloc { .. }
+            | Event::PageFreed { .. } => {}
         }
     }
     m.io_retries = m.buffer.retries;

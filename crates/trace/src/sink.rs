@@ -252,6 +252,32 @@ impl<W: Write + Send> TraceSink for JsonlSink<W> {
     }
 }
 
+// ---------------------------------------------------------------------
+// TeeSink
+// ---------------------------------------------------------------------
+
+/// Fans each event out to several sinks in order, so one run can feed a
+/// digest pin and a profile fold (or a JSONL export and a profile) from
+/// a single stream without replaying it.
+pub struct TeeSink {
+    sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+impl TeeSink {
+    /// A tee over `sinks` (events are delivered in the given order).
+    pub fn new(sinks: Vec<Arc<dyn TraceSink>>) -> TeeSink {
+        TeeSink { sinks }
+    }
+}
+
+impl TraceSink for TeeSink {
+    fn emit(&self, ev: Event) {
+        for sink in &self.sinks {
+            sink.emit(ev);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,6 +343,18 @@ mod tests {
         let text = String::from_utf8(inner.writer.clone()).unwrap();
         assert_eq!(text.lines().count(), 2);
         assert!(text.contains("\"ev\":\"union\""));
+    }
+
+    #[test]
+    fn tee_sink_fans_out_to_every_branch() {
+        let a = Arc::new(VecSink::unbounded());
+        let b = Arc::new(DigestSink::new());
+        let tee = TeeSink::new(vec![a.clone(), b.clone()]);
+        for p in 0..4 {
+            tee.emit(ev(p));
+        }
+        assert_eq!(a.events(), (0..4).map(ev).collect::<Vec<_>>());
+        assert_eq!(b.digest(), digest_events(&a.events()));
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! The profiling layer end to end: capture a run through a live
+//! `ProfileSink`, read phase/kind attribution and the miss taxonomy off
+//! the profile, re-derive the same profile offline from exported JSONL,
+//! and correlate a cheap tuple-level metric against page I/O.
+//!
+//! ```text
+//! cargo run --release --example profile_quickstart
+//! ```
+
+use std::io::BufWriter;
+use std::sync::Arc;
+use tc_study::core::prelude::*;
+use tc_study::graph::DagGenerator;
+use tc_study::profile::{
+    format_milli, kind_label, profile_jsonl, render, spearman_u64, ProfileSink, KIND_SLOTS,
+};
+use tc_study::trace::{JsonlSink, TeeSink, Tracer};
+
+fn main() {
+    // A small instance of the paper's G5 parameterization (seeded, so
+    // this example prints the same numbers on every machine).
+    let graph = DagGenerator::new(500, 4.0, 100).seed(7).generate();
+    let mut db = Database::build(&graph, false).expect("load database");
+
+    // 1. Live profiling: a ProfileSink is just a TraceSink, so it rides
+    //    the run like any other sink — here teed with a JSONL export of
+    //    the same stream for step 3.
+    let prof = Arc::new(ProfileSink::new());
+    let path = std::env::temp_dir().join("profile_quickstart.jsonl");
+    let file = std::fs::File::create(&path).expect("create trace file");
+    let jsonl = Arc::new(JsonlSink::new(BufWriter::new(file)));
+    let tee = Arc::new(TeeSink::new(vec![prof.clone(), jsonl.clone()]));
+    let cfg = SystemConfig::with_buffer(20).traced(Tracer::new(tee));
+    let res = db
+        .run(&Query::partial(vec![3, 141]), Algorithm::Btc, &cfg)
+        .expect("run BTC");
+    jsonl.finish().expect("flush trace file");
+    let p = prof.finish();
+
+    // 2. Read the profile: where did the I/O go? The attribution sums
+    //    are bit-identical to the engine's CostMetrics — the contract
+    //    behind tests/golden_profile.rs.
+    let (r, c) = (p.restructure_io(), p.compute_io());
+    assert_eq!(r.total() + c.total(), res.metrics.total_io());
+    println!(
+        "phase I/O: restructuring {}r+{}w, computation {}r+{}w",
+        r.reads, r.writes, c.reads, c.writes
+    );
+    for k in 0..KIND_SLOTS {
+        let io = p.io_by_kind(k);
+        if io.total() > 0 {
+            println!(
+                "  {:12} {:>6} reads {:>6} writes",
+                kind_label(k),
+                io.reads,
+                io.writes
+            );
+        }
+    }
+    let b = p.buffer_totals();
+    let m = p.miss_totals();
+    println!(
+        "buffer: {} requests, {} hits; misses: {} cold, {} capacity, {} self-refetch",
+        b.requests, b.hits, m.cold, m.capacity, m.self_refetch
+    );
+    println!(
+        "peak residency: {} pages (first reached at event {})",
+        p.max_resident, p.max_resident_at
+    );
+
+    // 3. Offline: fold the exported JSONL back into a profile. Same
+    //    fold, different source — the rendered reports must match.
+    let reader = std::fs::File::open(&path).expect("open trace file");
+    let offline = profile_jsonl(std::io::BufReader::new(reader)).expect("fold JSONL");
+    assert_eq!(render(&p), render(&offline), "live != offline profile");
+    println!("offline fold of {} matches the live sink ✓", path.display());
+
+    // 4. Correlation: does a cheap metric predict page I/O? Spearman
+    //    rank correlation (integer-only, milli-scaled) across source
+    //    nodes — the machinery behind `section predictiveness`.
+    let mut tuples = Vec::new();
+    let mut ios = Vec::new();
+    for src in [3u32, 57, 141, 260, 395] {
+        let cfg = SystemConfig::with_buffer(20);
+        let res = db
+            .run(&Query::partial(vec![src]), Algorithm::Btc, &cfg)
+            .expect("correlation run");
+        tuples.push(res.metrics.tuples_generated);
+        ios.push(res.metrics.total_io());
+    }
+    let rho = spearman_u64(&tuples, &ios).expect("non-degenerate ranks");
+    println!(
+        "Spearman(tuples generated, page I/O) over 5 sources: {}",
+        format_milli(rho)
+    );
+}

@@ -5,16 +5,17 @@
 //! tcq deps.txt --sources libssl --print-answer
 //! ```
 
-use std::io::BufWriter;
+use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 use std::sync::Arc;
-use tc_study::cli::{CliArgs, LabeledGraph, USAGE};
+use tc_study::cli::{AnalyzeArgs, CliArgs, Command, LabeledGraph, USAGE};
 use tc_study::core::prelude::*;
+use tc_study::profile::{fold_jsonl, render, ProfileFold};
 use tc_study::trace::{JsonlSink, Tracer};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cli = match CliArgs::parse(&args) {
+    let cmd = match Command::parse(&args) {
         Ok(c) => c,
         Err(msg) => {
             eprintln!("{msg}");
@@ -25,13 +26,30 @@ fn main() -> ExitCode {
             };
         }
     };
-    match run(&cli) {
+    let result = match &cmd {
+        Command::Run(cli) => run(cli),
+        Command::Analyze(a) => analyze(a),
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("tcq: {msg}");
             ExitCode::FAILURE
         }
     }
+}
+
+/// Folds a `--trace` JSONL file into a profile report on stdout.
+fn analyze(args: &AnalyzeArgs) -> Result<(), String> {
+    let file = std::fs::File::open(&args.input).map_err(|e| format!("{}: {e}", args.input))?;
+    let mut fold = ProfileFold::new()
+        .with_top_k(args.top_k)
+        .with_interval(args.interval);
+    let events =
+        fold_jsonl(BufReader::new(file), &mut fold).map_err(|e| format!("{}: {e}", args.input))?;
+    eprintln!("{}: folded {events} events", args.input);
+    print!("{}", render(&fold.finish()));
+    Ok(())
 }
 
 fn run(cli: &CliArgs) -> Result<(), String> {

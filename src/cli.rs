@@ -161,15 +161,98 @@ impl CliArgs {
 /// Usage text for `tcq`.
 pub const USAGE: &str = "\
 usage: tcq <edges-file> [options]
+       tcq analyze <trace.jsonl> [options]
   <edges-file>          whitespace edge list: `from to` per line, # comments
   -s, --sources A,B,..  partial closure from these nodes (default: full)
   -a, --algo NAME       btc|hyb|bj|srch|spn|jkb|jkb2|seminaive (default: advisor)
   -m, --buffer N        buffer pool pages (default: 20)
       --print-answer    print every (source, reachable) pair
       --trace PATH      write the run's event trace as JSONL to PATH
+analyze options (folds a --trace file into a profile report):
+      --top K           hot-page histogram size (default: 10)
+      --interval N      residency sampling interval, events (default: 65536)
 Cyclic inputs are condensed automatically (strongly connected components);
 the advisor default applies to acyclic inputs, cyclic ones run BTC unless
 --algo says otherwise.";
+
+/// Parsed command line for `tcq analyze`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzeArgs {
+    /// JSONL trace path.
+    pub input: String,
+    /// Hot-page histogram size.
+    pub top_k: usize,
+    /// Residency sampling interval, in events.
+    pub interval: u64,
+}
+
+impl AnalyzeArgs {
+    /// Parses the arguments following the `analyze` keyword.
+    pub fn parse(args: &[String]) -> Result<AnalyzeArgs, String> {
+        let mut input: Option<String> = None;
+        let mut out = AnalyzeArgs {
+            input: String::new(),
+            top_k: 10,
+            interval: 65_536,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--top" => {
+                    i += 1;
+                    out.top_k = args
+                        .get(i)
+                        .ok_or("--top needs a count")?
+                        .parse()
+                        .map_err(|e| format!("--top: {e}"))?;
+                }
+                "--interval" => {
+                    i += 1;
+                    out.interval = args
+                        .get(i)
+                        .ok_or("--interval needs an event count")?
+                        .parse()
+                        .map_err(|e| format!("--interval: {e}"))?;
+                    if out.interval == 0 {
+                        return Err("--interval needs at least 1 event".into());
+                    }
+                }
+                "--help" | "-h" => return Err(USAGE.to_string()),
+                flag if flag.starts_with('-') => {
+                    return Err(format!("unknown flag {flag}\n{USAGE}"))
+                }
+                path => {
+                    if input.replace(path.to_string()).is_some() {
+                        return Err("only one trace file is accepted".into());
+                    }
+                }
+            }
+            i += 1;
+        }
+        out.input = input.ok_or_else(|| format!("missing trace file\n{USAGE}"))?;
+        Ok(out)
+    }
+}
+
+/// A parsed `tcq` invocation: a query run, or a trace analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `tcq <edges-file> ...` — build, run, report.
+    Run(CliArgs),
+    /// `tcq analyze <trace.jsonl> ...` — fold a trace into a profile.
+    Analyze(AnalyzeArgs),
+}
+
+impl Command {
+    /// Parses `args` (without the program name), dispatching on the
+    /// leading `analyze` keyword.
+    pub fn parse(args: &[String]) -> Result<Command, String> {
+        match args.first().map(String::as_str) {
+            Some("analyze") => AnalyzeArgs::parse(&args[1..]).map(Command::Analyze),
+            _ => CliArgs::parse(args).map(Command::Run),
+        }
+    }
+}
 
 fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
     Algorithm::ALL
@@ -225,6 +308,31 @@ mod tests {
         assert_eq!(c.buffer, 50);
         assert!(c.print_answer);
         assert_eq!(c.trace.as_deref(), Some("t.jsonl"));
+    }
+
+    #[test]
+    fn parses_the_analyze_subcommand() {
+        let args: Vec<String> = ["analyze", "t.jsonl", "--top", "5", "--interval", "1024"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let c = Command::parse(&args).unwrap();
+        assert_eq!(
+            c,
+            Command::Analyze(AnalyzeArgs {
+                input: "t.jsonl".into(),
+                top_k: 5,
+                interval: 1024,
+            })
+        );
+        // Without the keyword the run path is taken.
+        assert!(matches!(
+            Command::parse(&["g.txt".to_string()]),
+            Ok(Command::Run(_))
+        ));
+        assert!(Command::parse(&["analyze".to_string()]).is_err());
+        assert!(AnalyzeArgs::parse(&["t.jsonl".into(), "--interval".into(), "0".into()]).is_err());
+        assert!(AnalyzeArgs::parse(&["t.jsonl".into(), "--nope".into()]).is_err());
     }
 
     #[test]

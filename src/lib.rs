@@ -10,6 +10,8 @@
 //! * [`succ`] — the paged successor-list / successor-tree store.
 //! * [`core`] — the seven algorithm implementations and the query engine.
 //! * [`trace`] — typed event traces, JSONL export, trace⇒metrics replay.
+//! * [`profile`] — trace-driven profiling: phase/file/page attribution,
+//!   buffer-residency and miss-class analytics, Spearman rank correlation.
 //!
 //! See the repository README for a quickstart and `DESIGN.md` for the
 //! full system inventory.
@@ -22,6 +24,7 @@ pub use tc_buffer as buffer;
 pub use tc_core as core;
 pub use tc_det as det;
 pub use tc_graph as graph;
+pub use tc_profile as profile;
 pub use tc_storage as storage;
 pub use tc_succ as succ;
 pub use tc_trace as trace;

@@ -28,13 +28,14 @@ fn digest(s: &str) -> u64 {
 
 /// Golden quick-grid digests, one per registered section, in canonical
 /// section order.
-const GOLDEN: [(&str, u64); 11] = [
+const GOLDEN: [(&str, u64); 12] = [
     ("table2", 0xFF6B_4C4A_52F0_F50B),
     ("table3", 0xA9E9_188F_935F_0B68),
     ("fig6", 0xBE30_F49A_8623_A929),
     ("fig7", 0x474F_CD9A_B824_276E),
     ("figs8-12", 0x04EF_0112_49D4_BAB9),
     ("table4", 0xE3CC_983C_8866_E4DE),
+    ("predictiveness", 0xB27F_ED9B_07A2_8CEF),
     ("fig13", 0x9ECE_DEB3_67B8_AFD5),
     ("fig14", 0xDF06_D3BF_DC84_5410),
     ("related", 0x65AF_1E01_873F_7F46),

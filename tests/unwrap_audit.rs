@@ -159,6 +159,32 @@ fn trace_paths_stay_free_of_unwrap_and_expect() {
 }
 
 #[test]
+fn profile_paths_stay_free_of_unwrap_and_expect() {
+    // A ProfileSink rides inside instrumented runs exactly like a trace
+    // sink, and `tcq analyze` folds untrusted JSONL from disk; both must
+    // surface failures as typed errors (`JsonlError`, recovered mutex
+    // poisoning), never a panic mid-run or mid-parse.
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let files = rust_files_under(repo, "crates/profile/src");
+    assert!(
+        files.len() >= 4,
+        "profile audit walked only {} files — directory layout changed?",
+        files.len()
+    );
+    let mut violations = Vec::new();
+    for rel in &files {
+        violations.extend(violations_in(repo, rel));
+    }
+    assert!(
+        violations.is_empty(),
+        "unwrap()/expect() in tc-profile (return typed parse/IO errors, \
+         recover poisoned locks, or add an audited allowlist entry here AND \
+         in .github/workflows/ci.yml):\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
 fn allowlist_entries_still_exist() {
     // A stale allowlist hides future violations behind dead entries.
     let repo = Path::new(env!("CARGO_MANIFEST_DIR"));
