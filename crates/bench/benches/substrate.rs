@@ -7,7 +7,9 @@
 
 use tc_buffer::{BufferPool, PagePolicy};
 use tc_det::bench::Runner;
-use tc_storage::{external_sort, DiskSim, FileKind, Page, Pager, SuccEntry, TupleWriter};
+use tc_storage::{
+    external_sort, DiskSim, FileKind, Page, PageStore, Pager, SuccEntry, TupleWriter,
+};
 use tc_succ::{ListCursor, ListPolicy, NodeBitVec, SuccStore};
 
 fn pool_hits_and_misses(r: &mut Runner) {

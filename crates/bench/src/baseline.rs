@@ -79,6 +79,24 @@ fn query_cell(
 ///    `M = 20`, LRU;
 /// 3. BTC on G5 under every replacement policy (`M = 10`).
 pub fn suite() -> Vec<BaselineCell> {
+    suite_on(Backend::Sim)
+}
+
+/// [`suite`] with every cell stamped to run on `backend`. The grid (and
+/// with it every digest and metric) is backend-invariant by design; CI's
+/// `backend-matrix` job proves it by regenerating the baseline on the
+/// file backend and byte-comparing against the committed `BENCH_5.json`.
+pub fn suite_on(backend: Backend) -> Vec<BaselineCell> {
+    let mut cells = suite_cells();
+    for bc in &mut cells {
+        if let CellTask::Query { cfg, .. } = &mut bc.cell.task {
+            cfg.backend = backend.clone();
+        }
+    }
+    cells
+}
+
+fn suite_cells() -> Vec<BaselineCell> {
     let mut cells = Vec::new();
     for a in Algorithm::ALL {
         cells.push(query_cell("G5", a, 10, 10, PagePolicy::Lru));
@@ -112,7 +130,12 @@ pub struct BaselineRow {
 /// [`DigestSink`] and a [`ProfileSink`], so digest, profile and metrics
 /// all describe the same run.
 pub fn run_suite(jobs: usize) -> ExpResult<Vec<BaselineRow>> {
-    let suite = suite();
+    run_suite_on(jobs, Backend::Sim)
+}
+
+/// [`run_suite`] on an explicit storage backend.
+pub fn run_suite_on(jobs: usize, backend: Backend) -> ExpResult<Vec<BaselineRow>> {
+    let suite = suite_on(backend);
     let cells: Vec<Cell> = suite.iter().map(|b| b.cell.clone()).collect();
     let sinks: Vec<(Arc<DigestSink>, Arc<ProfileSink>)> = suite
         .iter()
@@ -213,7 +236,14 @@ pub fn render_json(rows: &[BaselineRow]) -> String {
 
 /// Runs the suite and renders the canonical JSON in one step.
 pub fn baseline_json(jobs: usize) -> ExpResult<String> {
-    Ok(render_json(&run_suite(jobs)?))
+    baseline_json_on(jobs, Backend::Sim)
+}
+
+/// [`baseline_json`] on an explicit storage backend. The rendered bytes
+/// must be identical for every backend — that is the point of running it
+/// off-default.
+pub fn baseline_json_on(jobs: usize, backend: Backend) -> ExpResult<String> {
+    Ok(render_json(&run_suite_on(jobs, backend)?))
 }
 
 /// Compares freshly rendered baseline bytes against the committed file,

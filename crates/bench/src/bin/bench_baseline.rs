@@ -6,21 +6,57 @@
 //!
 //! # CI regression gate — non-zero exit on any byte drift:
 //! cargo run --release -p tc-bench --bin bench_baseline -- --check BENCH_5.json
+//!
+//! # same gate on the file-backed store (bytes must not change):
+//! cargo run --release -p tc-bench --bin bench_baseline -- --backend file --check BENCH_5.json
 //! ```
 //!
-//! The output is byte-deterministic at any `--jobs` value, so a plain
-//! byte comparison is the whole gate.
+//! The output is byte-deterministic at any `--jobs` value **and on
+//! either backend**, so a plain byte comparison is the whole gate.
+//! `--timing` additionally prints a non-gating wall-clock line (median /
+//! p95 of serial suite executions on the `tc-det` bench harness) to
+//! stderr for eyeballing backend overhead; it never affects the JSON or
+//! the exit code.
 
 use std::process::ExitCode;
-use tc_bench::baseline::{baseline_json, diff_report};
+use tc_bench::baseline::{baseline_json_on, diff_report};
+use tc_storage::Backend;
 
 fn usage() {
-    eprintln!("usage: bench_baseline [--jobs N] [--check PATH]");
+    eprintln!(
+        "usage: bench_baseline [--jobs N] [--backend sim|file|file:DIR] [--timing] [--check PATH]"
+    );
+}
+
+/// Non-gating wall-clock probe: run the whole suite serially a few times
+/// through the `tc-det` bench harness and report median/p95 to stderr.
+fn print_timing(backend: &Backend) {
+    let mut runner = tc_det::bench::Runner::new(1, 3);
+    let b = backend.clone();
+    runner
+        .group("baseline-suite")
+        .bench(
+            "suite-jobs1",
+            move || match tc_bench::baseline::run_suite_on(1, b.clone()) {
+                Ok(rows) => rows.len() as u64,
+                Err(_) => 0,
+            },
+        );
+    if let Some(rec) = runner.records().first() {
+        eprintln!(
+            "timing (non-gating): backend={} suite median {:.1} ms, p95 {:.1} ms",
+            backend.name(),
+            rec.median_ns as f64 / 1e6,
+            rec.p95_ns as f64 / 1e6,
+        );
+    }
 }
 
 fn main() -> ExitCode {
     let mut jobs = tc_bench::opts::default_jobs();
     let mut check: Option<String> = None;
+    let mut backend = Backend::Sim;
+    let mut timing = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -36,6 +72,23 @@ fn main() -> ExitCode {
                     }
                 };
             }
+            "--backend" => {
+                i += 1;
+                backend = match args.get(i).map(|v| Backend::parse(v)) {
+                    Some(Ok(b)) => b,
+                    Some(Err(e)) => {
+                        eprintln!("error: {e}");
+                        usage();
+                        return ExitCode::FAILURE;
+                    }
+                    None => {
+                        eprintln!("error: --backend takes sim, file or file:DIR");
+                        usage();
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--timing" => timing = true,
             "--check" => {
                 i += 1;
                 match args.get(i) {
@@ -56,13 +109,16 @@ fn main() -> ExitCode {
         i += 1;
     }
 
-    let current = match baseline_json(jobs) {
+    let current = match baseline_json_on(jobs, backend.clone()) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: baseline suite failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if timing {
+        print_timing(&backend);
+    }
     let Some(path) = check else {
         print!("{current}");
         return ExitCode::SUCCESS;
@@ -76,7 +132,11 @@ fn main() -> ExitCode {
     };
     match diff_report(&current, &committed) {
         None => {
-            eprintln!("baseline OK: {path} matches ({} bytes)", current.len());
+            eprintln!(
+                "baseline OK: {path} matches ({} bytes, backend {})",
+                current.len(),
+                backend.name()
+            );
             ExitCode::SUCCESS
         }
         Some(report) => {

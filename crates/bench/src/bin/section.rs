@@ -9,7 +9,8 @@
 //! The section name is the first argument; the rest are the usual
 //! experiment options (`--quick`, `--full`, `--instances`, `--sets`,
 //! `--jobs`, `--trace DIR` for per-cell JSONL event traces,
-//! `--profile DIR` for per-cell rendered profile reports). Run with no
+//! `--profile DIR` for per-cell rendered profile reports,
+//! `--backend sim|file` for the storage backend). Run with no
 //! arguments to list the known sections.
 //! Exits non-zero on an unknown section, bad options, or a failing cell.
 use std::process::ExitCode;
@@ -17,7 +18,7 @@ use tc_bench::experiments::{section, SECTIONS};
 
 fn usage() {
     eprintln!(
-        "usage: section <name> [--quick|--full] [--instances N] [--sets N] [--jobs N] [--trace DIR] [--profile DIR]"
+        "usage: section <name> [--quick|--full] [--instances N] [--sets N] [--jobs N] [--trace DIR] [--profile DIR] [--backend sim|file|file:DIR]"
     );
     eprintln!(
         "known sections: {}",

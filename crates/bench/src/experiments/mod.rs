@@ -239,7 +239,7 @@ impl Cell {
                 cfg,
             } => {
                 let graph = build_graph(self.fam, self.instance);
-                let mut db = Database::build(&graph, algorithm.needs_inverse())
+                let mut db = Database::build_for(&graph, algorithm.needs_inverse(), cfg)
                     .map_err(|e| self.error(e))?;
                 let q = match query {
                     QuerySpec::Full => Query::full(),
@@ -621,6 +621,7 @@ impl Grid {
             QuerySpec::Ptc(_) => self.opts.source_sets,
         };
         let instances = self.opts.instances;
+        let cfg = self.cell_cfg(cfg);
         let mut cells = Vec::with_capacity((instances * sets) as usize);
         for instance in 0..instances {
             for set in 0..sets {
@@ -637,6 +638,13 @@ impl Grid {
             }
         }
         self.push_point(cells)
+    }
+
+    /// Clones a section's config with the sweep-wide storage backend
+    /// stamped in — the single place [`ExpOpts::backend`] reaches every
+    /// query cell.
+    fn cell_cfg(&self, cfg: &SystemConfig) -> SystemConfig {
+        cfg.clone().backend(self.opts.backend.clone())
     }
 
     /// A single query run at explicit `(instance, set)` coordinates (the
@@ -657,7 +665,7 @@ impl Grid {
             task: CellTask::Query {
                 algorithm,
                 query,
-                cfg: cfg.clone(),
+                cfg: self.cell_cfg(cfg),
             },
         }])
     }
@@ -865,6 +873,7 @@ mod tests {
             jobs: 1,
             trace_dir: None,
             profile_dir: None,
+            backend: tc_storage::Backend::Sim,
         }
     }
 
@@ -890,6 +899,7 @@ mod tests {
             jobs: 1,
             trace_dir: None,
             profile_dir: None,
+            backend: tc_storage::Backend::Sim,
         };
         let avg = averaged(
             family("G3"),

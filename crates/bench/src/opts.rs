@@ -1,7 +1,8 @@
-//! Experiment options (repetition counts, scheduler parallelism and
-//! event tracing).
+//! Experiment options (repetition counts, scheduler parallelism, event
+//! tracing and the storage backend).
 
 use std::path::PathBuf;
+use tc_storage::Backend;
 
 /// How many instances / source sets to average over, how many worker
 /// threads the cell scheduler may use, and where (if anywhere) per-cell
@@ -25,6 +26,11 @@ pub struct ExpOpts {
     /// (`--profile <dir>`). Like traces, report contents are a pure
     /// function of each cell's coordinates.
     pub profile_dir: Option<PathBuf>,
+    /// Storage backend every cell runs on (`--backend sim|file`,
+    /// `TC_BACKEND`). The default is the simulated counting disk; the
+    /// file backend gives each cell a fresh auto-cleaned temp directory
+    /// and — by construction — identical metrics and trace digests.
+    pub backend: Backend,
 }
 
 /// The scheduler's default worker count: the host's available
@@ -43,6 +49,7 @@ impl Default for ExpOpts {
             jobs: default_jobs(),
             trace_dir: None,
             profile_dir: None,
+            backend: Backend::Sim,
         }
     }
 }
@@ -84,6 +91,12 @@ impl ExpOpts {
         self
     }
 
+    /// Builder-style: run every cell on `backend`.
+    pub fn backend(mut self, backend: Backend) -> ExpOpts {
+        self.backend = backend;
+        self
+    }
+
     /// Builds options from (in precedence order) the given command-line
     /// arguments (`--instances k`, `--sets k`, `--jobs n`, `--full`,
     /// `--quick`) and the `TC_INSTANCES` / `TC_SOURCE_SETS` / `TC_JOBS`
@@ -99,6 +112,9 @@ impl ExpOpts {
         }
         if let Some(k) = env_parsed::<usize>("TC_JOBS")? {
             o.jobs = k;
+        }
+        if let Ok(v) = std::env::var("TC_BACKEND") {
+            o.backend = Backend::parse(&v).map_err(|e| format!("TC_BACKEND: {e}"))?;
         }
         let args: Vec<String> = args.into_iter().collect();
         let mut i = 0;
@@ -129,9 +145,16 @@ impl ExpOpts {
                     i += 1;
                     o.profile_dir = Some(PathBuf::from(dir));
                 }
+                "--backend" => {
+                    let Some(b) = args.get(i + 1) else {
+                        return Err("--backend takes sim, file or file:DIR".into());
+                    };
+                    i += 1;
+                    o.backend = Backend::parse(b)?;
+                }
                 other => {
                     return Err(format!(
-                        "unknown argument {other} (try --full, --quick, --instances k, --sets k, --jobs n, --trace dir, --profile dir)"
+                        "unknown argument {other} (try --full, --quick, --instances k, --sets k, --jobs n, --trace dir, --profile dir, --backend sim|file)"
                     ))
                 }
             }
@@ -214,6 +237,21 @@ mod tests {
         );
         assert!(ExpOpts::parse(["--trace"].map(String::from)).is_err());
         assert!(ExpOpts::default().trace_dir.is_none());
+    }
+
+    #[test]
+    fn parse_backend() {
+        assert_eq!(ExpOpts::default().backend, Backend::Sim);
+        let o = ExpOpts::parse(["--backend", "file"].map(String::from)).unwrap();
+        assert_eq!(o.backend, Backend::File { dir: None });
+        let o = ExpOpts::parse(["--backend", "sim"].map(String::from)).unwrap();
+        assert_eq!(o.backend, Backend::Sim);
+        assert!(ExpOpts::parse(["--backend"].map(String::from)).is_err());
+        assert!(ExpOpts::parse(["--backend", "mmap"].map(String::from)).is_err());
+        assert_eq!(
+            ExpOpts::default().backend(Backend::file_temp()).backend,
+            Backend::File { dir: None }
+        );
     }
 
     #[test]

@@ -5,21 +5,22 @@
 //! sizes of 10, 20 and 50 pages are studied and page I/O recorded by "the
 //! simulated buffer manager" is the primary cost metric.
 //!
-//! [`BufferPool`] implements that manager over a
-//! [`tc_storage::DiskSim`]: at most `M` frames, page *pinning* (used by
-//! the Hybrid algorithm to hold its diagonal block resident), dirty
+//! [`BufferPool`] implements that manager over any
+//! [`tc_storage::PageStore`] backend — the simulated counting disk or
+//! the real file-backed store: at most `M` frames, page *pinning* (used
+//! by the Hybrid algorithm to hold its diagonal block resident), dirty
 //! tracking with write-back on eviction, and pluggable page replacement
 //! policies ([`policy`]). Every logical page request is counted; misses
-//! and write-backs become physical I/O on the wrapped disk.
+//! and write-backs become physical I/O on the wrapped store.
 //!
 //! # Example
 //!
 //! ```
 //! use tc_buffer::{BufferPool, PagePolicy};
-//! use tc_storage::{DiskSim, FileKind, Page, Pager};
+//! use tc_storage::{DiskSim, FileKind, Page, PageStore, Pager};
 //!
 //! let mut disk = DiskSim::new();
-//! let file = disk.create_file(FileKind::Temp);
+//! let file = disk.new_file(FileKind::Temp);
 //! let pid = disk.alloc(file).unwrap();
 //! let mut pool = BufferPool::new(disk, 4, PagePolicy::Lru);
 //! pool.with_page_mut(pid, &mut |p: &mut Page| p.put_u32(0, 1)).unwrap();

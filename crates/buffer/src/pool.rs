@@ -4,7 +4,7 @@ use crate::policy::{PagePolicy, ReplacementPolicy};
 use crate::stats::BufferStats;
 use std::collections::HashMap;
 use tc_storage::{
-    with_retries, DiskSim, FileId, FileKind, Page, PageId, Pager, RetryPolicy, RetryTally,
+    with_retries, FileId, FileKind, Page, PageId, PageStore, Pager, RetryPolicy, RetryTally,
     StorageError, StorageResult,
 };
 use tc_trace::{Event, Kind, Tracer};
@@ -16,18 +16,20 @@ struct Frame {
     pins: u32,
 }
 
-/// A fixed-capacity buffer pool wrapping the simulated disk.
+/// A fixed-capacity buffer pool wrapping a [`PageStore`] backend.
 ///
 /// All page traffic of a query run goes through the pool: logical requests
-/// are counted in [`BufferStats`], misses read from the wrapped
-/// [`DiskSim`] (counting physical reads), and evicted dirty frames are
-/// written back (counting physical writes). Pages can be *pinned* to keep
+/// are counted in [`BufferStats`], misses read from the wrapped store
+/// (counting physical reads), and evicted dirty frames are written back
+/// (counting physical writes). The pool is backend-agnostic: the store may
+/// be the simulated counting disk or the real file-backed store — the
+/// pool's behaviour (and therefore the paper's metrics) is identical. Pages can be *pinned* to keep
 /// them resident — the Hybrid algorithm pins its diagonal block, and the
 /// pool refuses to evict pinned frames, failing with
 /// [`StorageError::AllFramesPinned`] when nothing is evictable (the signal
 /// Hybrid uses to trigger dynamic reblocking).
 pub struct BufferPool {
-    disk: DiskSim,
+    store: Box<dyn PageStore>,
     capacity: usize,
     frames: Vec<Frame>,
     map: HashMap<PageId, usize>,
@@ -41,12 +43,22 @@ pub struct BufferPool {
 }
 
 impl BufferPool {
-    /// Creates a pool of `capacity` frames over `disk` with the given
+    /// Creates a pool of `capacity` frames over `store` with the given
     /// replacement policy.
-    pub fn new(disk: DiskSim, capacity: usize, policy: PagePolicy) -> BufferPool {
+    pub fn new(store: impl PageStore + 'static, capacity: usize, policy: PagePolicy) -> BufferPool {
+        BufferPool::with_store(Box::new(store), capacity, policy)
+    }
+
+    /// Creates a pool over an already-boxed [`PageStore`] (the engine
+    /// threads backend-selected stores through this).
+    pub fn with_store(
+        store: Box<dyn PageStore>,
+        capacity: usize,
+        policy: PagePolicy,
+    ) -> BufferPool {
         assert!(capacity > 0, "buffer pool needs at least one frame");
         BufferPool {
-            disk,
+            store,
             capacity,
             frames: Vec::with_capacity(capacity),
             map: HashMap::with_capacity(capacity * 2),
@@ -58,17 +70,17 @@ impl BufferPool {
         }
     }
 
-    /// Attaches the event tracer to the pool *and* the wrapped disk, so
+    /// Attaches the event tracer to the pool *and* the wrapped store, so
     /// logical (hit/miss/evict/flush) and physical (page read/write)
     /// events interleave in one stream. Pass a disabled tracer to detach
     /// both.
     pub fn set_tracer(&mut self, tracer: Tracer) {
-        self.disk.set_tracer(tracer.clone());
+        self.store.set_tracer(tracer.clone());
         self.tracer = tracer;
     }
 
     /// Sets the retry policy applied to physical transfers (transient
-    /// faults injected on the wrapped disk are retried under it; the
+    /// faults injected on the wrapped store are retried under it; the
     /// retry counts surface in [`BufferStats`]).
     pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
         self.retry = retry;
@@ -89,24 +101,24 @@ impl BufferPool {
         &self.stats
     }
 
-    /// The wrapped disk (for physical I/O counters and file metadata).
-    pub fn disk(&self) -> &DiskSim {
-        &self.disk
+    /// The wrapped store (for physical I/O counters and file metadata).
+    pub fn store(&self) -> &dyn PageStore {
+        self.store.as_ref()
     }
 
-    /// Flushes everything and returns the wrapped disk.
-    pub fn into_disk(mut self) -> StorageResult<DiskSim> {
+    /// Flushes everything and returns the wrapped store.
+    pub fn into_store(mut self) -> StorageResult<Box<dyn PageStore>> {
         self.flush_all()?;
-        Ok(self.disk)
+        Ok(self.store)
     }
 
-    /// Returns the wrapped disk *without* flushing dirty frames.
+    /// Returns the wrapped store *without* flushing dirty frames.
     ///
     /// Used when a run's scratch state (e.g. non-source successor lists of
     /// a partial-closure query) is deliberately discarded rather than
     /// written out.
-    pub fn into_disk_discard(self) -> DiskSim {
-        self.disk
+    pub fn into_store_discard(self) -> Box<dyn PageStore> {
+        self.store
     }
 
     /// Pins page `pid`, faulting it in if necessary. Pinned pages are
@@ -211,9 +223,9 @@ impl BufferPool {
         let policy = self.retry;
         let mut tally = RetryTally::default();
         let r = {
-            let disk = &mut self.disk;
+            let store = &mut self.store;
             let page = &mut self.frames[f].page;
-            with_retries(&policy, &mut tally, || disk.read_page(pid, page))
+            with_retries(&policy, &mut tally, || store.read_page(pid, page))
         };
         self.tally_retries(tally);
         r
@@ -238,10 +250,10 @@ impl BufferPool {
         let policy = self.retry;
         let mut tally = RetryTally::default();
         let r = {
-            let disk = &mut self.disk;
+            let store = &mut self.store;
             let frame = &self.frames[f];
             with_retries(&policy, &mut tally, || {
-                disk.write_page(frame.pid, &frame.page)
+                store.write_page(frame.pid, &frame.page)
             })
         };
         self.tally_retries(tally);
@@ -283,7 +295,7 @@ impl BufferPool {
     /// Writes back dirty frames belonging to `file` only.
     pub fn flush_file(&mut self, file: FileId) -> StorageResult<()> {
         for f in 0..self.frames.len() {
-            if self.frames[f].dirty && self.disk.page_file(self.frames[f].pid)? == file {
+            if self.frames[f].dirty && self.store.page_file(self.frames[f].pid)? == file {
                 self.write_back(f)?;
                 self.frames[f].dirty = false;
                 self.stats.flush_writes += 1;
@@ -296,13 +308,13 @@ impl BufferPool {
     }
 
     /// Deletes `file`: evicts its resident frames without write-back,
-    /// then releases the pages on disk for reuse.
+    /// then releases the pages in the store for reuse.
     pub fn free_file(&mut self, file: FileId) -> StorageResult<()> {
         let mut victims: Vec<(PageId, usize)> = self
             .map
             .iter()
             .map(|(&pid, &f)| (pid, f))
-            .filter(|&(pid, _)| self.disk.page_file(pid) == Ok(file))
+            .filter(|&(pid, _)| self.store.page_file(pid) == Ok(file))
             .collect();
         // The map's iteration order is per-process random; sort so the
         // free-stack order (and thus future frame placement and policy
@@ -319,18 +331,18 @@ impl BufferPool {
         // order: the ids may be recycled for an unrelated file, so a
         // profile fold must treat any later request as a new page.
         if self.tracer.is_enabled() {
-            for pid in self.disk.file_pages(file) {
+            for pid in self.store.file_pages(file) {
                 self.tracer.emit(Event::PageFreed { page: pid.0 });
             }
         }
-        self.disk.free_file(file)
+        self.store.drop_file(file)
     }
 
     /// Drops dirty frames of `file` without writing them back (discarding
     /// scratch state). The frames become clean so later eviction is free.
     pub fn discard_file(&mut self, file: FileId) -> StorageResult<()> {
         for f in 0..self.frames.len() {
-            if self.frames[f].dirty && self.disk.page_file(self.frames[f].pid)? == file {
+            if self.frames[f].dirty && self.store.page_file(self.frames[f].pid)? == file {
                 self.frames[f].dirty = false;
             }
         }
@@ -438,11 +450,11 @@ impl Pager for BufferPool {
         Ok(f(&mut self.frames[fr].page))
     }
 
-    /// Allocates a page on disk and materializes it dirty in the pool, so
-    /// the physical write is charged when the page is evicted or flushed
-    /// (matching how a real buffer manager defers new-page writes).
+    /// Allocates a page in the store and materializes it dirty in the
+    /// pool, so the physical write is charged when the page is evicted or
+    /// flushed (matching how a real buffer manager defers new-page writes).
     fn alloc_page(&mut self, file: FileId) -> StorageResult<PageId> {
-        let pid = self.disk.alloc(file)?;
+        let pid = self.store.alloc(file)?;
         // Install a zeroed frame without reading from disk. The request
         // counts as a non-read miss (no physical transfer yet — the
         // write is charged on eviction or flush).
@@ -461,13 +473,13 @@ impl Pager for BufferPool {
         self.policy.on_admit(f);
         self.tracer.emit(Event::PageAlloc {
             page: pid.0,
-            kind: Kind::from_idx(self.disk.file_kind(file).idx()),
+            kind: Kind::from_idx(self.store.file_kind(file).idx()),
         });
         Ok(pid)
     }
 
     fn create_file(&mut self, kind: FileKind) -> FileId {
-        self.disk.create_file(kind)
+        self.store.new_file(kind)
     }
 
     fn free_file(&mut self, file: FileId) -> StorageResult<()> {
@@ -475,17 +487,18 @@ impl Pager for BufferPool {
     }
 
     fn file_page_ids(&self, file: FileId) -> Vec<PageId> {
-        self.disk.file_pages(file).to_vec()
+        self.store.file_pages(file).to_vec()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tc_storage::DiskSim;
 
     fn setup(pages: usize) -> (BufferPool, Vec<PageId>) {
         let mut disk = DiskSim::new();
-        let file = disk.create_file(FileKind::Temp);
+        let file = disk.new_file(FileKind::Temp);
         let mut pids = Vec::new();
         for i in 0..pages {
             let pid = disk.alloc(file).unwrap();
@@ -511,7 +524,7 @@ mod tests {
         assert_eq!(s.requests, 3);
         assert_eq!(s.hits, 1);
         assert_eq!(s.misses, 2);
-        assert_eq!(pool.disk().stats().reads, 2);
+        assert_eq!(pool.store().stats().reads, 2);
     }
 
     #[test]
@@ -534,7 +547,7 @@ mod tests {
             pool.with_page(pid, &mut |_p: &Page| ()).unwrap();
         }
         assert_eq!(pool.stats().dirty_writebacks, 1);
-        assert_eq!(pool.disk().stats().writes, 1);
+        assert_eq!(pool.store().stats().writes, 1);
         // Refetching sees the written-back value.
         let v = pool
             .with_page(pids[0], &mut |p: &Page| p.get_u32(0))
@@ -548,7 +561,7 @@ mod tests {
         for &pid in &pids {
             pool.with_page(pid, &mut |_p: &Page| ()).unwrap();
         }
-        assert_eq!(pool.disk().stats().writes, 0);
+        assert_eq!(pool.store().stats().writes, 0);
     }
 
     #[test]
@@ -595,9 +608,9 @@ mod tests {
         pool.with_page_mut(pids[1], &mut |p: &mut Page| p.put_u32(4, 2))
             .unwrap();
         pool.flush_all().unwrap();
-        assert_eq!(pool.disk().stats().writes, 2);
+        assert_eq!(pool.store().stats().writes, 2);
         pool.flush_all().unwrap();
-        assert_eq!(pool.disk().stats().writes, 2, "clean frames not rewritten");
+        assert_eq!(pool.store().stats().writes, 2, "clean frames not rewritten");
     }
 
     #[test]
@@ -605,11 +618,11 @@ mod tests {
         let (mut pool, _) = setup(0);
         let file = pool.create_file(FileKind::SuccessorList);
         let pid = pool.alloc_page(file).unwrap();
-        assert_eq!(pool.disk().stats().writes, 0);
+        assert_eq!(pool.store().stats().writes, 0);
         pool.with_page_mut(pid, &mut |p: &mut Page| p.put_u32(0, 7))
             .unwrap();
         pool.flush_all().unwrap();
-        assert_eq!(pool.disk().stats().writes, 1);
+        assert_eq!(pool.store().stats().writes, 1);
     }
 
     #[test]
@@ -621,17 +634,17 @@ mod tests {
             .unwrap();
         pool.discard_file(file).unwrap();
         pool.flush_all().unwrap();
-        assert_eq!(pool.disk().stats().writes, 0);
+        assert_eq!(pool.store().stats().writes, 0);
     }
 
     #[test]
-    fn into_disk_flushes() {
+    fn into_store_flushes() {
         let (mut pool, pids) = setup(1);
         pool.with_page_mut(pids[0], &mut |p: &mut Page| p.put_u32(0, 123))
             .unwrap();
-        let mut disk = pool.into_disk().unwrap();
+        let mut store = pool.into_store().unwrap();
         let mut p = Page::new();
-        disk.read_page(pids[0], &mut p).unwrap();
+        store.read_page(pids[0], &mut p).unwrap();
         assert_eq!(p.get_u32(0), 123);
     }
 
@@ -639,7 +652,7 @@ mod tests {
     fn works_with_every_policy() {
         for policy in PagePolicy::ALL {
             let mut disk = DiskSim::new();
-            let file = disk.create_file(FileKind::Temp);
+            let file = disk.new_file(FileKind::Temp);
             let mut pids = Vec::new();
             for i in 0..20 {
                 let pid = disk.alloc(file).unwrap();

@@ -127,8 +127,8 @@ mod tests {
         query: &Query,
     ) -> (Restructured, CostMetrics, BufferPool, Vec<(u32, u32)>) {
         let mut db = Database::build(g, false).unwrap();
-        let disk = db.disk.take().unwrap();
-        let mut pool = BufferPool::new(disk, 10, PagePolicy::Lru);
+        let disk = db.store.take().unwrap();
+        let mut pool = BufferPool::with_store(disk, 10, PagePolicy::Lru);
         let mut metrics = CostMetrics::new(Algorithm::Btc);
         let mut r = restructure(
             &db,

@@ -299,8 +299,8 @@ mod tests {
 
     fn run_hyb(g: &Graph, query: &Query, m: usize, ilimit: f64) -> (CostMetrics, Vec<(u32, u32)>) {
         let mut db = Database::build(g, false).unwrap();
-        let disk = db.disk.take().unwrap();
-        let mut pool = BufferPool::new(disk, m, PagePolicy::Lru);
+        let disk = db.store.take().unwrap();
+        let mut pool = BufferPool::with_store(disk, m, PagePolicy::Lru);
         let mut metrics = CostMetrics::new(Algorithm::Hyb);
         let mut r = restructure(
             &db,

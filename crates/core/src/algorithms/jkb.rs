@@ -296,8 +296,8 @@ mod tests {
         m: usize,
     ) -> (CostMetrics, Vec<(u32, u32)>, SuccStore) {
         let mut db = Database::build(g, mode == Preprocessing::DualRepresentation).unwrap();
-        let disk = db.disk.take().unwrap();
-        let mut pool = BufferPool::new(disk, m, PagePolicy::Lru);
+        let disk = db.store.take().unwrap();
+        let mut pool = BufferPool::with_store(disk, m, PagePolicy::Lru);
         let mut metrics = CostMetrics::new(Algorithm::Jkb2);
         let query = match sources {
             Some(s) => Query::partial(s),

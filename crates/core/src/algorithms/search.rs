@@ -83,8 +83,8 @@ mod tests {
 
     fn run(g: &Graph, sources: &[NodeId]) -> (CostMetrics, Vec<(u32, u32)>, SuccStore, BufferPool) {
         let mut db = Database::build(g, false).unwrap();
-        let disk = db.disk.take().unwrap();
-        let mut pool = BufferPool::new(disk, 10, PagePolicy::Lru);
+        let disk = db.store.take().unwrap();
+        let mut pool = BufferPool::with_store(disk, 10, PagePolicy::Lru);
         let mut metrics = CostMetrics::new(Algorithm::Srch);
         let mut answer = AnswerCollector::new(true);
         // Engine-supplied levels (bookkeeping only).

@@ -161,8 +161,8 @@ mod tests {
 
     fn run(g: &Graph, sources: &[NodeId]) -> (CostMetrics, Pairs, Pairs) {
         let mut db = Database::build(g, false).unwrap();
-        let disk = db.disk.take().unwrap();
-        let mut pool = BufferPool::new(disk, 10, PagePolicy::Lru);
+        let disk = db.store.take().unwrap();
+        let mut pool = BufferPool::with_store(disk, 10, PagePolicy::Lru);
         let mut metrics = CostMetrics::new(Algorithm::Seminaive);
         let mut answer = AnswerCollector::new(true);
         let tc = run_seminaive(&db, &mut pool, sources, &mut metrics, &mut answer).unwrap();
@@ -227,9 +227,9 @@ mod tests {
     fn temp_files_are_recycled() {
         let g = DagGenerator::new(300, 4.0, 80).seed(7).generate();
         let mut db = Database::build(&g, false).unwrap();
-        let disk = db.disk.take().unwrap();
+        let disk = db.store.take().unwrap();
         let pages_before = disk.page_count();
-        let mut pool = BufferPool::new(disk, 10, PagePolicy::Lru);
+        let mut pool = BufferPool::with_store(disk, 10, PagePolicy::Lru);
         let mut metrics = CostMetrics::new(Algorithm::Seminaive);
         let mut answer = AnswerCollector::new(false);
         let tc = run_seminaive(
@@ -240,7 +240,7 @@ mod tests {
             &mut answer,
         )
         .unwrap();
-        let disk = pool.into_disk_discard();
+        let disk = pool.into_store_discard();
         // Page recycling keeps the disk from ballooning to the sum of all
         // intermediate files: allow the closure plus a small multiple.
         let tc_pages = tc.page_count();

@@ -153,8 +153,8 @@ mod tests {
         spn: bool,
     ) -> (Restructured, CostMetrics, BufferPool, Vec<(u32, u32)>) {
         let mut db = Database::build(g, false).unwrap();
-        let disk = db.disk.take().unwrap();
-        let mut pool = BufferPool::new(disk, 10, PagePolicy::Lru);
+        let disk = db.store.take().unwrap();
+        let mut pool = BufferPool::with_store(disk, 10, PagePolicy::Lru);
         let mut metrics = CostMetrics::new(if spn { Algorithm::Spn } else { Algorithm::Btc });
         let mut r = restructure(
             &db,
@@ -252,8 +252,8 @@ mod tests {
         let expect = closure::ptc_answer(&g, &(0..300).collect::<Vec<_>>());
         for policy in ListPolicy::ALL {
             let mut db = Database::build(&g, false).unwrap();
-            let disk = db.disk.take().unwrap();
-            let mut pool = BufferPool::new(disk, 10, PagePolicy::Lru);
+            let disk = db.store.take().unwrap();
+            let mut pool = BufferPool::with_store(disk, 10, PagePolicy::Lru);
             let mut metrics = CostMetrics::new(Algorithm::Spn);
             let mut r = restructure(
                 &db,

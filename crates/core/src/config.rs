@@ -1,7 +1,7 @@
 //! System configuration (paper §5.1).
 
 use tc_buffer::PagePolicy;
-use tc_storage::{FaultConfig, IoCostModel, RetryPolicy};
+use tc_storage::{Backend, FaultConfig, IoCostModel, RetryPolicy};
 use tc_succ::ListPolicy;
 use tc_trace::Tracer;
 
@@ -45,6 +45,12 @@ pub struct SystemConfig {
     /// Event-trace sink for the run. Disabled by default: every emission
     /// is a single branch on a `None` and costs nothing.
     pub trace: Tracer,
+    /// Storage backend the database is built on: the paper's simulated
+    /// counting disk (the default — all published numbers use it) or the
+    /// real file-backed store. Consulted by [`crate::Database::build_for`]
+    /// and the experiment harness; both backends produce bit-identical
+    /// metrics and traces.
+    pub backend: Backend,
 }
 
 impl Default for SystemConfig {
@@ -64,6 +70,7 @@ impl Default for SystemConfig {
             fault: None,
             retry: RetryPolicy::default(),
             trace: Tracer::disabled(),
+            backend: Backend::Sim,
         }
     }
 }
@@ -125,6 +132,12 @@ impl SystemConfig {
         self.trace = tracer;
         self
     }
+
+    /// Builder-style: select the storage backend.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -138,6 +151,7 @@ mod tests {
         assert_eq!(c.page_policy, PagePolicy::Lru);
         assert_eq!(c.list_policy, ListPolicy::MoveShortest);
         assert!((c.io_model.ms_per_io - 20.0).abs() < 1e-9);
+        assert_eq!(c.backend, Backend::Sim, "published numbers use the sim");
     }
 
     #[test]

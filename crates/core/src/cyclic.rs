@@ -56,7 +56,7 @@ pub fn run_cyclic(
         Some(srcs) => Query::partial(srcs.iter().map(|&s| cond.component[s as usize]).collect()),
     };
 
-    let mut db = Database::build(&cond.graph, algorithm.needs_inverse())?;
+    let mut db = Database::build_for(&cond.graph, algorithm.needs_inverse(), cfg)?;
     let mut run_cfg = cfg.clone();
     run_cfg.collect_answer = true;
     run_cfg.validate = false; // component-level oracle differs from graph-level

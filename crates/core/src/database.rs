@@ -6,7 +6,7 @@ use crate::config::SystemConfig;
 use crate::engine::{self, RunResult};
 use crate::query::Query;
 use tc_graph::{Graph, MagicGraph, RectangleModel};
-use tc_storage::{ClusteredIndex, DiskSim, FileKind, RelationFile, StorageError, StorageResult};
+use tc_storage::{ClusteredIndex, FileKind, PageStore, RelationFile, StorageError, StorageResult};
 
 /// A loaded database instance (paper §4):
 ///
@@ -17,11 +17,15 @@ use tc_storage::{ClusteredIndex, DiskSim, FileKind, RelationFile, StorageError, 
 /// * the in-memory [`Graph`], retained only for oracle validation and
 ///   workload statistics (query execution reads the disk).
 ///
-/// Loading is not charged to queries: the disk counters are reset after
+/// Loading is not charged to queries: the store counters are reset after
 /// the bulk load, matching the paper's setup where the relation simply
 /// exists on disk before measurement starts.
+///
+/// The database runs over any [`PageStore`] backend — the simulated
+/// counting disk (default) or the real file-backed store — selected with
+/// [`Database::build_for`] via [`SystemConfig::backend`].
 pub struct Database {
-    pub(crate) disk: Option<DiskSim>,
+    pub(crate) store: Option<Box<dyn PageStore>>,
     pub(crate) graph: Graph,
     pub(crate) relation: RelationFile,
     pub(crate) index: ClusteredIndex,
@@ -35,22 +39,41 @@ impl Database {
     /// [`Algorithm::Jkb2`]); the paper treats the dual representation as
     /// a database-design decision made before queries arrive.
     pub fn build(graph: &Graph, with_inverse: bool) -> StorageResult<Database> {
-        let mut disk = DiskSim::new();
+        Database::build_on(graph, with_inverse, tc_storage::Backend::Sim.open()?)
+    }
+
+    /// Bulk-loads `graph` onto the backend selected by `cfg.backend`
+    /// (the simulated disk by default, or a real file-backed store).
+    pub fn build_for(
+        graph: &Graph,
+        with_inverse: bool,
+        cfg: &SystemConfig,
+    ) -> StorageResult<Database> {
+        Database::build_on(graph, with_inverse, cfg.backend.open()?)
+    }
+
+    /// Bulk-loads `graph` onto an already-opened [`PageStore`].
+    pub fn build_on(
+        graph: &Graph,
+        with_inverse: bool,
+        mut store: Box<dyn PageStore>,
+    ) -> StorageResult<Database> {
+        let disk = store.as_mut();
         let arcs: Vec<(u32, u32)> = graph.arcs().collect();
-        let relation = RelationFile::bulk_load(&mut disk, FileKind::Relation, &arcs)?;
-        let index = ClusteredIndex::build(&mut disk, &relation)?;
+        let relation = RelationFile::bulk_load(disk, FileKind::Relation, &arcs)?;
+        let index = ClusteredIndex::build(disk, &relation)?;
         let inverse = if with_inverse {
             let mut inv: Vec<(u32, u32)> = graph.arcs().map(|(u, v)| (v, u)).collect();
             inv.sort_unstable();
-            let rel = RelationFile::bulk_load(&mut disk, FileKind::InverseRelation, &inv)?;
-            let idx = ClusteredIndex::build(&mut disk, &rel)?;
+            let rel = RelationFile::bulk_load(disk, FileKind::InverseRelation, &inv)?;
+            let idx = ClusteredIndex::build(disk, &rel)?;
             Some((rel, idx))
         } else {
             None
         };
         disk.reset_stats();
         Ok(Database {
-            disk: Some(disk),
+            store: Some(store),
             graph: graph.clone(),
             relation,
             index,
@@ -103,19 +126,25 @@ impl Database {
         Ok((algorithm, result))
     }
 
-    /// Detaches the simulated disk, e.g. to wrap it in a buffer pool when
+    /// Detaches the page store, e.g. to wrap it in a buffer pool when
     /// orchestrating the execution phases manually (the engine and the
-    /// experiment harness do this). Pair with [`Database::restore_disk`].
+    /// experiment harness do this). Pair with [`Database::restore_store`].
     ///
-    /// Fails with [`StorageError::DiskDetached`] if the disk is already
+    /// Fails with [`StorageError::DiskDetached`] if the store is already
     /// taken (e.g. by a live [`crate::PathIndex`]).
-    pub fn take_disk(&mut self) -> StorageResult<DiskSim> {
-        self.disk.take().ok_or(StorageError::DiskDetached)
+    pub fn take_store(&mut self) -> StorageResult<Box<dyn PageStore>> {
+        self.store.take().ok_or(StorageError::DiskDetached)
     }
 
-    /// Reattaches a disk taken with [`Database::take_disk`].
-    pub fn restore_disk(&mut self, disk: DiskSim) {
-        self.disk = Some(disk);
+    /// Reattaches a store taken with [`Database::take_store`].
+    pub fn restore_store(&mut self, store: Box<dyn PageStore>) {
+        self.store = Some(store);
+    }
+
+    /// Short name of the attached backend (`"sim"` / `"file"`), or
+    /// `"detached"` while the store is taken.
+    pub fn backend_name(&self) -> &'static str {
+        self.store.as_ref().map_or("detached", |s| s.backend_name())
     }
 
     /// Executes `query` with `algorithm` under `config`, returning the
@@ -154,7 +183,7 @@ mod tests {
         assert_eq!(db.relation_pages(), g.arc_count().div_ceil(256),);
         assert!(!db.has_inverse());
         // Loading is not charged.
-        assert_eq!(db.disk.as_ref().unwrap().stats().total(), 0);
+        assert_eq!(db.store.as_ref().unwrap().stats().total(), 0);
     }
 
     #[test]
@@ -164,9 +193,9 @@ mod tests {
         assert!(db.has_inverse());
         let (inv, _) = db.inverse.as_ref().unwrap();
         assert_eq!(inv.tuple_count(), g.arc_count());
-        let mut disk = db.disk.take().unwrap();
-        let inv_arcs = db.inverse.as_ref().unwrap().0.scan(&mut disk).unwrap();
-        db.disk = Some(disk);
+        let mut disk = db.store.take().unwrap();
+        let inv_arcs = db.inverse.as_ref().unwrap().0.scan(disk.as_mut()).unwrap();
+        db.store = Some(disk);
         for (d, s) in inv_arcs {
             assert!(g.has_arc(s, d));
         }

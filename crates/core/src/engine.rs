@@ -43,11 +43,11 @@ pub(crate) fn run(
     cfg: &SystemConfig,
 ) -> StorageResult<RunResult> {
     let start = Instant::now();
-    let mut disk = db.disk.take().ok_or(StorageError::DiskDetached)?;
+    let mut store = db.store.take().ok_or(StorageError::DiskDetached)?;
     if let Some(fault) = &cfg.fault {
-        disk.set_fault_plan(FaultPlan::new(fault.clone()));
+        store.set_fault_plan(FaultPlan::new(fault.clone()));
     }
-    let mut pool = BufferPool::new(disk, cfg.buffer_pages, cfg.page_policy);
+    let mut pool = BufferPool::with_store(store, cfg.buffer_pages, cfg.page_policy);
     pool.set_retry_policy(cfg.retry);
     pool.set_tracer(cfg.trace.clone());
     let mut metrics = CostMetrics::traced(algorithm, cfg.trace.clone());
@@ -60,7 +60,7 @@ pub(crate) fn run(
     cfg.trace.emit(Event::PhaseBegin {
         phase: Phase::Restructure,
     });
-    let disk_base = pool.disk().stats().clone();
+    let disk_base = pool.store().stats().clone();
     let outcome = execute(
         db,
         &mut pool,
@@ -71,25 +71,31 @@ pub(crate) fn run(
         &mut answer,
     );
 
-    // Finalize: the disk must return to the database even on error, and
+    // Finalize: the store must return to the database even on error, and
     // the fault plan is always disarmed first, so a failed run never
     // poisons the database for subsequent queries.
-    let disk_stats_total = pool.disk().stats().clone();
+    let disk_stats_total = pool.store().stats().clone();
     metrics.buffer = pool.stats().clone();
     cfg.trace.emit(Event::PhaseEnd {
         phase: Phase::Compute,
     });
     cfg.trace.emit(Event::RunEnd);
-    let mut disk = pool.into_disk_discard();
-    // The disk outlives the run inside the database; disarm its tracer so
+    let mut store = pool.into_store_discard();
+    // The store outlives the run inside the database; disarm its tracer so
     // a later un-traced run on the same database emits nothing.
-    disk.set_tracer(Tracer::disabled());
-    let fault = disk.clear_fault_plan();
-    db.disk = Some(disk);
+    store.set_tracer(Tracer::disabled());
+    let fault = store.clear_fault_plan();
+    // Durability point for real backends: a completed run's flushed
+    // output pages and the store metadata survive a crash from here on.
+    // A free no-op on the simulator, so sim metrics and digests are
+    // untouched (sync is never counted or traced).
+    let synced = store.sync();
+    db.store = Some(store);
     let snapshot = outcome?;
+    synced?;
 
     // All counters are deltas against this run's starting point: the
-    // simulated disk's counters are cumulative across a database's runs.
+    // store's counters are cumulative across a database's runs.
     let run_total = disk_stats_total.since(&disk_base);
     metrics.restructure_io = PhaseIo::from_disk(&snapshot.disk_at_phase_end.since(&disk_base));
     metrics.compute_io = PhaseIo::from_disk(&disk_stats_total.since(&snapshot.disk_at_phase_end));
@@ -163,7 +169,7 @@ fn execute(
             phase: Phase::Compute,
         });
         PhaseSnapshot {
-            disk_at_phase_end: pool.disk().stats().clone(),
+            disk_at_phase_end: pool.store().stats().clone(),
             buffer_at_phase_end: pool.stats().clone(),
         }
     };

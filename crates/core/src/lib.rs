@@ -105,6 +105,8 @@ pub mod prelude {
     pub use crate::paths::PathIndex;
     pub use crate::query::Query;
     pub use tc_buffer::PagePolicy;
-    pub use tc_storage::{FaultConfig, FaultEvent, FaultKind, FaultOutcome, RetryPolicy};
+    pub use tc_storage::{
+        Backend, FaultConfig, FaultEvent, FaultKind, FaultOutcome, PageStore, RetryPolicy,
+    };
     pub use tc_succ::ListPolicy;
 }

@@ -44,7 +44,7 @@ impl PathIndex {
 
     /// Physical page I/O performed so far (build + queries).
     pub fn total_io(&self) -> u64 {
-        self.pool.disk().stats().total()
+        self.pool.store().stats().total()
     }
 
     /// Returns a concrete arc path `from -> ... -> to`, or `None` if `to`
@@ -86,17 +86,17 @@ impl Database {
     /// [`PathIndex`] over the expanded successor trees — the "pay more
     /// I/O, keep the paths" side of the paper's §6.2 trade-off.
     ///
-    /// The index takes ownership of the database's simulated disk, so the
+    /// The index takes ownership of the database's page store, so the
     /// database cannot run other queries while the index is alive; hand
-    /// the disk back with [`PathIndex::into_database_disk`] when done.
+    /// the store back with [`PathIndex::into_database_store`] when done.
     pub fn build_path_index(
         &mut self,
         query: &Query,
         cfg: &SystemConfig,
     ) -> StorageResult<PathIndex> {
-        let disk = self.take_disk()?;
-        let mut pool = BufferPool::new(disk, cfg.buffer_pages, cfg.page_policy);
-        let base = pool.disk().stats().clone();
+        let store = self.take_store()?;
+        let mut pool = BufferPool::with_store(store, cfg.buffer_pages, cfg.page_policy);
+        let base = pool.store().stats().clone();
         let mut metrics = CostMetrics::new(Algorithm::Spn);
         let mut r = restructure(
             self,
@@ -110,7 +110,7 @@ impl Database {
             },
             &mut metrics,
         )?;
-        let restructure_end = pool.disk().stats().clone();
+        let restructure_end = pool.store().stats().clone();
         let mut answer = AnswerCollector::new(false);
         for &s in &r.sources.clone() {
             for &c in r.children(s) {
@@ -121,17 +121,17 @@ impl Database {
         metrics.answer_tuples = answer.count();
         metrics.restructure_io = crate::metrics::PhaseIo::from_disk(&restructure_end.since(&base));
         metrics.compute_io =
-            crate::metrics::PhaseIo::from_disk(&pool.disk().stats().since(&restructure_end));
+            crate::metrics::PhaseIo::from_disk(&pool.store().stats().since(&restructure_end));
         metrics.buffer = pool.stats().clone();
         Ok(PathIndex { pool, r, metrics })
     }
 }
 
 impl PathIndex {
-    /// Dissolves the index, handing the simulated disk back to `db` so it
+    /// Dissolves the index, handing the page store back to `db` so it
     /// can run further queries.
-    pub fn into_database_disk(self, db: &mut Database) {
-        db.restore_disk(self.pool.into_disk_discard());
+    pub fn into_database_store(self, db: &mut Database) {
+        db.restore_store(self.pool.into_store_discard());
     }
 }
 
@@ -208,13 +208,13 @@ mod tests {
     }
 
     #[test]
-    fn disk_hands_back_to_database() {
+    fn store_hands_back_to_database() {
         let g = DagGenerator::new(100, 3.0, 25).seed(2).generate();
         let mut db = Database::build(&g, false).unwrap();
         let idx = db
             .build_path_index(&Query::full(), &SystemConfig::default())
             .unwrap();
-        idx.into_database_disk(&mut db);
+        idx.into_database_store(&mut db);
         // Database usable again.
         db.run(&Query::full(), Algorithm::Btc, &SystemConfig::default())
             .unwrap();

@@ -291,8 +291,8 @@ mod tests {
         single_parent: bool,
     ) -> (Restructured, CostMetrics, BufferPool) {
         let mut db = Database::build(g, false).unwrap();
-        let disk = db.disk.take().unwrap();
-        let mut pool = BufferPool::new(disk, 10, PagePolicy::Lru);
+        let disk = db.store.take().unwrap();
+        let mut pool = BufferPool::with_store(disk, 10, PagePolicy::Lru);
         let mut metrics = CostMetrics::new(Algorithm::Btc);
         let r = restructure(
             &db,
@@ -327,7 +327,7 @@ mod tests {
             assert_eq!(got, expect);
         }
         // Restructuring charged the relation scan.
-        assert!(pool.disk().stats().reads_by_kind[tc_storage::FileKind::Relation.idx()] > 0);
+        assert!(pool.store().stats().reads_by_kind[tc_storage::FileKind::Relation.idx()] > 0);
     }
 
     #[test]

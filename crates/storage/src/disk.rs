@@ -7,11 +7,16 @@
 //! belongs to, and counts physical reads and writes, broken down by file
 //! kind so that the harness can report relation vs. index vs.
 //! successor-list traffic separately.
+//!
+//! `DiskSim` is one of two implementations of the
+//! [`PageStore`](crate::PageStore) backend trait — the in-memory,
+//! counting one. The file-backed one lives in
+//! [`crate::FileStore`]; both are driven through the trait.
 
 use crate::error::{StorageError, StorageResult};
-use crate::fault::{with_retries, FaultPlan, RetryPolicy, RetryTally};
+use crate::fault::{FaultPlan, RetryPolicy, RetryTally};
 use crate::page::{Page, PageId};
-use crate::pager::Pager;
+use crate::store::PageStore;
 use std::fmt;
 use tc_trace::{Event, Kind, Tracer};
 
@@ -75,13 +80,13 @@ impl FileKind {
     }
 }
 
-/// Identifier of a file (an extent of pages) on the simulated disk.
+/// Identifier of a file (an extent of pages) on a page store.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct FileId(pub u32);
 
-struct FileMeta {
-    kind: FileKind,
-    pages: Vec<PageId>,
+pub(crate) struct FileMeta {
+    pub(crate) kind: FileKind,
+    pub(crate) pages: Vec<PageId>,
 }
 
 /// Physical I/O counters, overall and broken down by [`FileKind`].
@@ -155,11 +160,14 @@ impl IoCostModel {
 
 /// A simulated disk.
 ///
-/// Pages live in memory but every [`read_page`](DiskSim::read_page) /
-/// [`write_page`](DiskSim::write_page) is counted as a physical transfer.
-/// Higher layers access pages through the buffer pool, so these counters
-/// reflect buffer misses and dirty-page write-backs — the paper's primary
-/// cost metric.
+/// Pages live in memory but every [`PageStore::read_page`] /
+/// [`PageStore::write_page`] is counted as a physical transfer. Higher
+/// layers access pages through the buffer pool, so these counters reflect
+/// buffer misses and dirty-page write-backs — the paper's primary cost
+/// metric.
+///
+/// All page and file operations live in the [`PageStore`] impl below;
+/// `DiskSim` itself only constructs.
 pub struct DiskSim {
     files: Vec<FileMeta>,
     pages: Vec<Page>,
@@ -171,7 +179,7 @@ pub struct DiskSim {
     free_pages: Vec<PageId>,
     stats: DiskStats,
     fault: Option<FaultPlan>,
-    /// Retry policy of the *direct* pager impl (tests and bulk loads);
+    /// Retry policy of the *direct* pager path (tests and bulk loads);
     /// buffered access retries in `tc-buffer` instead.
     retry: RetryPolicy,
     retry_tally: RetryTally,
@@ -196,50 +204,16 @@ impl DiskSim {
             tracer: Tracer::disabled(),
         }
     }
+}
 
-    /// Attaches (or, with a disabled tracer, detaches) the event tracer.
-    /// Every successful page transfer then emits one
-    /// [`Event::PageRead`]/[`Event::PageWrite`], and every injected
-    /// fault one [`Event::FaultInjected`]/[`Event::CorruptionDetected`].
-    pub fn set_tracer(&mut self, tracer: Tracer) {
-        self.tracer = tracer;
+impl Default for DiskSim {
+    fn default() -> Self {
+        DiskSim::new()
     }
+}
 
-    /// The currently attached tracer handle.
-    pub fn tracer(&self) -> &Tracer {
-        &self.tracer
-    }
-
-    /// Arms deterministic fault injection: subsequent page transfers are
-    /// subjected to `plan`'s schedule and probability draws, and reads
-    /// verify the per-page checksums. Replaces any previous plan.
-    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        self.fault = Some(plan);
-    }
-
-    /// Disarms fault injection, returning the plan (with its fault trace
-    /// and counters) if one was armed.
-    pub fn clear_fault_plan(&mut self) -> Option<FaultPlan> {
-        self.fault.take()
-    }
-
-    /// The armed fault plan, if any (for trace/stats inspection).
-    pub fn fault_plan(&self) -> Option<&FaultPlan> {
-        self.fault.as_ref()
-    }
-
-    /// Sets the retry policy used by the direct (unbuffered) pager impl.
-    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
-        self.retry = retry;
-    }
-
-    /// Retry accounting of the direct pager impl.
-    pub fn retry_tally(&self) -> RetryTally {
-        self.retry_tally
-    }
-
-    /// Creates a new, empty file of the given kind.
-    pub fn create_file(&mut self, kind: FileKind) -> FileId {
+impl PageStore for DiskSim {
+    fn new_file(&mut self, kind: FileKind) -> FileId {
         let id = FileId(self.files.len() as u32);
         self.files.push(FileMeta {
             kind,
@@ -248,15 +222,11 @@ impl DiskSim {
         id
     }
 
-    /// Appends a fresh zeroed page to `file` and returns its id.
-    ///
-    /// Allocation itself is not counted as an I/O; the subsequent write of
-    /// the page's contents is.
-    pub fn alloc(&mut self, file: FileId) -> StorageResult<PageId> {
+    fn alloc(&mut self, file: FileId) -> StorageResult<PageId> {
         if file.0 as usize >= self.files.len() {
             return Err(StorageError::UnknownFile(file.0));
         }
-        // Reuse space released by free_file before growing the disk.
+        // Reuse space released by drop_file before growing the disk.
         let pid = if let Some(pid) = self.free_pages.pop() {
             self.pages[pid.index()].clear();
             self.checksums[pid.index()] = self.pages[pid.index()].checksum();
@@ -274,14 +244,7 @@ impl DiskSim {
         Ok(pid)
     }
 
-    /// Releases all pages of `file` for reuse (deleting a temp file).
-    ///
-    /// The caller must ensure no buffered copies of the pages remain —
-    /// the `tc-buffer` pool exposes a `free_file` that evicts first.
-    ///
-    /// Freeing and reallocating is not counted as I/O (deletion is a
-    /// catalog operation).
-    pub fn free_file(&mut self, file: FileId) -> StorageResult<()> {
+    fn drop_file(&mut self, file: FileId) -> StorageResult<()> {
         let meta = self
             .files
             .get_mut(file.0 as usize)
@@ -298,7 +261,7 @@ impl DiskSim {
     /// attempts are *not* counted in [`DiskStats`]: the I/O counters keep
     /// recording exactly the successful transfers, so a transient-fault
     /// run reports the same page-I/O metrics as a fault-free one.
-    pub fn read_page(&mut self, pid: PageId, out: &mut Page) -> StorageResult<()> {
+    fn read_page(&mut self, pid: PageId, out: &mut Page) -> StorageResult<()> {
         if pid.index() >= self.pages.len() {
             return Err(StorageError::PageOutOfBounds(pid));
         }
@@ -349,7 +312,7 @@ impl DiskSim {
     /// *torn*: the call reports success but one stored byte is flipped
     /// while the recorded checksum still describes the intended image, so
     /// the next physical read detects the damage.
-    pub fn write_page(&mut self, pid: PageId, data: &Page) -> StorageResult<()> {
+    fn write_page(&mut self, pid: PageId, data: &Page) -> StorageResult<()> {
         if pid.index() >= self.pages.len() {
             return Err(StorageError::PageOutOfBounds(pid));
         }
@@ -390,108 +353,89 @@ impl DiskSim {
         Ok(())
     }
 
-    /// The pages belonging to `file`, in allocation order.
-    pub fn file_pages(&self, file: FileId) -> &[PageId] {
+    /// Durability is not modeled by the simulator: all pages are always
+    /// "persistent" in memory, so `sync` is a counted-nothing no-op.
+    fn sync(&mut self) -> StorageResult<()> {
+        Ok(())
+    }
+
+    fn file_pages(&self, file: FileId) -> &[PageId] {
         &self.files[file.0 as usize].pages
     }
 
-    /// The kind of `file`.
-    pub fn file_kind(&self, file: FileId) -> FileKind {
+    fn file_kind(&self, file: FileId) -> FileKind {
         self.files[file.0 as usize].kind
     }
 
-    /// The file a page belongs to.
-    pub fn page_file(&self, pid: PageId) -> StorageResult<FileId> {
+    fn page_file(&self, pid: PageId) -> StorageResult<FileId> {
         self.page_file
             .get(pid.index())
             .copied()
             .ok_or(StorageError::PageOutOfBounds(pid))
     }
 
-    /// Number of allocated pages across all files.
-    pub fn page_count(&self) -> usize {
+    fn page_count(&self) -> usize {
         self.pages.len()
     }
 
-    /// Physical I/O counters.
-    pub fn stats(&self) -> &DiskStats {
+    fn stats(&self) -> &DiskStats {
         &self.stats
     }
 
-    /// Resets the I/O counters (e.g. after the initial bulk load, which the
-    /// paper does not charge to the queries).
-    pub fn reset_stats(&mut self) {
+    fn reset_stats(&mut self) {
         self.stats = DiskStats::default();
     }
-}
 
-impl Default for DiskSim {
-    fn default() -> Self {
-        DiskSim::new()
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
-}
 
-/// Direct, unbuffered paging: every access is a physical I/O.
-///
-/// This impl exists mainly for tests and for bulk loads that bypass the
-/// buffer pool; query execution always goes through `tc-buffer`.
-/// Transient faults are retried under the disk's [`RetryPolicy`].
-impl Pager for DiskSim {
-    fn with_page<R>(&mut self, pid: PageId, f: &mut dyn FnMut(&Page) -> R) -> StorageResult<R> {
-        let mut tmp = Page::new();
-        let policy = self.retry;
-        let mut tally = RetryTally::default();
-        let r = with_retries(&policy, &mut tally, || self.read_page(pid, &mut tmp));
+    fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    fn clear_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.fault.take()
+    }
+
+    fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    fn note_retries(&mut self, tally: RetryTally) {
         self.retry_tally.absorb(tally);
-        r?;
-        Ok(f(&tmp))
     }
 
-    fn with_page_mut<R>(
-        &mut self,
-        pid: PageId,
-        f: &mut dyn FnMut(&mut Page) -> R,
-    ) -> StorageResult<R> {
-        let mut tmp = Page::new();
-        let policy = self.retry;
-        let mut tally = RetryTally::default();
-        let read = with_retries(&policy, &mut tally, || self.read_page(pid, &mut tmp));
-        let out = match read {
-            Ok(()) => {
-                let r = f(&mut tmp);
-                with_retries(&policy, &mut tally, || self.write_page(pid, &tmp)).map(|()| r)
-            }
-            Err(e) => Err(e),
-        };
-        self.retry_tally.absorb(tally);
-        out
+    fn retry_tally(&self) -> RetryTally {
+        self.retry_tally
     }
 
-    fn alloc_page(&mut self, file: FileId) -> StorageResult<PageId> {
-        self.alloc(file)
-    }
-
-    fn create_file(&mut self, kind: FileKind) -> FileId {
-        DiskSim::create_file(self, kind)
-    }
-
-    fn free_file(&mut self, file: FileId) -> StorageResult<()> {
-        DiskSim::free_file(self, file)
-    }
-
-    fn file_page_ids(&self, file: FileId) -> Vec<PageId> {
-        self.file_pages(file).to_vec()
+    fn backend_name(&self) -> &'static str {
+        "sim"
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pager::Pager;
 
     #[test]
     fn alloc_and_rw_counts_io() {
         let mut d = DiskSim::new();
-        let f = d.create_file(FileKind::Relation);
+        let f = d.new_file(FileKind::Relation);
         let p = d.alloc(f).unwrap();
         assert_eq!(d.stats().total(), 0, "allocation is free");
 
@@ -509,8 +453,8 @@ mod tests {
     #[test]
     fn files_track_their_pages() {
         let mut d = DiskSim::new();
-        let f1 = d.create_file(FileKind::Relation);
-        let f2 = d.create_file(FileKind::SuccessorList);
+        let f1 = d.new_file(FileKind::Relation);
+        let f2 = d.new_file(FileKind::SuccessorList);
         let a = d.alloc(f1).unwrap();
         let b = d.alloc(f2).unwrap();
         let c = d.alloc(f1).unwrap();
@@ -533,7 +477,7 @@ mod tests {
     #[test]
     fn stats_since_subtracts() {
         let mut d = DiskSim::new();
-        let f = d.create_file(FileKind::Temp);
+        let f = d.new_file(FileKind::Temp);
         let p = d.alloc(f).unwrap();
         let page = Page::new();
         d.write_page(p, &page).unwrap();
@@ -555,9 +499,11 @@ mod tests {
 
     #[test]
     fn direct_pager_charges_every_access() {
+        // The Pager surface is the blanket impl over PageStore — one
+        // trait-object path, no inherent shims.
         let mut d = DiskSim::new();
         let f = d.create_file(FileKind::Temp);
-        let p = d.alloc(f).unwrap();
+        let p = d.alloc_page(f).unwrap();
         let mut sink = 0u32;
         d.with_page_mut(p, &mut |pg: &mut Page| pg.put_u32(0, 5))
             .unwrap();

@@ -72,6 +72,16 @@ pub enum StorageError {
     /// The simulated disk was detached (e.g. taken for a path index) when
     /// an operation needed it.
     DiskDetached,
+    /// A real-I/O storage backend failed at the operating-system level
+    /// (open, read, write, fsync, rename). Carries the failing operation
+    /// and the OS error text; distinct from the *data* corruption errors
+    /// above, which mean the bytes came back but were wrong.
+    Backend {
+        /// The backend operation that failed (e.g. `"open segment"`).
+        op: &'static str,
+        /// Operating-system error description.
+        detail: String,
+    },
     /// An internal bookkeeping invariant was violated — indicates a bug
     /// in the storage layer itself, reported as a typed error instead of
     /// a panic so I/O paths stay panic-free.
@@ -129,6 +139,9 @@ impl fmt::Display for StorageError {
             ),
             StorageError::DiskDetached => {
                 write!(f, "the simulated disk is detached from the database")
+            }
+            StorageError::Backend { op, detail } => {
+                write!(f, "storage backend failed to {op}: {detail}")
             }
             StorageError::Internal(what) => {
                 write!(f, "internal storage invariant violated: {what}")

@@ -172,6 +172,7 @@ fn merge_runs<P: Pager>(
 mod tests {
     use super::*;
     use crate::disk::DiskSim;
+    use crate::store::PageStore;
 
     fn sort_case(n: usize, mem_pages: usize) {
         let mut disk = DiskSim::new();

@@ -257,8 +257,8 @@ impl FaultStats {
     }
 }
 
-/// A live fault plan, armed on a [`crate::DiskSim`] with
-/// [`crate::DiskSim::set_fault_plan`].
+/// A live fault plan, armed on any [`crate::PageStore`] with
+/// [`crate::PageStore::set_fault_plan`].
 #[derive(Clone, Debug)]
 pub struct FaultPlan {
     cfg: FaultConfig,

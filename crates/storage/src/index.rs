@@ -8,12 +8,13 @@
 //! the buffer pool, matching the paper's assumption that index access is
 //! cheap).
 
-use crate::disk::{DiskSim, FileId, FileKind};
+use crate::disk::{FileId, FileKind};
 use crate::error::StorageResult;
 use crate::layout::index::{IndexPage, KEYS_PER_INDEX_PAGE};
 use crate::page::{Page, PageId};
 use crate::pager::Pager;
 use crate::relation::RelationFile;
+use crate::store::PageStore;
 
 /// A sparse clustered index: maps a key to the data-page range holding it.
 #[derive(Clone, Debug)]
@@ -27,8 +28,12 @@ pub struct ClusteredIndex {
 
 impl ClusteredIndex {
     /// Builds the index for `rel`, writing index pages to a fresh file.
-    pub fn build(disk: &mut DiskSim, rel: &RelationFile) -> StorageResult<ClusteredIndex> {
-        let file = disk.create_file(FileKind::Index);
+    /// Works against any [`PageStore`] backend.
+    pub fn build<S: PageStore + ?Sized>(
+        disk: &mut S,
+        rel: &RelationFile,
+    ) -> StorageResult<ClusteredIndex> {
+        let file = disk.new_file(FileKind::Index);
         let keys = rel.first_keys();
         let mut pages = Vec::new();
         let mut page = Page::new();
@@ -122,6 +127,7 @@ impl ClusteredIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::disk::DiskSim;
     use crate::relation::Tuple;
 
     fn setup(keys: &[(u32, usize)]) -> (DiskSim, RelationFile, ClusteredIndex) {

@@ -9,9 +9,13 @@
 //! pages, and 30-block successor-list pages), clustered relation files, and
 //! an external merge sort used to build inverse relations.
 //!
-//! Everything above the disk performs its page accesses through the
-//! [`Pager`] trait so that the same access paths can run either directly
-//! against the disk (every access is a physical I/O) or through the buffer
+//! The disk is one of two interchangeable backends behind the
+//! [`PageStore`] trait — the other, [`FileStore`], persists pages to real
+//! files with per-page CRCs and torn-write recovery (select one with
+//! [`Backend`]). Everything above the store performs its page accesses
+//! through the [`Pager`] trait (every [`PageStore`] is a `Pager` via a
+//! blanket impl) so that the same access paths can run either directly
+//! against a store (every access is a physical I/O) or through the buffer
 //! pool in the `tc-buffer` crate (accesses hit the pool and only misses
 //! become physical I/O). The paper's cost metrics fall directly out of the
 //! counters maintained here and in the pool.
@@ -19,7 +23,7 @@
 //! # Example
 //!
 //! ```
-//! use tc_storage::{DiskSim, FileKind, Pager, RelationFile};
+//! use tc_storage::{DiskSim, FileKind, Pager, PageStore, RelationFile};
 //!
 //! let mut disk = DiskSim::new();
 //! // A tiny relation: arcs of a graph as (source, destination) tuples,
@@ -40,11 +44,13 @@ pub mod disk;
 pub mod error;
 pub mod extsort;
 pub mod fault;
+pub mod file_store;
 pub mod index;
 pub mod layout;
 pub mod page;
 pub mod pager;
 pub mod relation;
+pub mod store;
 
 pub use disk::{DiskSim, DiskStats, FileId, FileKind, IoCostModel};
 pub use error::{StorageError, StorageResult};
@@ -53,6 +59,8 @@ pub use fault::{
     with_retries, FaultConfig, FaultEvent, FaultKind, FaultOutcome, FaultPlan, FaultStats,
     RetryPolicy, RetryTally, ScheduledFault,
 };
+pub use file_store::{FileStore, RecoveryReport, TempDir};
+pub use file_store::{HEADER_SIZE as FILE_STORE_HEADER_SIZE, SLOT_SIZE as FILE_STORE_SLOT_SIZE};
 pub use index::ClusteredIndex;
 pub use layout::{
     IndexPage, SuccBlockRef, SuccEntry, SuccPage, TuplePage, BLOCKS_PER_PAGE, ENTRIES_PER_BLOCK,
@@ -61,3 +69,4 @@ pub use layout::{
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use pager::Pager;
 pub use relation::{RelationFile, Tuple, TupleWriter};
+pub use store::{Backend, PageStore};

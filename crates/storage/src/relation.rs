@@ -9,11 +9,12 @@
 //! Scans and probes go through a [`Pager`], so they are charged to the
 //! buffer pool / disk exactly like any other page access.
 
-use crate::disk::{DiskSim, FileId, FileKind};
+use crate::disk::{FileId, FileKind};
 use crate::error::{StorageError, StorageResult};
 use crate::layout::tuple::{TuplePage, TUPLES_PER_PAGE};
 use crate::page::{Page, PageId};
 use crate::pager::Pager;
+use crate::store::PageStore;
 
 /// An arc tuple: `(src, dst)` — or `(dst, src)` in the inverse relation,
 /// where the first component is always the clustering key.
@@ -35,19 +36,20 @@ pub struct RelationFile {
 impl RelationFile {
     /// Bulk-loads `tuples` (which must be sorted on the first component)
     /// into a fresh file of the given kind, bypassing the buffer pool.
+    /// Works against any [`PageStore`] backend.
     ///
-    /// Bulk-load writes are charged to the disk; callers typically reset
-    /// the disk counters afterwards because the paper does not charge
+    /// Bulk-load writes are charged to the store; callers typically reset
+    /// the store counters afterwards because the paper does not charge
     /// database loading to the queries it measures.
-    pub fn bulk_load(
-        disk: &mut DiskSim,
+    pub fn bulk_load<S: PageStore + ?Sized>(
+        disk: &mut S,
         kind: FileKind,
         tuples: &[Tuple],
     ) -> StorageResult<RelationFile> {
         if tuples.windows(2).any(|w| w[0].0 > w[1].0) {
             return Err(StorageError::UnsortedInput);
         }
-        let file = disk.create_file(kind);
+        let file = disk.new_file(kind);
         let mut rel = RelationFile {
             file,
             pages: Vec::new(),
@@ -123,7 +125,7 @@ impl RelationFile {
     /// Sequentially scans the whole relation, returning all tuples.
     ///
     /// Charges one page access per data page to the pager.
-    pub fn scan<P: Pager>(&self, pager: &mut P) -> StorageResult<Vec<Tuple>> {
+    pub fn scan<P: Pager + ?Sized>(&self, pager: &mut P) -> StorageResult<Vec<Tuple>> {
         let mut out = Vec::with_capacity(self.tuple_count);
         for (i, &pid) in self.pages.iter().enumerate() {
             let count = self.tuples_on_page(i);
@@ -137,7 +139,7 @@ impl RelationFile {
     /// Streams the relation page by page through `sink`, which receives
     /// each page's tuples. Avoids materializing the whole relation when
     /// the caller only needs one pass.
-    pub fn scan_pages<P: Pager>(
+    pub fn scan_pages<P: Pager + ?Sized>(
         &self,
         pager: &mut P,
         sink: &mut dyn FnMut(&[Tuple]),
@@ -275,6 +277,7 @@ impl TupleWriter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::disk::DiskSim;
 
     fn arcs(n: usize) -> Vec<Tuple> {
         (0..n).map(|i| ((i / 3) as u32, (i % 7) as u32)).collect()

@@ -1,0 +1,329 @@
+//! The [`PageStore`] backend trait: the storage substrate behind the
+//! buffer pool, and the [`Backend`] selector that picks an
+//! implementation.
+//!
+//! The paper's methodology runs entirely against a *simulated* disk that
+//! counts page transfers ([`crate::DiskSim`]). A production reachability
+//! store needs real persistence. This trait extracts the substrate
+//! contract — page-image reads and writes, file/extent management,
+//! allocation with free-page reuse, durability, I/O accounting, tracer
+//! and fault-plan hooks — so the same engine, buffer pool and experiment
+//! harness run unchanged over either backend:
+//!
+//! * [`crate::DiskSim`] — in-memory, counts every transfer (the paper's
+//!   instrument; the default);
+//! * [`crate::FileStore`] — real files with a CRC-carrying on-disk page
+//!   format, a persistent free-page list and torn-write detection on
+//!   recovery (see `crates/storage/src/file_store.rs`).
+//!
+//! The contract is deliberately *counting-exact*: both implementations
+//! make the same allocation decisions (LIFO free-page reuse), charge the
+//! same transfers to [`DiskStats`], and emit the same trace events, so a
+//! run's metrics and trace digest are bit-identical across backends
+//! (`tests/backend_differential.rs` holds them to that).
+//!
+//! Every [`PageStore`] also gets the direct (unbuffered) [`Pager`]
+//! implementation for free via the blanket impl below — the single
+//! trait-object path for bulk loads and tests, replacing the old
+//! duplicated inherent-vs-trait method surfaces on `DiskSim`.
+
+use crate::disk::{DiskSim, DiskStats, FileId, FileKind};
+use crate::error::StorageResult;
+use crate::fault::{with_retries, FaultPlan, RetryPolicy, RetryTally};
+use crate::file_store::{FileStore, TempDir};
+use crate::page::{Page, PageId};
+use crate::pager::Pager;
+use std::path::PathBuf;
+use tc_trace::Tracer;
+
+/// The storage-backend contract shared by the simulated disk and the
+/// file-backed store.
+///
+/// Everything the buffer pool, the engine and the experiment harness
+/// need from the substrate goes through this trait, so a
+/// `Box<dyn PageStore>` can be threaded through [`tc_buffer`-style]
+/// pools and `Database`s without the upper layers knowing which backend
+/// they run on. Implementations must be `Send`: the experiment
+/// scheduler ships a fresh store (inside its `Database`) to a worker
+/// thread per cell.
+///
+/// # Counting contract
+///
+/// * [`read_page`](PageStore::read_page) / [`write_page`](PageStore::write_page)
+///   charge exactly one read/write to [`stats`](PageStore::stats) per
+///   *successful* transfer and emit one `PageRead`/`PageWrite` trace
+///   event; failed attempts (injected faults, detected corruption)
+///   charge nothing.
+/// * [`alloc`](PageStore::alloc) and [`drop_file`](PageStore::drop_file)
+///   are catalog operations: never charged, never traced.
+/// * Free pages are reused LIFO ([`drop_file`](PageStore::drop_file)
+///   appends a file's pages in allocation order;
+///   [`alloc`](PageStore::alloc) pops from the end) so page-id streams —
+///   and therefore trace digests — are identical on every backend.
+pub trait PageStore: Send {
+    /// Creates a new, empty file of the given kind.
+    fn new_file(&mut self, kind: FileKind) -> FileId;
+
+    /// Appends a fresh zeroed page to `file` and returns its id,
+    /// reusing freed pages (LIFO) before growing the store.
+    /// Allocation itself is not counted as an I/O.
+    fn alloc(&mut self, file: FileId) -> StorageResult<PageId>;
+
+    /// Deletes `file`, releasing all its pages for reuse. A catalog
+    /// operation: charges no I/O. The caller must ensure no buffered
+    /// copies of the pages remain (the buffer pool's `free_file` evicts
+    /// first).
+    fn drop_file(&mut self, file: FileId) -> StorageResult<()>;
+
+    /// Physically reads page `pid` into `out`, counting one read on
+    /// success and emitting one `PageRead` event.
+    fn read_page(&mut self, pid: PageId, out: &mut Page) -> StorageResult<()>;
+
+    /// Physically writes `data` to page `pid`, counting one write on
+    /// success and emitting one `PageWrite` event.
+    fn write_page(&mut self, pid: PageId, data: &Page) -> StorageResult<()>;
+
+    /// Durability point: persists page images and store metadata (free
+    /// list, file directory) so a reopen recovers them. A no-op for the
+    /// simulated disk. Never counted as I/O and never traced.
+    fn sync(&mut self) -> StorageResult<()>;
+
+    /// The pages belonging to `file`, in allocation order.
+    fn file_pages(&self, file: FileId) -> &[PageId];
+
+    /// The kind of `file`.
+    fn file_kind(&self, file: FileId) -> FileKind;
+
+    /// The file a page belongs to.
+    fn page_file(&self, pid: PageId) -> StorageResult<FileId>;
+
+    /// Number of allocated pages across all files.
+    fn page_count(&self) -> usize;
+
+    /// Physical I/O counters.
+    fn stats(&self) -> &DiskStats;
+
+    /// Resets the I/O counters (e.g. after a bulk load, which the paper
+    /// does not charge to the queries).
+    fn reset_stats(&mut self);
+
+    /// Attaches (or, with a disabled tracer, detaches) the event tracer.
+    fn set_tracer(&mut self, tracer: Tracer);
+
+    /// The currently attached tracer handle.
+    fn tracer(&self) -> &Tracer;
+
+    /// Arms deterministic fault injection: subsequent page transfers are
+    /// subjected to `plan`'s schedule and probability draws. Replaces
+    /// any previous plan.
+    fn set_fault_plan(&mut self, plan: FaultPlan);
+
+    /// Disarms fault injection, returning the plan (with its fault
+    /// trace and counters) if one was armed.
+    fn clear_fault_plan(&mut self) -> Option<FaultPlan>;
+
+    /// The armed fault plan, if any (for trace/stats inspection).
+    fn fault_plan(&self) -> Option<&FaultPlan>;
+
+    /// Sets the retry policy used by the direct (unbuffered) pager path.
+    fn set_retry_policy(&mut self, retry: RetryPolicy);
+
+    /// The retry policy of the direct (unbuffered) pager path.
+    fn retry_policy(&self) -> RetryPolicy;
+
+    /// Folds a direct-pager transfer's retry accounting into the
+    /// store's tally.
+    fn note_retries(&mut self, tally: RetryTally);
+
+    /// Retry accounting of the direct pager path.
+    fn retry_tally(&self) -> RetryTally;
+
+    /// Short stable backend name (`"sim"`, `"file"`), used in reports
+    /// and error messages.
+    fn backend_name(&self) -> &'static str;
+}
+
+/// Direct, unbuffered paging over any [`PageStore`]: every access is a
+/// physical transfer, with transient faults retried under the store's
+/// [`RetryPolicy`].
+///
+/// This blanket impl is the *single* trait-object path for structures
+/// that bypass the buffer pool (bulk loads, tests): the old duplicated
+/// surfaces — `DiskSim`'s inherent methods shimmed into a separate
+/// `Pager` impl — collapse into `PageStore` plus this derivation.
+/// Query execution always goes through the buffer pool in `tc-buffer`,
+/// which has its own (buffered) `Pager` impl.
+impl<S: PageStore + ?Sized> Pager for S {
+    fn with_page<R>(&mut self, pid: PageId, f: &mut dyn FnMut(&Page) -> R) -> StorageResult<R> {
+        let mut tmp = Page::new();
+        let policy = self.retry_policy();
+        let mut tally = RetryTally::default();
+        let r = with_retries(&policy, &mut tally, || self.read_page(pid, &mut tmp));
+        self.note_retries(tally);
+        r?;
+        Ok(f(&tmp))
+    }
+
+    fn with_page_mut<R>(
+        &mut self,
+        pid: PageId,
+        f: &mut dyn FnMut(&mut Page) -> R,
+    ) -> StorageResult<R> {
+        let mut tmp = Page::new();
+        let policy = self.retry_policy();
+        let mut tally = RetryTally::default();
+        let read = with_retries(&policy, &mut tally, || self.read_page(pid, &mut tmp));
+        let out = match read {
+            Ok(()) => {
+                let r = f(&mut tmp);
+                with_retries(&policy, &mut tally, || self.write_page(pid, &tmp)).map(|()| r)
+            }
+            Err(e) => Err(e),
+        };
+        self.note_retries(tally);
+        out
+    }
+
+    fn alloc_page(&mut self, file: FileId) -> StorageResult<PageId> {
+        PageStore::alloc(self, file)
+    }
+
+    fn create_file(&mut self, kind: FileKind) -> FileId {
+        PageStore::new_file(self, kind)
+    }
+
+    fn free_file(&mut self, file: FileId) -> StorageResult<()> {
+        PageStore::drop_file(self, file)
+    }
+
+    fn file_page_ids(&self, file: FileId) -> Vec<PageId> {
+        PageStore::file_pages(self, file).to_vec()
+    }
+}
+
+/// Which storage backend a database (or one experiment cell) runs on.
+///
+/// Parsed from `--backend {sim,file,file:DIR}` on `tcq`, the `section`
+/// bin and `bench_baseline`. The default is the paper's simulated disk,
+/// so every golden digest and the committed baseline are untouched by
+/// backend plumbing.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The in-memory counting disk ([`DiskSim`]) — the paper's
+    /// instrument and the default.
+    #[default]
+    Sim,
+    /// The real file-backed store ([`FileStore`]).
+    File {
+        /// Directory holding the store's segment and manifest. `None`
+        /// creates a fresh unique temp directory that is removed when
+        /// the store is dropped (the right default for experiment
+        /// cells, which build a fresh database per run).
+        dir: Option<PathBuf>,
+    },
+}
+
+impl Backend {
+    /// A file backend in a fresh auto-cleaned temp directory.
+    pub fn file_temp() -> Backend {
+        Backend::File { dir: None }
+    }
+
+    /// Parses a `--backend` argument: `sim`, `file`, or `file:DIR`.
+    pub fn parse(s: &str) -> Result<Backend, String> {
+        match s {
+            "sim" => Ok(Backend::Sim),
+            "file" => Ok(Backend::File { dir: None }),
+            other => match other.strip_prefix("file:") {
+                Some(dir) if !dir.is_empty() => Ok(Backend::File {
+                    dir: Some(PathBuf::from(dir)),
+                }),
+                _ => Err(format!(
+                    "unknown backend {other:?} (expected sim, file or file:DIR)"
+                )),
+            },
+        }
+    }
+
+    /// Short stable name, matching [`PageStore::backend_name`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Sim => "sim",
+            Backend::File { .. } => "file",
+        }
+    }
+
+    /// Opens a *fresh, empty* store for this backend (existing store
+    /// files in an explicit directory are truncated — this is the
+    /// database-build path, not crash recovery; recover an existing
+    /// store with [`FileStore::open`]).
+    pub fn open(&self) -> StorageResult<Box<dyn PageStore>> {
+        match self {
+            Backend::Sim => Ok(Box::new(DiskSim::new())),
+            Backend::File { dir: Some(dir) } => Ok(Box::new(FileStore::create(dir)?)),
+            Backend::File { dir: None } => {
+                let tmp = TempDir::new("tc-store")?;
+                Ok(Box::new(FileStore::create_in(tmp)?))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_parses() {
+        assert_eq!(Backend::parse("sim"), Ok(Backend::Sim));
+        assert_eq!(Backend::parse("file"), Ok(Backend::File { dir: None }));
+        assert_eq!(
+            Backend::parse("file:/tmp/x"),
+            Ok(Backend::File {
+                dir: Some(PathBuf::from("/tmp/x"))
+            })
+        );
+        assert!(Backend::parse("file:").is_err());
+        assert!(Backend::parse("mmap").is_err());
+    }
+
+    #[test]
+    fn backend_default_is_sim() {
+        assert_eq!(Backend::default(), Backend::Sim);
+        assert_eq!(Backend::default().name(), "sim");
+        assert_eq!(Backend::file_temp().name(), "file");
+    }
+
+    #[test]
+    fn both_backends_open_and_page() {
+        for backend in [Backend::Sim, Backend::file_temp()] {
+            let mut store = backend.open().unwrap();
+            assert_eq!(store.backend_name(), backend.name());
+            let f = store.new_file(FileKind::Temp);
+            let pid = store.alloc(f).unwrap();
+            let mut p = Page::new();
+            p.put_u32(0, 77);
+            store.write_page(pid, &p).unwrap();
+            let mut back = Page::new();
+            store.read_page(pid, &mut back).unwrap();
+            assert_eq!(back.get_u32(0), 77, "{}", backend.name());
+            assert_eq!(store.stats().reads, 1);
+            assert_eq!(store.stats().writes, 1);
+            store.sync().unwrap();
+        }
+    }
+
+    #[test]
+    fn blanket_pager_works_on_trait_objects() {
+        let mut store: Box<dyn PageStore> = Backend::Sim.open().unwrap();
+        let s: &mut dyn PageStore = store.as_mut();
+        let file = s.create_file(FileKind::Temp);
+        let pid = s.alloc_page(file).unwrap();
+        s.with_page_mut(pid, &mut |pg: &mut Page| pg.put_u32(4, 9))
+            .unwrap();
+        let v = s.with_page(pid, &mut |pg: &Page| pg.get_u32(4)).unwrap();
+        assert_eq!(v, 9);
+        assert_eq!(s.file_page_ids(file), vec![pid]);
+        s.free_file(file).unwrap();
+    }
+}

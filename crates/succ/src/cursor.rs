@@ -114,7 +114,7 @@ impl ListCursor {
 mod tests {
     use super::*;
     use crate::policy::ListPolicy;
-    use tc_storage::DiskSim;
+    use tc_storage::{DiskSim, PageStore};
 
     #[test]
     fn batches_group_same_page_blocks() {

@@ -197,7 +197,7 @@ pub fn read_tree<P: Pager>(
 mod tests {
     use super::*;
     use crate::policy::ListPolicy;
-    use tc_storage::DiskSim;
+    use tc_storage::{DiskSim, PageStore};
 
     fn setup() -> (DiskSim, SuccStore) {
         let mut disk = DiskSim::new();

@@ -53,8 +53,8 @@ fn main() {
         }
     }
 
-    // Hand the disk back so the database can keep serving queries.
-    index.into_database_disk(&mut db);
+    // Hand the store back so the database can keep serving queries.
+    index.into_database_store(&mut db);
     let res = db
         .run(&Query::full(), Algorithm::Btc, &cfg)
         .expect("BTC still runs");

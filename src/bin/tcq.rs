@@ -77,7 +77,9 @@ fn run(cli: &CliArgs) -> Result<(), String> {
     } else {
         Query::partial(sources)
     };
-    let mut cfg = SystemConfig::with_buffer(cli.buffer).collecting();
+    let mut cfg = SystemConfig::with_buffer(cli.buffer)
+        .collecting()
+        .backend(cli.backend.clone());
     // One JSONL sink for the whole invocation (cyclic inputs trace every
     // condensed sub-run into the same file).
     let sink = match &cli.trace {
@@ -93,7 +95,7 @@ fn run(cli: &CliArgs) -> Result<(), String> {
     // Cyclic inputs go through the condensation pipeline; DAGs through
     // the engine directly (optionally advisor-routed).
     let (algo, answer, metrics) = if lg.graph.is_acyclic() {
-        let mut db = Database::build(&lg.graph, true).map_err(|e| e.to_string())?;
+        let mut db = Database::build_for(&lg.graph, true, &cfg).map_err(|e| e.to_string())?;
         let (algo, res) = match cli.algorithm {
             Some(a) => (a, db.run(&query, a, &cfg).map_err(|e| e.to_string())?),
             None => db.run_advised(&query, &cfg).map_err(|e| e.to_string())?,

@@ -85,6 +85,8 @@ pub struct CliArgs {
     pub print_answer: bool,
     /// Write the run's JSONL event trace here (`--trace <path>`).
     pub trace: Option<String>,
+    /// Storage backend (`--backend sim|file|file:DIR`, default sim).
+    pub backend: tc_storage::Backend,
 }
 
 impl CliArgs {
@@ -98,6 +100,7 @@ impl CliArgs {
             buffer: 20,
             print_answer: false,
             trace: None,
+            backend: tc_storage::Backend::Sim,
         };
         let mut i = 0;
         while i < args.len() {
@@ -141,6 +144,11 @@ impl CliArgs {
                     let v = args.get(i).ok_or("--trace needs an output path")?;
                     out.trace = Some(v.clone());
                 }
+                "--backend" => {
+                    i += 1;
+                    let v = args.get(i).ok_or("--backend needs sim, file or file:DIR")?;
+                    out.backend = tc_storage::Backend::parse(v)?;
+                }
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 flag if flag.starts_with('-') => {
                     return Err(format!("unknown flag {flag}\n{USAGE}"))
@@ -168,6 +176,8 @@ usage: tcq <edges-file> [options]
   -m, --buffer N        buffer pool pages (default: 20)
       --print-answer    print every (source, reachable) pair
       --trace PATH      write the run's event trace as JSONL to PATH
+      --backend B       storage backend: sim (counting, default), file
+                        (real files in a temp dir) or file:DIR
 analyze options (folds a --trace file into a profile report):
       --top K           hot-page histogram size (default: 10)
       --interval N      residency sampling interval, events (default: 65536)
@@ -297,6 +307,8 @@ mod tests {
             "--print-answer",
             "--trace",
             "t.jsonl",
+            "--backend",
+            "file",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -308,6 +320,15 @@ mod tests {
         assert_eq!(c.buffer, 50);
         assert!(c.print_answer);
         assert_eq!(c.trace.as_deref(), Some("t.jsonl"));
+        assert_eq!(c.backend, tc_storage::Backend::File { dir: None });
+    }
+
+    #[test]
+    fn backend_defaults_to_sim_and_rejects_garbage() {
+        let c = CliArgs::parse(&["g.txt".to_string()]).unwrap();
+        assert_eq!(c.backend, tc_storage::Backend::Sim);
+        assert!(CliArgs::parse(&["g.txt".into(), "--backend".into()]).is_err());
+        assert!(CliArgs::parse(&["g.txt".into(), "--backend".into(), "mmap".into()]).is_err());
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! Backend differential test: the simulated disk and the file-backed
+//! store must be observationally identical.
+//!
+//! The file backend ([`tc_study::storage::FileStore`]) mirrors the
+//! simulated disk's allocator (LIFO free-list reuse), its counting
+//! contract (one transfer per successful page read/write; catalog
+//! operations uncounted) and its event emission order. This test holds
+//! it to that: every one of the eight algorithms, on the canonical G5
+//! workload (n = 2000, F = 5, l = 200, seed 7, 20-page buffer, sources
+//! {11, 503, 977}), must produce **bit-identical** cost metrics and
+//! FNV-1a trace digests on both backends.
+//!
+//! The file backend runs in a fresh temp directory whose cleanup rides
+//! on `TempDir::drop`, so the directory is removed whether the test
+//! passes or panics (unwinding drops the store either way).
+
+use std::sync::Arc;
+use tc_study::core::prelude::*;
+use tc_study::graph::DagGenerator;
+use tc_study::storage::Backend;
+use tc_study::trace::{DigestSink, Tracer};
+
+fn canonical_graph() -> tc_study::graph::Graph {
+    DagGenerator::new(2000, 5.0, 200).seed(7).generate()
+}
+
+fn canonical_query() -> Query {
+    Query::partial(vec![11, 503, 977])
+}
+
+/// Everything one run exposes, in comparable form.
+struct Observed {
+    algo: &'static str,
+    digest_hash: u64,
+    digest_count: u64,
+    replayed: tc_study::trace::ReplayedMetrics,
+    total_io: u64,
+    answer_tuples: u64,
+    estimated_io_seconds: f64,
+}
+
+/// Runs all eight algorithms on one database (same reuse pattern as the
+/// golden-trace suite) on the given backend.
+fn run_all(backend: Backend) -> Vec<Observed> {
+    let g = canonical_graph();
+    let base = SystemConfig::with_buffer(20).backend(backend.clone());
+    let mut db = Database::build_for(&g, true, &base).expect("build database");
+    assert_eq!(db.backend_name(), backend.name(), "wrong backend opened");
+    let mut out = Vec::new();
+    for algo in Algorithm::ALL {
+        let sink = Arc::new(DigestSink::new());
+        let cfg = base.clone().traced(Tracer::new(sink.clone()));
+        let res = db.run(&canonical_query(), algo, &cfg).expect("run");
+        let d = sink.digest();
+        out.push(Observed {
+            algo: algo.name(),
+            digest_hash: d.hash,
+            digest_count: d.count,
+            replayed: res.metrics.to_replayed(),
+            total_io: res.metrics.total_io(),
+            answer_tuples: res.metrics.answer_tuples,
+            estimated_io_seconds: res.metrics.estimated_io_seconds,
+        });
+    }
+    out
+}
+
+#[test]
+fn every_algorithm_is_bit_identical_on_sim_and_file() {
+    let sim = run_all(Backend::Sim);
+    let file = run_all(Backend::file_temp());
+    assert_eq!(sim.len(), file.len());
+    for (s, f) in sim.iter().zip(&file) {
+        assert_eq!(s.algo, f.algo);
+        assert_eq!(
+            (s.digest_hash, s.digest_count),
+            (f.digest_hash, f.digest_count),
+            "{}: trace digest diverged between sim and file backends",
+            s.algo
+        );
+        assert_eq!(
+            s.replayed,
+            f.replayed,
+            "{}: cost metrics diverged; field diff:\n{}",
+            s.algo,
+            s.replayed.diff(&f.replayed).join("\n")
+        );
+        assert_eq!(s.total_io, f.total_io, "{}: total_io diverged", s.algo);
+        assert_eq!(
+            s.answer_tuples, f.answer_tuples,
+            "{}: answer_tuples diverged",
+            s.algo
+        );
+        assert_eq!(
+            s.estimated_io_seconds.to_bits(),
+            f.estimated_io_seconds.to_bits(),
+            "{}: estimated_io_seconds diverged",
+            s.algo
+        );
+    }
+}
+
+/// Shrinkable random-workload differential: arbitrary small DAGs ×
+/// algorithms × replacement policies × buffer sizes must agree between
+/// the backends, on the `tc-det` shrinking harness. A divergence shrinks
+/// to a minimal (graph, query, config) before panicking.
+#[test]
+fn random_workloads_agree_across_backends() {
+    use tc_study::det::check::{self, Checker};
+    use tc_study::det::require_eq;
+
+    #[derive(Clone, Debug)]
+    struct Case {
+        n: usize,
+        seed: u64,
+        algo_idx: usize,
+        policy_idx: usize,
+        buffer: usize,
+        sources: Vec<u32>,
+    }
+
+    let run_on = |case: &Case, backend: Backend| -> Result<(u64, u64, u64, u64, u64), String> {
+        let g = DagGenerator::new(case.n, 3.0, (case.n / 6).max(2))
+            .seed(case.seed)
+            .generate();
+        let algo = Algorithm::ALL[case.algo_idx];
+        let policy = tc_study::buffer::PagePolicy::ALL[case.policy_idx];
+        let sink = Arc::new(DigestSink::new());
+        let cfg = SystemConfig::with_buffer(case.buffer)
+            .page_policy(policy)
+            .backend(backend)
+            .collecting()
+            .traced(Tracer::new(sink.clone()));
+        let mut db =
+            Database::build_for(&g, true, &cfg).map_err(|e| format!("build failed: {e}"))?;
+        let sources: Vec<u32> = case.sources.iter().map(|&s| s % case.n as u32).collect();
+        let res = db
+            .run(&Query::partial(sources), algo, &cfg)
+            .map_err(|e| format!("run failed: {e}"))?;
+        let d = sink.digest();
+        Ok((
+            d.hash,
+            d.count,
+            res.metrics.total_io(),
+            res.metrics.tuples_generated,
+            res.metrics.answer_tuples,
+        ))
+    };
+
+    Checker::new("random_workloads_agree_across_backends")
+        .cases(16)
+        .run(
+            |rng| Case {
+                n: rng.random_range(20..260usize),
+                seed: rng.next_u64(),
+                algo_idx: rng.random_range(0..Algorithm::ALL.len()),
+                policy_idx: rng.random_range(0..tc_study::buffer::PagePolicy::ALL.len()),
+                buffer: rng.random_range(4..24usize),
+                sources: check::vec_of(rng, 1..6, |r| r.next_u32()),
+            },
+            |case| {
+                let mut out: Vec<Case> = check::shrink_vec(&case.sources)
+                    .into_iter()
+                    .filter(|s| !s.is_empty())
+                    .map(|sources| Case {
+                        sources,
+                        ..case.clone()
+                    })
+                    .collect();
+                if case.n > 20 {
+                    out.push(Case {
+                        n: (case.n / 2).max(20),
+                        ..case.clone()
+                    });
+                }
+                if case.algo_idx != 0 {
+                    out.push(Case {
+                        algo_idx: 0,
+                        ..case.clone()
+                    });
+                }
+                if case.policy_idx != 0 {
+                    out.push(Case {
+                        policy_idx: 0,
+                        ..case.clone()
+                    });
+                }
+                out
+            },
+            |case| {
+                let sim = run_on(case, Backend::Sim)?;
+                let file = run_on(case, Backend::file_temp())?;
+                require_eq!(
+                    sim,
+                    file,
+                    "(digest, events, io, tuples, answer) diverged for {} / {}",
+                    Algorithm::ALL[case.algo_idx],
+                    tc_study::buffer::PagePolicy::ALL[case.policy_idx].name()
+                );
+                Ok(())
+            },
+        );
+}
+
+#[test]
+fn file_backend_temp_dir_is_cleaned_up() {
+    // The auto-cleaning temp directory is what makes the differential
+    // test (and every file-backend experiment cell) leave nothing
+    // behind, pass or fail. Capture the directory, drop the database,
+    // and check the directory is gone.
+    use tc_study::storage::{FileStore, TempDir};
+    let g = DagGenerator::new(120, 3.0, 30).seed(5).generate();
+    let cfg = SystemConfig::with_buffer(10);
+    let tmp = TempDir::new("tc-diff").expect("temp dir");
+    let dir = tmp.path().to_path_buf();
+    let store = FileStore::create_in(tmp).expect("create store");
+    let mut db = Database::build_on(&g, false, Box::new(store)).expect("build");
+    assert!(dir.exists(), "store directory missing while database lives");
+    db.run(&Query::partial(vec![1]), Algorithm::Btc, &cfg)
+        .expect("run");
+    drop(db);
+    assert!(
+        !dir.exists(),
+        "temp store directory survived database drop: {}",
+        dir.display()
+    );
+}

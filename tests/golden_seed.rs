@@ -38,6 +38,17 @@ fn canonical_workload() -> tc_study::graph::Graph {
     DagGenerator::new(2000, 5.0, 200).seed(7).generate()
 }
 
+/// A config honouring `TC_BACKEND` (CI's backend-matrix job runs this
+/// suite with `TC_BACKEND=file` and expects identical numbers, since
+/// the metrics are backend-invariant by design).
+fn backend_cfg(buffer: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::with_buffer(buffer);
+    if let Ok(v) = std::env::var("TC_BACKEND") {
+        cfg.backend = Backend::parse(&v).expect("TC_BACKEND must be sim, file or file:DIR");
+    }
+    cfg
+}
+
 #[test]
 fn canonical_workload_matches_golden_checksum() {
     let g = canonical_workload();
@@ -59,8 +70,8 @@ fn same_seed_same_workload_and_metrics() {
     let run = || {
         let g = canonical_workload();
         let checksum = arc_checksum(&g);
-        let mut db = Database::build(&g, true).unwrap();
-        let cfg = SystemConfig::with_buffer(20);
+        let cfg = backend_cfg(20);
+        let mut db = Database::build_for(&g, true, &cfg).unwrap();
         let full = db.run(&Query::full(), Algorithm::Btc, &cfg).unwrap();
         let ptc = db
             .run(&Query::partial(vec![11, 503, 977]), Algorithm::Jkb2, &cfg)
@@ -83,9 +94,9 @@ fn random_policy_is_reproducible() {
     // its simulated I/O must also be run-to-run stable.
     let io = || {
         let g = canonical_workload();
-        let mut db = Database::build(&g, false).unwrap();
-        let mut cfg = SystemConfig::with_buffer(20);
+        let mut cfg = backend_cfg(20);
         cfg.page_policy = tc_study::buffer::PagePolicy::Random;
+        let mut db = Database::build_for(&g, false, &cfg).unwrap();
         db.run(&Query::full(), Algorithm::Btc, &cfg)
             .unwrap()
             .metrics

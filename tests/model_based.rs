@@ -5,7 +5,7 @@
 use tc_study::buffer::{BufferPool, PagePolicy};
 use tc_study::det::check::{self, Checker};
 use tc_study::det::{require, require_eq, Rng};
-use tc_study::storage::{DiskSim, FileKind, Page, PageId, Pager, SuccEntry};
+use tc_study::storage::{DiskSim, FileKind, Page, PageId, PageStore, Pager, SuccEntry};
 use tc_study::succ::{ListCursor, ListPolicy, SuccStore};
 
 // ---------------------------------------------------------------------
@@ -110,7 +110,7 @@ fn buffer_pool_refines_flat_memory() {
                     pool.unpin(p);
                 }
                 pool.flush_all().unwrap();
-                let mut disk = pool.into_disk_discard();
+                let mut disk = pool.into_store_discard();
                 for (i, &pid) in pids.iter().enumerate() {
                     let mut page = Page::new();
                     disk.read_page(pid, &mut page).unwrap();

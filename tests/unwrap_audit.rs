@@ -24,6 +24,8 @@ const IO_PATH_FILES: &[&str] = &[
     "crates/storage/src/pager.rs",
     "crates/storage/src/relation.rs",
     "crates/storage/src/extsort.rs",
+    "crates/storage/src/store.rs",
+    "crates/storage/src/file_store.rs",
     "crates/buffer/src/pool.rs",
 ];
 
