@@ -32,6 +32,7 @@ pub mod related;
 pub mod table2;
 pub mod table3;
 pub mod table4;
+pub mod updates;
 
 use crate::avg::AvgMetrics;
 use crate::corpus::{build_graph, source_set, GraphFamily, FAMILIES};
@@ -46,7 +47,10 @@ use std::sync::Arc;
 use std::time::Duration;
 use tc_core::prelude::*;
 use tc_core::CostMetrics;
-use tc_graph::{closure, model, transitive_reduction, ArcLocalityStats, RectangleModel};
+use tc_graph::{
+    closure, model, transitive_reduction, ArcLocalityStats, RectangleModel, StreamKind, UpdateOp,
+    UpdateStream,
+};
 use tc_profile::{render, ProfileSink};
 use tc_storage::StorageError;
 use tc_trace::{JsonlSink, TeeSink, TraceSink, Tracer};
@@ -141,6 +145,19 @@ pub enum CellTask {
     Stats,
     /// Rectangle model only (cheap shape probe for Table 4 / advisor).
     Shape,
+    /// A dynamic-maintenance run: materialize the closure, then apply a
+    /// seeded update stream batch by batch, measuring incremental
+    /// maintenance I/O against a from-scratch recompute after each batch.
+    Updates {
+        /// Churn profile of the generated stream.
+        kind: StreamKind,
+        /// Number of update batches.
+        batches: usize,
+        /// Operations per batch.
+        batch_size: usize,
+        /// System parameters of every maintenance and recompute run.
+        cfg: SystemConfig,
+    },
 }
 
 /// One schedulable unit: coordinates plus a task. Cells are independent
@@ -187,6 +204,18 @@ impl Cell {
             }
             CellTask::Stats => 2 << 32,
             CellTask::Shape => 3 << 32,
+            CellTask::Updates {
+                kind,
+                batches,
+                batch_size,
+                ..
+            } => {
+                let k = StreamKind::ALL.iter().position(|s| s == kind).unwrap_or(0) as u64;
+                (4u64 << 32)
+                    | (k << 16)
+                    | ((*batches as u64 & 0xFF) << 8)
+                    | (*batch_size as u64 & 0xFF)
+            }
         };
         tc_det::cell_seed(CELL_STREAM, &[fam_idx, self.instance, self.set, task])
     }
@@ -214,6 +243,12 @@ impl Cell {
             },
             CellTask::Stats => "stats".to_string(),
             CellTask::Shape => "shape".to_string(),
+            CellTask::Updates {
+                kind,
+                batches,
+                batch_size,
+                ..
+            } => format!("updates-{}-b{batches}x{batch_size}", kind.name()),
         };
         format!(
             "{i:04}-{}-i{}-s{}-{task}.jsonl",
@@ -270,6 +305,61 @@ impl Cell {
                 let g = build_graph(self.fam, self.instance);
                 Ok(CellOutput::Shape(Box::new(RectangleModel::of(&g))))
             }
+            CellTask::Updates {
+                kind,
+                batches,
+                batch_size,
+                cfg,
+            } => {
+                let graph = build_graph(self.fam, self.instance);
+                // Stream randomness derives from the cell seed per the
+                // cell-seeding convention; locality mirrors the family's
+                // generation locality `l`.
+                let stream = UpdateStream::generate(
+                    &graph,
+                    *kind,
+                    *batches,
+                    *batch_size,
+                    self.fam.l,
+                    self.seed(),
+                );
+                // Incremental side: one closure instance, maintained
+                // batch by batch, each apply traced into the cell's sink.
+                let inc_cfg = cfg.clone().traced(tracer);
+                let mut dyn_tc =
+                    DynamicClosure::build(&graph, &inc_cfg).map_err(|e| self.error(e))?;
+                // Scratch side: an untraced full Seminaive recompute of
+                // the mutated graph after every batch, so the cell's
+                // trace describes exactly the incremental maintenance.
+                let mut live = graph;
+                let mut per_batch = Vec::with_capacity(stream.batches().len());
+                for batch in stream.batches() {
+                    for op in batch {
+                        match *op {
+                            UpdateOp::Insert(u, v) => live.add_arc(u, v),
+                            UpdateOp::Delete(u, v) => live.remove_arc(u, v),
+                        };
+                    }
+                    let res = dyn_tc.apply(batch).map_err(|e| self.error(e))?;
+                    let mut db =
+                        Database::build_for(&live, Algorithm::Seminaive.needs_inverse(), cfg)
+                            .map_err(|e| self.error(e))?;
+                    let scratch = db
+                        .run(&Query::full(), Algorithm::Seminaive, cfg)
+                        .map_err(|e| self.error(e))?;
+                    per_batch.push(BatchPoint {
+                        ops: batch.len() as u64,
+                        inserted: res.inserted,
+                        removed: res.removed,
+                        incremental_io: res.metrics.total_io(),
+                        scratch_io: scratch.metrics.total_io(),
+                    });
+                }
+                Ok(CellOutput::Updates(Box::new(UpdatesSummary {
+                    per_batch,
+                    final_tuples: dyn_tc.tuple_count() as u64,
+                })))
+            }
         }
     }
 
@@ -310,6 +400,45 @@ pub struct GraphStats {
     pub tc_pairs: u64,
 }
 
+/// One batch of an `Updates` cell: the stream's churn at that point and
+/// the page I/O of maintaining incrementally vs. recomputing from
+/// scratch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchPoint {
+    /// Operations in the batch.
+    pub ops: u64,
+    /// Closure tuples the batch added (net).
+    pub inserted: u64,
+    /// Closure tuples the batch removed (net).
+    pub removed: u64,
+    /// Page I/O of the incremental maintenance run.
+    pub incremental_io: u64,
+    /// Page I/O of a full Seminaive recompute at the post-batch graph.
+    pub scratch_io: u64,
+}
+
+/// Output of one `Updates` cell: the per-batch crossover data plus the
+/// final closure size.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UpdatesSummary {
+    /// One point per applied batch, in stream order.
+    pub per_batch: Vec<BatchPoint>,
+    /// `|TC|` after the whole stream.
+    pub final_tuples: u64,
+}
+
+impl UpdatesSummary {
+    /// Total incremental maintenance I/O across the stream.
+    pub fn total_incremental_io(&self) -> u64 {
+        self.per_batch.iter().map(|b| b.incremental_io).sum()
+    }
+
+    /// Total from-scratch recompute I/O across the stream.
+    pub fn total_scratch_io(&self) -> u64 {
+        self.per_batch.iter().map(|b| b.scratch_io).sum()
+    }
+}
+
 /// Output of one cell, matching its [`CellTask`].
 #[derive(Clone, Debug)]
 pub enum CellOutput {
@@ -319,6 +448,8 @@ pub enum CellOutput {
     Stats(Box<GraphStats>),
     /// Model of a `Shape` cell.
     Shape(Box<RectangleModel>),
+    /// Crossover data of an `Updates` cell.
+    Updates(Box<UpdatesSummary>),
 }
 
 // ---------------------------------------------------------------------
@@ -694,6 +825,31 @@ impl Grid {
         }])
     }
 
+    /// A dynamic-maintenance run on instance 0: a seeded update stream
+    /// of `batches × batch_size` operations with the given churn
+    /// profile, applied incrementally and compared against from-scratch
+    /// recomputes (the `updates` section's cells).
+    pub fn updates(
+        &mut self,
+        fam: &'static GraphFamily,
+        kind: StreamKind,
+        batches: usize,
+        batch_size: usize,
+        cfg: &SystemConfig,
+    ) -> PointId {
+        self.push_point([Cell {
+            fam,
+            instance: 0,
+            set: 0,
+            task: CellTask::Updates {
+                kind,
+                batches,
+                batch_size,
+                cfg: self.cell_cfg(cfg),
+            },
+        }])
+    }
+
     /// Number of cells registered so far.
     pub fn cell_count(&self) -> usize {
         self.cells.len()
@@ -762,6 +918,18 @@ impl GridResults {
             CellOutput::Stats(s) => Some(&**s),
             _ => None,
         })
+    }
+
+    /// The summary of an `updates` point.
+    pub fn updates(&self, id: PointId) -> &UpdatesSummary {
+        let summary = self.point(id).iter().find_map(|o| match o {
+            CellOutput::Updates(s) => Some(&**s),
+            _ => None,
+        });
+        match summary {
+            Some(s) => s,
+            None => unreachable!("point {id:?} has no updates cell"),
+        }
     }
 
     /// The rectangle model of a `shape` point.
@@ -837,8 +1005,9 @@ pub fn averaged(
 /// fragment.
 pub type SectionFn = fn(&ExpOpts) -> ExpResult<String>;
 
-/// Every report section in canonical (paper) order.
-pub const SECTIONS: [(&str, SectionFn); 12] = [
+/// Every report section in canonical (paper) order, plus the dynamic
+/// `updates` study appended after the paper's own material.
+pub const SECTIONS: [(&str, SectionFn); 13] = [
     ("table2", table2::run),
     ("table3", table3::run),
     ("fig6", fig6::run),
@@ -851,6 +1020,7 @@ pub const SECTIONS: [(&str, SectionFn); 12] = [
     ("related", related::run),
     ("ablations", ablations::run),
     ("advisor", advisor::run),
+    ("updates", updates::run),
 ];
 
 /// Looks a section up by name.
@@ -977,10 +1147,36 @@ mod tests {
 
     #[test]
     fn section_registry_resolves() {
-        assert_eq!(SECTIONS.len(), 12);
+        assert_eq!(SECTIONS.len(), 13);
         assert!(section("table2").is_some());
         assert!(section("FIGS8-12").is_some());
         assert!(section("predictiveness").is_some());
+        assert!(section("updates").is_some());
         assert!(section("nope").is_none());
+    }
+
+    #[test]
+    fn updates_cell_produces_crossover_points() {
+        let fam = family("G3");
+        let cfg = SystemConfig::with_buffer(16);
+        let cell = Cell {
+            fam,
+            instance: 0,
+            set: 0,
+            task: CellTask::Updates {
+                kind: tc_graph::StreamKind::Mixed,
+                batches: 2,
+                batch_size: 4,
+                cfg,
+            },
+        };
+        let out = cell.execute().expect("updates cell");
+        let CellOutput::Updates(s) = out else {
+            panic!("updates cell produced non-updates output");
+        };
+        assert_eq!(s.per_batch.len(), 2);
+        assert!(s.final_tuples > 0);
+        assert!(s.total_incremental_io() > 0);
+        assert!(s.total_scratch_io() > 0);
     }
 }

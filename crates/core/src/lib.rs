@@ -53,6 +53,7 @@ pub mod algorithms;
 pub mod config;
 pub mod cyclic;
 pub mod database;
+pub mod dynamic;
 pub mod engine;
 pub mod metrics;
 pub mod paths;
@@ -64,6 +65,7 @@ pub use algorithm::Algorithm;
 pub use config::SystemConfig;
 pub use cyclic::{run_cyclic, CyclicResult};
 pub use database::Database;
+pub use dynamic::{DynamicClosure, UpdateResult};
 pub use engine::RunResult;
 pub use metrics::{CostMetrics, PhaseIo};
 pub use paths::PathIndex;
@@ -82,6 +84,8 @@ const _: fn() = || {
     sendable::<SystemConfig>();
     shareable::<SystemConfig>();
     sendable::<Database>();
+    sendable::<dynamic::DynamicClosure>();
+    sendable::<dynamic::UpdateResult>();
     sendable::<Query>();
     shareable::<Query>();
     sendable::<Algorithm>();
@@ -100,6 +104,7 @@ pub mod prelude {
     pub use crate::config::SystemConfig;
     pub use crate::cyclic::{run_cyclic, CyclicResult};
     pub use crate::database::Database;
+    pub use crate::dynamic::{DynamicClosure, UpdateResult};
     pub use crate::engine::RunResult;
     pub use crate::metrics::CostMetrics;
     pub use crate::paths::PathIndex;

@@ -93,6 +93,19 @@ impl Graph {
         }
     }
 
+    /// Removes arc `(u, v)` if present; returns whether it was removed.
+    pub fn remove_arc(&mut self, u: NodeId, v: NodeId) -> bool {
+        assert!((u as usize) < self.n() && (v as usize) < self.n());
+        match self.adj[u as usize].binary_search(&v) {
+            Ok(pos) => {
+                self.adj[u as usize].remove(pos);
+                self.m -= 1;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
     /// Iterates all arcs in `(source, destination)` order.
     pub fn arcs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         self.adj
@@ -183,6 +196,18 @@ mod tests {
         assert_eq!(g.arc_count(), 2);
         assert!(g.has_arc(0, 1));
         assert!(!g.has_arc(1, 0));
+    }
+
+    #[test]
+    fn remove_arc_maintains_invariants() {
+        let mut g = Graph::from_arcs(3, [(0, 1), (0, 2), (1, 2)]);
+        assert!(g.remove_arc(0, 1));
+        assert!(!g.remove_arc(0, 1), "already gone");
+        assert!(!g.remove_arc(2, 0), "never existed");
+        assert_eq!(g.children(0), &[2]);
+        assert_eq!(g.arc_count(), 2);
+        assert!(g.add_arc(0, 1), "reinsertable after removal");
+        assert_eq!(g.children(0), &[1, 2]);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod model;
 pub mod reduction;
 pub mod scc;
 pub mod topo;
+pub mod update;
 
 pub use bitmat::BitMatrix;
 pub use gen::DagGenerator;
@@ -45,3 +46,4 @@ pub use model::{ArcLocalityStats, RectangleModel};
 pub use reduction::transitive_reduction;
 pub use scc::{condensation, Condensation};
 pub use topo::{reverse_topological_order, topological_order};
+pub use update::{StreamKind, UpdateOp, UpdateStream};

@@ -667,7 +667,9 @@ impl ProfileFold {
             | Event::Locality { .. }
             | Event::MagicNodes { .. }
             | Event::MagicArcs { .. }
-            | Event::Rect { .. } => {}
+            | Event::Rect { .. }
+            | Event::UpdateApply { .. }
+            | Event::DeltaApplied { .. } => {}
         }
 
         self.profile.events += 1;

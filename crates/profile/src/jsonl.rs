@@ -231,6 +231,15 @@ pub fn parse_line(line: &str) -> Result<Event, ParseError> {
             arcs: u64_field(line, "arcs")?,
             nodes: u64_field(line, "nodes")?,
         },
+        "update_apply" => Event::UpdateApply {
+            insert: bool_field(line, "insert")?,
+            src: u32_field(line, "src")?,
+            dst: u32_field(line, "dst")?,
+        },
+        "delta_applied" => Event::DeltaApplied {
+            inserted: u64_field(line, "inserted")?,
+            removed: u64_field(line, "removed")?,
+        },
         other => return err(format!("unknown event \"{other}\"")),
     })
 }
@@ -370,6 +379,15 @@ mod tests {
                 max_level: 5,
                 arcs: 11,
                 nodes: 12,
+            },
+            Event::UpdateApply {
+                insert: true,
+                src: 3,
+                dst: 14,
+            },
+            Event::DeltaApplied {
+                inserted: 15,
+                removed: 4,
             },
             Event::RunEnd,
         ];

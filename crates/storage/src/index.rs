@@ -19,7 +19,6 @@ use crate::store::PageStore;
 /// A sparse clustered index: maps a key to the data-page range holding it.
 #[derive(Clone, Debug)]
 pub struct ClusteredIndex {
-    #[allow(dead_code)]
     file: FileId,
     pages: Vec<PageId>,
     /// Number of keys (== number of data pages in the indexed relation).
@@ -59,6 +58,12 @@ impl ClusteredIndex {
             pages,
             entries: keys.len(),
         })
+    }
+
+    /// The index's file id (needed to drop the file when the indexed
+    /// relation is rebuilt in place, e.g. by dynamic maintenance).
+    pub fn file_id(&self) -> FileId {
+        self.file
     }
 
     /// Number of index pages.

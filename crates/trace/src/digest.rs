@@ -263,6 +263,17 @@ fn fold_event(h: &mut Fnv, ev: &Event) {
             h.byte(33);
             h.u32(page);
         }
+        Event::UpdateApply { insert, src, dst } => {
+            h.byte(34);
+            h.bool(insert);
+            h.u32(src);
+            h.u32(dst);
+        }
+        Event::DeltaApplied { inserted, removed } => {
+            h.byte(35);
+            h.u64(inserted);
+            h.u64(removed);
+        }
     }
 }
 

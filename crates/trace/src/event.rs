@@ -316,6 +316,28 @@ pub enum Event {
         /// Raw page number.
         page: u32,
     },
+
+    // ---- Dynamic maintenance (tc-core's DynamicClosure; appended
+    // after the page-lifecycle group for the same digest-stability
+    // reason) ----
+    /// One arc update (insert or delete) entered the maintenance run.
+    /// Pure observability: ignored by replay.
+    UpdateApply {
+        /// Whether the update is an insertion (else a deletion).
+        insert: bool,
+        /// Source node of the updated arc.
+        src: u32,
+        /// Destination node of the updated arc.
+        dst: u32,
+    },
+    /// The net closure delta of a maintenance run (assignment semantics,
+    /// emitted once per `apply`). Pure observability: ignored by replay.
+    DeltaApplied {
+        /// Closure tuples added by the batch.
+        inserted: u64,
+        /// Closure tuples removed by the batch.
+        removed: u64,
+    },
 }
 
 impl Event {
@@ -356,6 +378,8 @@ impl Event {
             Event::Rect { .. } => "rect",
             Event::PageAlloc { .. } => "page_alloc",
             Event::PageFreed { .. } => "page_freed",
+            Event::UpdateApply { .. } => "update_apply",
+            Event::DeltaApplied { .. } => "delta_applied",
         }
     }
 
@@ -414,6 +438,12 @@ impl Event {
                 w,
                 ",\"height\":{height},\"width\":{width},\"max_level\":{max_level},\"arcs\":{arcs},\"nodes\":{nodes}"
             )?,
+            Event::UpdateApply { insert, src, dst } => {
+                write!(w, ",\"insert\":{insert},\"src\":{src},\"dst\":{dst}")?
+            }
+            Event::DeltaApplied { inserted, removed } => {
+                write!(w, ",\"inserted\":{inserted},\"removed\":{removed}")?
+            }
             Event::RunEnd
             | Event::ListFetch
             | Event::Union

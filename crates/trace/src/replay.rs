@@ -392,7 +392,9 @@ pub fn replay(events: impl IntoIterator<Item = Event>) -> Result<ReplayedMetrics
             | Event::Pin { .. }
             | Event::Unpin { .. }
             | Event::PageAlloc { .. }
-            | Event::PageFreed { .. } => {}
+            | Event::PageFreed { .. }
+            | Event::UpdateApply { .. }
+            | Event::DeltaApplied { .. } => {}
         }
     }
     m.io_retries = m.buffer.retries;

@@ -8,8 +8,9 @@
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 use std::sync::Arc;
-use tc_study::cli::{AnalyzeArgs, CliArgs, Command, LabeledGraph, USAGE};
+use tc_study::cli::{AnalyzeArgs, CliArgs, Command, LabeledGraph, UpdateArgs, USAGE};
 use tc_study::core::prelude::*;
+use tc_study::graph::UpdateStream;
 use tc_study::profile::{fold_jsonl, render, ProfileFold};
 use tc_study::trace::{JsonlSink, Tracer};
 
@@ -29,6 +30,7 @@ fn main() -> ExitCode {
     let result = match &cmd {
         Command::Run(cli) => run(cli),
         Command::Analyze(a) => analyze(a),
+        Command::Update(u) => update(u),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -49,6 +51,80 @@ fn analyze(args: &AnalyzeArgs) -> Result<(), String> {
         fold_jsonl(BufReader::new(file), &mut fold).map_err(|e| format!("{}: {e}", args.input))?;
     eprintln!("{}: folded {events} events", args.input);
     print!("{}", render(&fold.finish()));
+    Ok(())
+}
+
+/// Materializes the input's closure, then maintains it under a seeded
+/// update stream, one metered maintenance run per batch.
+fn update(args: &UpdateArgs) -> Result<(), String> {
+    let text = std::fs::read_to_string(&args.input).map_err(|e| format!("{}: {e}", args.input))?;
+    let lg = LabeledGraph::parse(&text)?;
+    if !lg.graph.is_acyclic() {
+        return Err(format!(
+            "{}: cyclic input — dynamic maintenance requires a DAG (condense cycles first)",
+            args.input
+        ));
+    }
+    eprintln!(
+        "{}: {} nodes, {} arcs",
+        args.input,
+        lg.graph.n(),
+        lg.graph.arc_count(),
+    );
+
+    let mut cfg = SystemConfig::with_buffer(args.buffer).backend(args.backend.clone());
+    let sink = match &args.trace {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            let sink = Arc::new(JsonlSink::new(BufWriter::new(file)));
+            cfg = cfg.traced(Tracer::new(sink.clone()));
+            Some((path, sink))
+        }
+        None => None,
+    };
+
+    let mut dyn_tc = DynamicClosure::build(&lg.graph, &cfg).map_err(|e| e.to_string())?;
+    eprintln!(
+        "materialized closure: {} tuples on {} pages ({} backend)",
+        dyn_tc.tuple_count(),
+        dyn_tc.closure_pages(),
+        dyn_tc.backend_name(),
+    );
+    let stream = UpdateStream::generate(
+        &lg.graph,
+        args.stream,
+        args.batches,
+        args.batch_size,
+        lg.graph.n().max(1),
+        args.seed,
+    );
+    let mut total_io = 0u64;
+    for (i, batch) in stream.batches().iter().enumerate() {
+        let res = dyn_tc.apply(batch).map_err(|e| e.to_string())?;
+        total_io += res.metrics.total_io();
+        eprintln!(
+            "batch {}: {} ops, +{} -{} tuples, {} page I/O ({} restructure + {} compute)",
+            i + 1,
+            batch.len(),
+            res.inserted,
+            res.removed,
+            res.metrics.total_io(),
+            res.metrics.restructure_io.total(),
+            res.metrics.compute_io.total(),
+        );
+    }
+    if let Some((path, sink)) = sink {
+        sink.finish().map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("trace written to {path}");
+    }
+    eprintln!(
+        "{} stream done: {} ops in {} batches, closure now {} tuples, {} total page I/O",
+        args.stream.name(),
+        stream.op_count(),
+        stream.batches().len(),
+        dyn_tc.tuple_count(),
+        total_io,
+    );
     Ok(())
 }
 

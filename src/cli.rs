@@ -6,7 +6,7 @@
 
 use std::collections::HashMap;
 use tc_core::Algorithm;
-use tc_graph::{Graph, NodeId};
+use tc_graph::{Graph, NodeId, StreamKind};
 
 /// An edge-list graph with human-readable node labels.
 #[derive(Debug, Clone)]
@@ -170,6 +170,7 @@ impl CliArgs {
 pub const USAGE: &str = "\
 usage: tcq <edges-file> [options]
        tcq analyze <trace.jsonl> [options]
+       tcq update <edges-file> [options]
   <edges-file>          whitespace edge list: `from to` per line, # comments
   -s, --sources A,B,..  partial closure from these nodes (default: full)
   -a, --algo NAME       btc|hyb|bj|srch|spn|jkb|jkb2|seminaive (default: advisor)
@@ -181,9 +182,126 @@ usage: tcq <edges-file> [options]
 analyze options (folds a --trace file into a profile report):
       --top K           hot-page histogram size (default: 10)
       --interval N      residency sampling interval, events (default: 65536)
+update options (maintains a materialized closure under a seeded stream):
+      --stream KIND     insert-only|delete-heavy|mixed (default: mixed)
+      --batches N       update batches to apply (default: 4)
+      --batch-size K    operations per batch (default: 16)
+      --seed S          stream seed (default: 3658619284)
+      (plus --buffer, --trace and --backend as above; input must be acyclic)
 Cyclic inputs are condensed automatically (strongly connected components);
 the advisor default applies to acyclic inputs, cyclic ones run BTC unless
 --algo says otherwise.";
+
+/// Parsed command line for `tcq update`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateArgs {
+    /// Input edge-list path.
+    pub input: String,
+    /// Churn profile of the generated stream.
+    pub stream: StreamKind,
+    /// Number of update batches.
+    pub batches: usize,
+    /// Operations per batch.
+    pub batch_size: usize,
+    /// Stream seed.
+    pub seed: u64,
+    /// Buffer pool pages.
+    pub buffer: usize,
+    /// Write the maintenance runs' JSONL event trace here.
+    pub trace: Option<String>,
+    /// Storage backend.
+    pub backend: tc_storage::Backend,
+}
+
+impl UpdateArgs {
+    /// Parses the arguments following the `update` keyword.
+    pub fn parse(args: &[String]) -> Result<UpdateArgs, String> {
+        let mut input: Option<String> = None;
+        let mut out = UpdateArgs {
+            input: String::new(),
+            stream: StreamKind::Mixed,
+            batches: 4,
+            batch_size: 16,
+            seed: 0xDA12_1994,
+            buffer: 20,
+            trace: None,
+            backend: tc_storage::Backend::Sim,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--stream" => {
+                    i += 1;
+                    let v = args
+                        .get(i)
+                        .ok_or("--stream needs insert-only, delete-heavy or mixed")?;
+                    out.stream = StreamKind::ALL
+                        .into_iter()
+                        .find(|k| k.name().eq_ignore_ascii_case(v))
+                        .ok_or_else(|| {
+                            format!(
+                                "unknown stream kind {v:?} (try insert-only, delete-heavy, mixed)"
+                            )
+                        })?;
+                }
+                "--batches" => {
+                    i += 1;
+                    out.batches = parse_count(&args, i, "--batches")?;
+                }
+                "--batch-size" => {
+                    i += 1;
+                    out.batch_size = parse_count(&args, i, "--batch-size")?;
+                }
+                "--seed" => {
+                    i += 1;
+                    out.seed = args
+                        .get(i)
+                        .ok_or("--seed needs a number")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?;
+                }
+                "--buffer" | "-m" => {
+                    i += 1;
+                    out.buffer = parse_count(&args, i, "--buffer")?;
+                }
+                "--trace" => {
+                    i += 1;
+                    let v = args.get(i).ok_or("--trace needs an output path")?;
+                    out.trace = Some(v.clone());
+                }
+                "--backend" => {
+                    i += 1;
+                    let v = args.get(i).ok_or("--backend needs sim, file or file:DIR")?;
+                    out.backend = tc_storage::Backend::parse(v)?;
+                }
+                "--help" | "-h" => return Err(USAGE.to_string()),
+                flag if flag.starts_with('-') => {
+                    return Err(format!("unknown flag {flag}\n{USAGE}"))
+                }
+                path => {
+                    if input.replace(path.to_string()).is_some() {
+                        return Err("only one input file is accepted".into());
+                    }
+                }
+            }
+            i += 1;
+        }
+        out.input = input.ok_or_else(|| format!("missing input file\n{USAGE}"))?;
+        Ok(out)
+    }
+}
+
+fn parse_count(args: &[String], i: usize, flag: &str) -> Result<usize, String> {
+    let n: usize = args
+        .get(i)
+        .ok_or_else(|| format!("{flag} needs a count"))?
+        .parse()
+        .map_err(|e| format!("{flag}: {e}"))?;
+    if n == 0 {
+        return Err(format!("{flag} needs at least 1"));
+    }
+    Ok(n)
+}
 
 /// Parsed command line for `tcq analyze`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -244,21 +362,26 @@ impl AnalyzeArgs {
     }
 }
 
-/// A parsed `tcq` invocation: a query run, or a trace analysis.
+/// A parsed `tcq` invocation: a query run, a trace analysis, or a
+/// dynamic-maintenance stream.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// `tcq <edges-file> ...` — build, run, report.
     Run(CliArgs),
     /// `tcq analyze <trace.jsonl> ...` — fold a trace into a profile.
     Analyze(AnalyzeArgs),
+    /// `tcq update <edges-file> ...` — maintain a materialized closure
+    /// under a seeded update stream.
+    Update(UpdateArgs),
 }
 
 impl Command {
     /// Parses `args` (without the program name), dispatching on the
-    /// leading `analyze` keyword.
+    /// leading `analyze` / `update` keyword.
     pub fn parse(args: &[String]) -> Result<Command, String> {
         match args.first().map(String::as_str) {
             Some("analyze") => AnalyzeArgs::parse(&args[1..]).map(Command::Analyze),
+            Some("update") => UpdateArgs::parse(&args[1..]).map(Command::Update),
             _ => CliArgs::parse(args).map(Command::Run),
         }
     }
@@ -354,6 +477,48 @@ mod tests {
         assert!(Command::parse(&["analyze".to_string()]).is_err());
         assert!(AnalyzeArgs::parse(&["t.jsonl".into(), "--interval".into(), "0".into()]).is_err());
         assert!(AnalyzeArgs::parse(&["t.jsonl".into(), "--nope".into()]).is_err());
+    }
+
+    #[test]
+    fn parses_the_update_subcommand() {
+        let args: Vec<String> = [
+            "update",
+            "g.txt",
+            "--stream",
+            "delete-heavy",
+            "--batches",
+            "3",
+            "--batch-size",
+            "8",
+            "--seed",
+            "99",
+            "-m",
+            "32",
+            "--backend",
+            "file",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let Command::Update(u) = Command::parse(&args).unwrap() else {
+            panic!("expected the update command");
+        };
+        assert_eq!(u.input, "g.txt");
+        assert_eq!(u.stream, StreamKind::DeleteHeavy);
+        assert_eq!((u.batches, u.batch_size, u.seed, u.buffer), (3, 8, 99, 32));
+        assert_eq!(u.backend, tc_storage::Backend::File { dir: None });
+
+        let d = UpdateArgs::parse(&["g.txt".to_string()]).unwrap();
+        assert_eq!(d.stream, StreamKind::Mixed);
+        assert_eq!((d.batches, d.batch_size, d.buffer), (4, 16, 20));
+        assert_eq!(d.seed, 0xDA12_1994);
+        assert!(d.trace.is_none());
+
+        assert!(UpdateArgs::parse(&[]).is_err());
+        assert!(UpdateArgs::parse(&["g.txt".into(), "--stream".into(), "nope".into()]).is_err());
+        assert!(UpdateArgs::parse(&["g.txt".into(), "--batches".into(), "0".into()]).is_err());
+        assert!(UpdateArgs::parse(&["g.txt".into(), "--seed".into(), "x".into()]).is_err());
+        assert!(UpdateArgs::parse(&["g.txt".into(), "--bogus".into()]).is_err());
     }
 
     #[test]

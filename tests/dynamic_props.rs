@@ -1,0 +1,174 @@
+//! Property test: incremental maintenance ≡ from-scratch recompute on
+//! random graphs × random update streams.
+//!
+//! For `tc-det`-generated small DAGs and raw op lists (applied one op
+//! per batch, so the shrinker minimizes to the shortest failing update
+//! prefix), across every page-replacement policy and with optional
+//! transient-fault plans, the maintained closure must equal the
+//! in-memory oracle after every apply, every apply's metrics must
+//! satisfy `metrics ≡ replay(trace)`, and the final state must match a
+//! from-scratch rebuild read back through the disk. Replay a failure
+//! with the printed `TC_DET_SEED=...`.
+
+use std::sync::Arc;
+use tc_study::buffer::PagePolicy;
+use tc_study::core::prelude::*;
+use tc_study::det::check::{self, Checker};
+use tc_study::det::{require, require_eq, Rng};
+use tc_study::graph::{closure, Graph, NodeId, UpdateOp};
+use tc_study::trace::{replay, Tracer, VecSink};
+
+/// Raw generated input: node count plus unconstrained base-arc pairs,
+/// raw update triples `(is_insert, a, b)`, a policy index, and an
+/// optional fault seed. Kept raw so shrinking can drop ops directly.
+type RawCase = (
+    (usize, Vec<(u32, u32)>),
+    Vec<(bool, u32, u32)>,
+    usize,
+    Option<u64>,
+);
+
+/// Orients pairs ascending (self-loops dropped), so the base graph and
+/// every generated insert stay acyclic by construction.
+fn orient(a: u32, b: u32) -> Option<(u32, u32)> {
+    use std::cmp::Ordering::*;
+    match a.cmp(&b) {
+        Less => Some((a, b)),
+        Greater => Some((b, a)),
+        Equal => None,
+    }
+}
+
+fn dag_of(&(n, ref pairs): &(usize, Vec<(u32, u32)>)) -> Graph {
+    Graph::from_arcs(n, pairs.iter().filter_map(|&(a, b)| orient(a, b)))
+}
+
+/// Maps a raw triple to an op: both kinds oriented ascending, so
+/// inserts can never close a cycle and deletes hit oriented arcs.
+fn op_of(n: usize, &(ins, a, b): &(bool, u32, u32)) -> Option<UpdateOp> {
+    let (a, b) = orient(a % n as u32, b % n as u32)?;
+    Some(if ins {
+        UpdateOp::Insert(a, b)
+    } else {
+        UpdateOp::Delete(a, b)
+    })
+}
+
+fn generate(rng: &mut Rng) -> RawCase {
+    let n = rng.random_range(2..24usize);
+    let pairs = check::vec_of(rng, 0..60, |r| {
+        (r.random_range(0..n as u32), r.random_range(0..n as u32))
+    });
+    let ops = check::vec_of(rng, 1..16, |r| {
+        (
+            r.random_bool(0.5),
+            r.random_range(0..n as u32),
+            r.random_range(0..n as u32),
+        )
+    });
+    let policy = rng.random_range(0..PagePolicy::ALL.len());
+    let fault = rng
+        .random_range(0..3u32)
+        .eq(&0)
+        .then(|| rng.random_range(0..1_000_000));
+    ((n, pairs), ops, policy, fault)
+}
+
+fn shrink(case: &RawCase) -> Vec<RawCase> {
+    let ((n, pairs), ops, policy, fault) = case;
+    let mut out: Vec<RawCase> = check::shrink_vec(ops)
+        .into_iter()
+        .map(|o| ((*n, pairs.clone()), o, *policy, *fault))
+        .collect();
+    out.extend(
+        check::shrink_vec(pairs)
+            .into_iter()
+            .map(|p| ((*n, p), ops.clone(), *policy, *fault)),
+    );
+    if fault.is_some() {
+        out.push(((*n, pairs.clone()), ops.clone(), *policy, None));
+    }
+    out
+}
+
+fn oracle(g: &Graph) -> Vec<(NodeId, NodeId)> {
+    let all: Vec<NodeId> = (0..g.n() as NodeId).collect();
+    closure::ptc_answer(g, &all)
+}
+
+#[test]
+fn incremental_matches_scratch_on_random_streams() {
+    Checker::new("dynamic_incremental_eq_scratch")
+        .cases(24)
+        .run(generate, shrink, |case| {
+            let (raw, raw_ops, policy, fault) = case;
+            let g = dag_of(raw);
+            let sink = Arc::new(VecSink::unbounded());
+            let mut cfg = SystemConfig::with_buffer(6).traced(Tracer::new(sink.clone()));
+            cfg.page_policy = PagePolicy::ALL[*policy];
+            if let Some(seed) = fault {
+                cfg.fault = Some(
+                    FaultConfig::new(*seed)
+                        .transient_reads(0.05)
+                        .transient_writes(0.05),
+                );
+            }
+            let mut dyn_tc = match DynamicClosure::build(&g, &cfg) {
+                Ok(d) => d,
+                // A fault plan can exhaust the retry budget during the
+                // initial materialization; nothing to check then.
+                Err(_) => return Ok(()),
+            };
+            let mut live = g.clone();
+            let mut seen = 0usize;
+            for raw_op in raw_ops {
+                let Some(op) = op_of(live.n(), raw_op) else {
+                    continue;
+                };
+                match op {
+                    UpdateOp::Insert(u, v) => live.add_arc(u, v),
+                    UpdateOp::Delete(u, v) => live.remove_arc(u, v),
+                };
+                // One op per batch: a failing case shrinks to the
+                // shortest failing update prefix.
+                let Ok(res) = dyn_tc.apply(&[op]) else {
+                    // An erroring apply leaves the instance untrusted
+                    // (like a crash); the case ends here.
+                    return Ok(());
+                };
+                require_eq!(sink.dropped(), 0, "VecSink dropped events");
+                let events = sink.events();
+                let replayed = match replay(events[seen..].iter().cloned()) {
+                    Ok(r) => r,
+                    Err(e) => return Err(format!("replay failed after {op:?}: {e:?}")),
+                };
+                seen = events.len();
+                let expected = res.metrics.to_replayed();
+                require!(
+                    replayed == expected,
+                    "replay(trace) != metrics after {:?}; field diff:\n{}",
+                    op,
+                    expected.diff(&replayed).join("\n")
+                );
+                let tuples = match dyn_tc.tuples() {
+                    Ok(t) => t,
+                    Err(_) => return Ok(()), // fault during the readback scan
+                };
+                require!(
+                    tuples == oracle(&live),
+                    "maintained closure diverged from the oracle after {:?}",
+                    op
+                );
+            }
+            // Final state also matches a from-scratch rebuild through
+            // the disk roundtrip (fault-free config for the rebuild).
+            let scratch_cfg = SystemConfig::with_buffer(6);
+            let mut scratch = DynamicClosure::build(&live, &scratch_cfg)
+                .map_err(|e| format!("scratch build failed: {e}"))?;
+            let (a, b) = (dyn_tc.tuples(), scratch.tuples());
+            if let (Ok(a), Ok(b)) = (a, b) {
+                require_eq!(a, b, "incremental != from-scratch rebuild at stream end");
+            }
+            Ok(())
+        });
+}

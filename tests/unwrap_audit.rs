@@ -18,7 +18,9 @@
 use std::fs;
 use std::path::Path;
 
-/// Files on the physical page-transfer path (the issue's hard floor).
+/// Files on the physical page-transfer path (the issue's hard floor),
+/// plus the dynamic-maintenance layer: `DynamicClosure::apply` owns the
+/// same store/pool lifecycle as the engine, and `UpdateStream` feeds it.
 const IO_PATH_FILES: &[&str] = &[
     "crates/storage/src/disk.rs",
     "crates/storage/src/pager.rs",
@@ -27,6 +29,8 @@ const IO_PATH_FILES: &[&str] = &[
     "crates/storage/src/store.rs",
     "crates/storage/src/file_store.rs",
     "crates/buffer/src/pool.rs",
+    "crates/core/src/dynamic.rs",
+    "crates/graph/src/update.rs",
 ];
 
 /// Audited sites that are allowed to stay: compile-time-constant offset
