@@ -27,8 +27,8 @@ use tc_trace::{DigestSink, TeeSink, TraceDigest, Tracer};
 
 /// Version tag of the suite definition. Bump when the cell grid itself
 /// changes (not when measured numbers move — that is what the byte diff
-/// is for).
-pub const SUITE: &str = "tc-bench-baseline-v1";
+/// is for). v2 appended the REACHINDEX cells (block 4).
+pub const SUITE: &str = "tc-bench-baseline-v2";
 
 /// One named cell of the baseline grid.
 pub struct BaselineCell {
@@ -77,7 +77,9 @@ fn query_cell(
 /// 1. all eight algorithms on G5, `ptc(10)`, `M = 10`, LRU;
 /// 2. all eight algorithms on G8 (a wide, bushier family), `ptc(5)`,
 ///    `M = 20`, LRU;
-/// 3. BTC on G5 under every replacement policy (`M = 10`).
+/// 3. BTC on G5 under every replacement policy (`M = 10`);
+/// 4. REACHINDEX on both families at the same coordinates as blocks
+///    1–2 (appended in v2, so the pre-existing cells keep their order).
 pub fn suite() -> Vec<BaselineCell> {
     suite_on(Backend::Sim)
 }
@@ -110,6 +112,20 @@ fn suite_cells() -> Vec<BaselineCell> {
         }
         cells.push(query_cell("G5", Algorithm::Btc, 10, 10, p));
     }
+    cells.push(query_cell(
+        "G5",
+        Algorithm::ReachIndex,
+        10,
+        10,
+        PagePolicy::Lru,
+    ));
+    cells.push(query_cell(
+        "G8",
+        Algorithm::ReachIndex,
+        5,
+        20,
+        PagePolicy::Lru,
+    ));
     cells
 }
 
@@ -286,7 +302,7 @@ mod tests {
     #[test]
     fn suite_is_canonical_and_named_uniquely() {
         let s = suite();
-        assert_eq!(s.len(), 8 + 8 + 5);
+        assert_eq!(s.len(), 8 + 8 + 5 + 2);
         let mut names: Vec<&str> = s.iter().map(|b| b.name.as_str()).collect();
         names.sort_unstable();
         names.dedup();
@@ -317,7 +333,7 @@ mod tests {
         };
         let j = render_json(std::slice::from_ref(&row));
         assert!(
-            j.starts_with("{\n  \"suite\": \"tc-bench-baseline-v1\""),
+            j.starts_with("{\n  \"suite\": \"tc-bench-baseline-v2\""),
             "{j}"
         );
         assert!(j.contains("\"name\": \"btc-g5-ptc10-m10-lru\""), "{j}");

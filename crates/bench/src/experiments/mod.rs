@@ -28,6 +28,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod highsel;
 pub mod predictiveness;
+pub mod reachindex;
 pub mod related;
 pub mod table2;
 pub mod table3;
@@ -1007,7 +1008,7 @@ pub type SectionFn = fn(&ExpOpts) -> ExpResult<String>;
 
 /// Every report section in canonical (paper) order, plus the dynamic
 /// `updates` study appended after the paper's own material.
-pub const SECTIONS: [(&str, SectionFn); 13] = [
+pub const SECTIONS: [(&str, SectionFn); 14] = [
     ("table2", table2::run),
     ("table3", table3::run),
     ("fig6", fig6::run),
@@ -1021,6 +1022,7 @@ pub const SECTIONS: [(&str, SectionFn); 13] = [
     ("ablations", ablations::run),
     ("advisor", advisor::run),
     ("updates", updates::run),
+    ("reachindex", reachindex::run),
 ];
 
 /// Looks a section up by name.
@@ -1147,11 +1149,12 @@ mod tests {
 
     #[test]
     fn section_registry_resolves() {
-        assert_eq!(SECTIONS.len(), 13);
+        assert_eq!(SECTIONS.len(), 14);
         assert!(section("table2").is_some());
         assert!(section("FIGS8-12").is_some());
         assert!(section("predictiveness").is_some());
         assert!(section("updates").is_some());
+        assert!(section("reachindex").is_some());
         assert!(section("nope").is_none());
     }
 

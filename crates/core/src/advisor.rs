@@ -63,6 +63,16 @@ pub struct Advisor {
     /// JKB2 only pays off while the query is selective: require
     /// `s ≤ jkb_max_selectivity_fraction × nodes`.
     pub jkb_max_selectivity_fraction: f64,
+    /// Prefer the chain-decomposition index (`REACHINDEX`) when the
+    /// graph's width is at most this. The index builds in O(k·(n+m))
+    /// and answers from O(k·n) labels, so its whole cost story is the
+    /// rectangle model's `W`: narrow graphs decompose into few chains
+    /// and the index wins outright; wide graphs inflate both label
+    /// space and probe cost, and the 1994 algorithms take over. The
+    /// default `0.0` disables the rule (width is always positive), so
+    /// the advisor keeps recommending exactly the paper's suite unless
+    /// a caller opts in.
+    pub reach_max_width: f64,
 }
 
 impl Default for Advisor {
@@ -72,6 +82,7 @@ impl Default for Advisor {
             search_max_height: 250.0,
             jkb_max_width: 250.0,
             jkb_max_selectivity_fraction: 0.10,
+            reach_max_width: 0.0,
         }
     }
 }
@@ -81,6 +92,11 @@ impl Advisor {
     ///
     /// The rules, in order (paper section in parentheses):
     ///
+    /// 0. Opt-in: narrow graph (`width ≤ reach_max_width`, when the
+    ///    threshold is enabled) → `REACHINDEX`. Checked before
+    ///    everything else because the index wins on narrow graphs for
+    ///    *any* selectivity, full closure included: k chains bound both
+    ///    the label space and the per-source probe cost.
     /// 1. Full closure → `BTC` (§6.2: beats HYB, SPN, JKB, JKB2).
     /// 2. Very few sources → `SRCH` (§6.3.1: best at high selectivity,
     ///    deteriorating rapidly with `s`).
@@ -92,6 +108,9 @@ impl Advisor {
     /// 5. Otherwise → `BJ` (§6.3: "the I/O cost of BJ is slightly lower
     ///    than that of BTC").
     pub fn recommend(&self, p: &WorkloadProfile) -> Algorithm {
+        if self.reach_max_width > 0.0 && p.rect.width <= self.reach_max_width {
+            return Algorithm::ReachIndex;
+        }
         if p.full_closure {
             return Algorithm::Btc;
         }
@@ -194,10 +213,56 @@ mod tests {
             search_max_height: 0.0,
             jkb_max_width: 1e9,
             jkb_max_selectivity_fraction: 1.0,
+            reach_max_width: 0.0,
         };
         assert_eq!(
             a.recommend(&profile(400.0, 2, false, true)),
             Algorithm::Jkb2
+        );
+    }
+
+    #[test]
+    fn reach_rule_is_off_by_default() {
+        // The default advisor must keep recommending exactly the
+        // paper's suite: the pinned `advisor` report section depends on
+        // it.
+        let a = Advisor::default();
+        for &(w, s, full, inv) in &[
+            (1.0, 2000, true, true),
+            (1.0, 2, false, true),
+            (1.0, 50, false, true),
+        ] {
+            assert_ne!(
+                a.recommend(&profile(w, s, full, inv)),
+                Algorithm::ReachIndex
+            );
+        }
+    }
+
+    #[test]
+    fn narrow_graphs_get_the_index_when_enabled() {
+        let a = Advisor {
+            reach_max_width: 60.0,
+            ..Advisor::default()
+        };
+        // Narrow: the index wins regardless of selectivity — even full
+        // closure, even when JKB2/SRCH would otherwise fire.
+        assert_eq!(
+            a.recommend(&profile(40.0, 2000, true, true)),
+            Algorithm::ReachIndex
+        );
+        assert_eq!(
+            a.recommend(&profile(40.0, 2, false, true)),
+            Algorithm::ReachIndex
+        );
+        // Wide: the cascade proceeds untouched.
+        assert_eq!(
+            a.recommend(&profile(400.0, 2000, true, true)),
+            Algorithm::Btc
+        );
+        assert_eq!(
+            a.recommend(&profile(400.0, 2, false, true)),
+            Algorithm::Srch
         );
     }
 }

@@ -32,6 +32,13 @@ pub enum Algorithm {
     /// Seminaive delta iteration — the iterative baseline the
     /// graph-based algorithms were shown to dominate (related work, §8).
     Seminaive,
+    /// REACHINDEX — the modern chain-decomposition interval-label index
+    /// (Kritikakis & Tollis, via `tc-reach`): restructuring builds and
+    /// persists O(k·n) labels over the condensation DAG; computation
+    /// answers the query by scanning chain suffixes. Not part of the
+    /// 1994 study ([`Algorithm::ALL`]); appended last so the discrete
+    /// discriminants of the original suite stay stable.
+    ReachIndex,
 }
 
 impl Algorithm {
@@ -47,6 +54,20 @@ impl Algorithm {
         Algorithm::Seminaive,
     ];
 
+    /// The paper's eight algorithms plus the modern reachability index —
+    /// every algorithm the engine can run.
+    pub const WITH_INDEX: [Algorithm; 9] = [
+        Algorithm::Btc,
+        Algorithm::Hyb,
+        Algorithm::Bj,
+        Algorithm::Srch,
+        Algorithm::Spn,
+        Algorithm::Jkb,
+        Algorithm::Jkb2,
+        Algorithm::Seminaive,
+        Algorithm::ReachIndex,
+    ];
+
     /// The implementation label used in the paper's figures.
     pub fn name(self) -> &'static str {
         match self {
@@ -58,6 +79,7 @@ impl Algorithm {
             Algorithm::Jkb => "JKB",
             Algorithm::Jkb2 => "JKB2",
             Algorithm::Seminaive => "SEMINAIVE",
+            Algorithm::ReachIndex => "REACHINDEX",
         }
     }
 
@@ -80,14 +102,24 @@ mod tests {
 
     #[test]
     fn names_unique() {
-        let set: std::collections::HashSet<_> = Algorithm::ALL.iter().map(|a| a.name()).collect();
-        assert_eq!(set.len(), Algorithm::ALL.len());
+        let set: std::collections::HashSet<_> =
+            Algorithm::WITH_INDEX.iter().map(|a| a.name()).collect();
+        assert_eq!(set.len(), Algorithm::WITH_INDEX.len());
     }
 
     #[test]
     fn only_jkb2_needs_inverse() {
-        for a in Algorithm::ALL {
+        for a in Algorithm::WITH_INDEX {
             assert_eq!(a.needs_inverse(), a == Algorithm::Jkb2);
         }
+    }
+
+    #[test]
+    fn all_is_the_paper_suite_and_with_index_appends() {
+        assert_eq!(Algorithm::ALL.len(), 8, "the paper studies eight");
+        assert_eq!(&Algorithm::WITH_INDEX[..8], &Algorithm::ALL[..]);
+        assert_eq!(Algorithm::WITH_INDEX[8], Algorithm::ReachIndex);
+        // Cell-seed discriminants of the original suite must not move.
+        assert_eq!(Algorithm::ReachIndex as u64, 8);
     }
 }

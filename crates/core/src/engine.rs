@@ -9,7 +9,8 @@ use crate::query::Query;
 use crate::restructure::{restructure, RestructureOptions};
 use std::time::Instant;
 use tc_buffer::{BufferPool, BufferStats};
-use tc_graph::{closure, MagicGraph, NodeId};
+use tc_graph::{closure, MagicGraph, NodeId, RectangleModel};
+use tc_reach::ReachIndex;
 use tc_storage::{
     DiskStats, FaultEvent, FaultPlan, FileKind, StorageError, StorageResult, TupleWriter,
 };
@@ -266,6 +267,63 @@ fn execute(
             let tc_file = seminaive::run_seminaive(db, pool, &sources, metrics, answer)?;
             pool.flush_file(tc_file.file_id())?;
             metrics.set_tuple_writes(tc_file.tuple_count() as u64);
+            Ok(snap)
+        }
+        Algorithm::ReachIndex => {
+            // Restructure: condense, decompose into concurrent chains,
+            // compute the interval labels, persist the index. The flush
+            // lands before the phase boundary — the persisted index is
+            // the phase's durable product, like the successor lists of
+            // the list-based algorithms.
+            let idx = ReachIndex::build(pool, db.graph(), &cfg.trace, metrics)?;
+            let cond = idx.condensation();
+            metrics.set_magic_nodes(cond.component_count() as u64);
+            metrics.set_magic_arcs(cond.graph.arc_count() as u64);
+            metrics.set_rect(RectangleModel::of(&cond.graph));
+            for f in idx.files() {
+                pool.flush_file(f)?;
+            }
+            let snap = snapshot(pool);
+
+            // Compute: per source, fetch the persisted label row and
+            // scan the chain suffixes it points at — every component on
+            // chain c at a position ≥ the label is reachable, each
+            // exactly once (chains partition the condensation).
+            let sources = query.effective_sources(db.n());
+            let mut output = TupleWriter::new(pool, FileKind::Output);
+            let k = idx.width();
+            let mut row: Vec<u32> = Vec::with_capacity(k);
+            let mut comps: Vec<u32> = Vec::new();
+            for &s in &sources {
+                let a = idx.component(s);
+                metrics.count_list_fetch();
+                idx.label_row(pool, a, &mut row)?;
+                metrics.count_tuple_reads(k as u64);
+                for c in 0..k {
+                    let p = row[c];
+                    if p == tc_reach::NO_POS {
+                        continue;
+                    }
+                    idx.chain_suffix(pool, c as u32, p, &mut comps)?;
+                    metrics.count_tuple_reads(comps.len() as u64);
+                    for &b in &comps {
+                        let members = &cond.members[b as usize];
+                        if b == a && members.len() <= 1 {
+                            continue; // trivial component: irreflexive
+                        }
+                        for &v in members {
+                            metrics.count_generated(true);
+                            answer.emit(s, v);
+                            output.push(pool, (s, v))?;
+                        }
+                    }
+                }
+            }
+            let out_file = output.finish();
+            pool.flush_file(out_file.file_id())?;
+            metrics.set_tuple_writes(
+                idx.label_entries() + idx.chain_entries() + out_file.tuple_count() as u64,
+            );
             Ok(snap)
         }
     }

@@ -415,6 +415,23 @@ impl CostMetrics {
     }
 }
 
+/// The reachability-index builder charges its logical work through the
+/// same count-and-emit methods as everything else, so the
+/// `metrics ≡ replay(trace)` oracle covers index construction too.
+impl tc_reach::ReachMeter for CostMetrics {
+    fn arc_scanned(&mut self) {
+        self.count_arc(false);
+    }
+
+    fn row_union(&mut self) {
+        self.count_union();
+    }
+
+    fn entries_read(&mut self, n: u64) {
+        self.count_tuple_reads(n);
+    }
+}
+
 impl fmt::Display for CostMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(

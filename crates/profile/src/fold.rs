@@ -669,7 +669,10 @@ impl ProfileFold {
             | Event::MagicArcs { .. }
             | Event::Rect { .. }
             | Event::UpdateApply { .. }
-            | Event::DeltaApplied { .. } => {}
+            | Event::DeltaApplied { .. }
+            | Event::ChainAssigned { .. }
+            | Event::ChainsBuilt { .. }
+            | Event::LabelsBuilt { .. } => {}
         }
 
         self.profile.events += 1;

@@ -240,6 +240,19 @@ pub fn parse_line(line: &str) -> Result<Event, ParseError> {
             inserted: u64_field(line, "inserted")?,
             removed: u64_field(line, "removed")?,
         },
+        "chain_assigned" => Event::ChainAssigned {
+            comp: u32_field(line, "comp")?,
+            chain: u32_field(line, "chain")?,
+            pos: u32_field(line, "pos")?,
+        },
+        "chains_built" => Event::ChainsBuilt {
+            chains: u64_field(line, "chains")?,
+            components: u64_field(line, "components")?,
+        },
+        "labels_built" => Event::LabelsBuilt {
+            entries: u64_field(line, "entries")?,
+            finite: u64_field(line, "finite")?,
+        },
         other => return err(format!("unknown event \"{other}\"")),
     })
 }
@@ -388,6 +401,19 @@ mod tests {
             Event::DeltaApplied {
                 inserted: 15,
                 removed: 4,
+            },
+            Event::ChainAssigned {
+                comp: 7,
+                chain: 1,
+                pos: 3,
+            },
+            Event::ChainsBuilt {
+                chains: 2,
+                components: 16,
+            },
+            Event::LabelsBuilt {
+                entries: 32,
+                finite: 20,
             },
             Event::RunEnd,
         ];

@@ -274,6 +274,22 @@ fn fold_event(h: &mut Fnv, ev: &Event) {
             h.u64(inserted);
             h.u64(removed);
         }
+        Event::ChainAssigned { comp, chain, pos } => {
+            h.byte(36);
+            h.u32(comp);
+            h.u32(chain);
+            h.u32(pos);
+        }
+        Event::ChainsBuilt { chains, components } => {
+            h.byte(37);
+            h.u64(chains);
+            h.u64(components);
+        }
+        Event::LabelsBuilt { entries, finite } => {
+            h.byte(38);
+            h.u64(entries);
+            h.u64(finite);
+        }
     }
 }
 

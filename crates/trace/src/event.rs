@@ -338,6 +338,37 @@ pub enum Event {
         /// Closure tuples removed by the batch.
         removed: u64,
     },
+
+    // ---- Reachability index (tc-reach; appended after the dynamic
+    // group for the same digest-stability reason) ----
+    /// A condensation component was appended to a chain during the
+    /// concurrent-chain decomposition. Pure observability: ignored by
+    /// replay.
+    ChainAssigned {
+        /// Component id (condensation node).
+        comp: u32,
+        /// Chain the component was appended to.
+        chain: u32,
+        /// Position of the component on that chain.
+        pos: u32,
+    },
+    /// The chain decomposition finished (assignment semantics, emitted
+    /// once per build). `chains` is the width parameter k. Pure
+    /// observability: ignored by replay.
+    ChainsBuilt {
+        /// Number of chains (k).
+        chains: u64,
+        /// Number of condensation components decomposed.
+        components: u64,
+    },
+    /// The interval-label matrix was persisted (assignment semantics,
+    /// emitted once per build). Pure observability: ignored by replay.
+    LabelsBuilt {
+        /// Label tuples written (`components × k`, sentinels included).
+        entries: u64,
+        /// Finite (reachable) label entries among them.
+        finite: u64,
+    },
 }
 
 impl Event {
@@ -380,6 +411,9 @@ impl Event {
             Event::PageFreed { .. } => "page_freed",
             Event::UpdateApply { .. } => "update_apply",
             Event::DeltaApplied { .. } => "delta_applied",
+            Event::ChainAssigned { .. } => "chain_assigned",
+            Event::ChainsBuilt { .. } => "chains_built",
+            Event::LabelsBuilt { .. } => "labels_built",
         }
     }
 
@@ -443,6 +477,15 @@ impl Event {
             }
             Event::DeltaApplied { inserted, removed } => {
                 write!(w, ",\"inserted\":{inserted},\"removed\":{removed}")?
+            }
+            Event::ChainAssigned { comp, chain, pos } => {
+                write!(w, ",\"comp\":{comp},\"chain\":{chain},\"pos\":{pos}")?
+            }
+            Event::ChainsBuilt { chains, components } => {
+                write!(w, ",\"chains\":{chains},\"components\":{components}")?
+            }
+            Event::LabelsBuilt { entries, finite } => {
+                write!(w, ",\"entries\":{entries},\"finite\":{finite}")?
             }
             Event::RunEnd
             | Event::ListFetch

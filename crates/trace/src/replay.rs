@@ -394,7 +394,10 @@ pub fn replay(events: impl IntoIterator<Item = Event>) -> Result<ReplayedMetrics
             | Event::PageAlloc { .. }
             | Event::PageFreed { .. }
             | Event::UpdateApply { .. }
-            | Event::DeltaApplied { .. } => {}
+            | Event::DeltaApplied { .. }
+            | Event::ChainAssigned { .. }
+            | Event::ChainsBuilt { .. }
+            | Event::LabelsBuilt { .. } => {}
         }
     }
     m.io_retries = m.buffer.retries;

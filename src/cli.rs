@@ -173,7 +173,8 @@ usage: tcq <edges-file> [options]
        tcq update <edges-file> [options]
   <edges-file>          whitespace edge list: `from to` per line, # comments
   -s, --sources A,B,..  partial closure from these nodes (default: full)
-  -a, --algo NAME       btc|hyb|bj|srch|spn|jkb|jkb2|seminaive (default: advisor)
+  -a, --algo NAME       btc|hyb|bj|srch|spn|jkb|jkb2|seminaive|reachindex
+                        (default: advisor)
   -m, --buffer N        buffer pool pages (default: 20)
       --print-answer    print every (source, reachable) pair
       --trace PATH      write the run's event trace as JSONL to PATH
@@ -388,7 +389,7 @@ impl Command {
 }
 
 fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
-    Algorithm::ALL
+    Algorithm::WITH_INDEX
         .into_iter()
         .find(|a| a.name().eq_ignore_ascii_case(s))
         .ok_or_else(|| format!("unknown algorithm {s:?} (try btc, jkb2, srch, ...)"))
@@ -444,6 +445,17 @@ mod tests {
         assert!(c.print_answer);
         assert_eq!(c.trace.as_deref(), Some("t.jsonl"));
         assert_eq!(c.backend, tc_storage::Backend::File { dir: None });
+    }
+
+    #[test]
+    fn parses_the_index_algorithm() {
+        let args: Vec<String> = ["g.txt", "--algo", "reachindex"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let c = CliArgs::parse(&args).unwrap();
+        assert_eq!(c.algorithm, Some(Algorithm::ReachIndex));
+        assert!(CliArgs::parse(&["g.txt".into(), "--algo".into(), "ritc".into()]).is_err());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! * [`graph`] — DAG workloads, rectangle model, reference closures.
 //! * [`succ`] — the paged successor-list / successor-tree store.
 //! * [`core`] — the seven algorithm implementations and the query engine.
+//! * [`reach`] — the chain-decomposition reachability index (`REACHINDEX`).
 //! * [`trace`] — typed event traces, JSONL export, trace⇒metrics replay.
 //! * [`profile`] — trace-driven profiling: phase/file/page attribution,
 //!   buffer-residency and miss-class analytics, Spearman rank correlation.
@@ -25,6 +26,7 @@ pub use tc_core as core;
 pub use tc_det as det;
 pub use tc_graph as graph;
 pub use tc_profile as profile;
+pub use tc_reach as reach;
 pub use tc_storage as storage;
 pub use tc_succ as succ;
 pub use tc_trace as trace;

@@ -28,7 +28,7 @@ fn digest(s: &str) -> u64 {
 
 /// Golden quick-grid digests, one per registered section, in canonical
 /// section order.
-const GOLDEN: [(&str, u64); 13] = [
+const GOLDEN: [(&str, u64); 14] = [
     ("table2", 0xFF6B_4C4A_52F0_F50B),
     ("table3", 0xA9E9_188F_935F_0B68),
     ("fig6", 0xBE30_F49A_8623_A929),
@@ -42,6 +42,7 @@ const GOLDEN: [(&str, u64); 13] = [
     ("ablations", 0x95ED_6DF1_481D_B021),
     ("advisor", 0x9013_8046_901C_6AC6),
     ("updates", 0x9CF8_F6B0_C48C_160D),
+    ("reachindex", 0xE4E3_365E_1283_4ACA),
 ];
 
 #[test]

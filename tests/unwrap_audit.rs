@@ -9,9 +9,12 @@
 //! failure must surface as a typed [`ExpError`] naming the cell, never a
 //! worker-thread panic. And it covers all of `crates/trace/src`: a trace
 //! sink rides inside every instrumented run, so a sink I/O failure (or a
-//! poisoned sink mutex) must never panic the engine it is observing. The
-//! CI grep gate enforces the same rule repo-side; this test makes it
-//! fail locally first.
+//! poisoned sink mutex) must never panic the engine it is observing.
+//! And it covers all of `crates/reach/src`: the reachability index
+//! persists its chains and labels through the same store/pool plumbing
+//! as the engines, under the same fault-injection layer. The CI grep
+//! gate enforces the same rule repo-side; this test makes it fail
+//! locally first.
 //!
 //! [`ExpError`]: tc_bench::experiments::ExpError
 
@@ -186,6 +189,33 @@ fn profile_paths_stay_free_of_unwrap_and_expect() {
         "unwrap()/expect() in tc-profile (return typed parse/IO errors, \
          recover poisoned locks, or add an audited allowlist entry here AND \
          in .github/workflows/ci.yml):\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn reach_paths_stay_free_of_unwrap_and_expect() {
+    // The reachability index builds and queries through the same
+    // PageStore/BufferPool plumbing as the engines, under the same
+    // fault-injection layer: a storage failure during chain persistence
+    // or a label-row read must surface as a typed StorageError, never a
+    // panic inside `ReachIndex::build` or the REACHINDEX engine arm.
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let files = rust_files_under(repo, "crates/reach/src");
+    assert!(
+        files.len() >= 3,
+        "reach audit walked only {} files — directory layout changed?",
+        files.len()
+    );
+    let mut violations = Vec::new();
+    for rel in &files {
+        violations.extend(violations_in(repo, rel));
+    }
+    assert!(
+        violations.is_empty(),
+        "unwrap()/expect() in tc-reach (convert to StorageResult plumbing, \
+         or add an audited allowlist entry here AND in \
+         .github/workflows/ci.yml):\n{}",
         violations.join("\n")
     );
 }
