@@ -38,3 +38,11 @@ pub mod stats;
 pub use policy::{PagePolicy, ReplacementPolicy};
 pub use pool::BufferPool;
 pub use stats::BufferStats;
+
+// A serving session owns one pool and migrates with it between worker
+// threads; `PageStore: Send` plus `ReplacementPolicy: Send` must keep
+// the whole pool `Send`, checked here at compile time.
+const _: fn() = || {
+    fn sendable<T: Send>() {}
+    sendable::<BufferPool>();
+};

@@ -64,7 +64,12 @@ impl PagePolicy {
 }
 
 /// Frame-level replacement interface driven by the buffer pool.
-pub trait ReplacementPolicy {
+///
+/// `Send` is part of the contract: a serving session carries its pool
+/// (and therefore its boxed policy) to whichever worker thread picks the
+/// session up, so policies must not capture thread-bound state. All
+/// policies here are plain owned data.
+pub trait ReplacementPolicy: Send {
     /// A page was installed in `frame`.
     fn on_admit(&mut self, frame: usize);
     /// The page in `frame` was accessed (hit).

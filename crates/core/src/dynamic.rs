@@ -43,9 +43,10 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use std::time::Instant;
 use tc_buffer::BufferPool;
 use tc_graph::{closure, Graph, NodeId, UpdateOp};
+use tc_reach::{NullMeter, ReachIndex};
 use tc_storage::{
-    ClusteredIndex, FaultEvent, FaultPlan, FileKind, PageStore, RelationFile, StorageResult,
-    TupleWriter,
+    ClusteredIndex, FaultEvent, FaultPlan, FileKind, FrozenPageSet, PageStore, RelationFile,
+    StorageResult, TupleWriter,
 };
 use tc_trace::{Event, Phase, Tracer};
 
@@ -155,6 +156,67 @@ impl DynamicClosure {
         let out = self.tc.scan(store.as_mut());
         self.db.restore_store(store);
         out
+    }
+
+    /// Freezes the current state into an immutable
+    /// [`crate::ClosedSnapshot`] stamped with `epoch`: builds the
+    /// chain-decomposition reachability index for the current graph,
+    /// captures the base relation, clustered index, closure and index
+    /// files into a [`tc_storage::FrozenPageSet`], then drops the index
+    /// files from the live store again. Like the initial build, freezing
+    /// is setup, not serving: the live store's counters are reset
+    /// afterwards, so the next `apply`'s metrics are unaffected.
+    ///
+    /// The live instance keeps working — `freeze` after every batch to
+    /// publish updated snapshots while old ones keep serving.
+    pub fn freeze(&mut self, epoch: u64) -> StorageResult<crate::ClosedSnapshot> {
+        let store = self.db.take_store()?;
+        let origin = store.backend_name();
+        // The reach index builds through a pool like any engine run;
+        // flush makes its files durable before capture.
+        let mut pool = BufferPool::with_store(store, self.cfg.buffer_pages, self.cfg.page_policy);
+        let reach = match ReachIndex::build(
+            &mut pool,
+            self.db.graph(),
+            &Tracer::disabled(),
+            &mut NullMeter,
+        ) {
+            Ok(idx) => idx,
+            Err(e) => {
+                self.db.restore_store(pool.into_store_discard());
+                return Err(e);
+            }
+        };
+        let flushed = reach.files().iter().try_for_each(|&f| pool.flush_file(f));
+        let mut store = pool.into_store_discard();
+        let outcome = flushed
+            .and_then(|()| self.tc.scan(store.as_mut()))
+            .and_then(|tuples| {
+                let rows = crate::snapshot::closure_rows(&tuples, self.db.graph().n());
+                let files = crate::snapshot::capture_set(&self.db, &self.tc, &reach);
+                let pages = FrozenPageSet::capture(store.as_mut(), &files)?;
+                Ok((rows, pages))
+            })
+            .and_then(|ok| {
+                // The index files were only needed for the capture; give
+                // their pages back to the live store either way.
+                reach.files().iter().try_for_each(|&f| store.drop_file(f))?;
+                Ok(ok)
+            });
+        store.reset_stats();
+        self.db.restore_store(store);
+        let (rows, pages) = outcome?;
+        Ok(crate::ClosedSnapshot::assemble(
+            epoch,
+            origin,
+            self.db.graph(),
+            pages,
+            self.db.relation.clone(),
+            self.db.index.clone(),
+            self.tc.clone(),
+            rows,
+            reach,
+        ))
     }
 
     /// Applies one batch of updates to the graph, the base relation and

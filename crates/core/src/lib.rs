@@ -59,6 +59,7 @@ pub mod metrics;
 pub mod paths;
 pub mod query;
 pub mod restructure;
+pub mod snapshot;
 
 pub use advisor::{Advisor, WorkloadProfile};
 pub use algorithm::Algorithm;
@@ -70,6 +71,7 @@ pub use engine::RunResult;
 pub use metrics::{CostMetrics, PhaseIo};
 pub use paths::PathIndex;
 pub use query::Query;
+pub use snapshot::ClosedSnapshot;
 
 // Compile-time thread-safety audit. The experiment scheduler in
 // `tc-bench` ships these across a `std::thread::scope` boundary (a fresh
@@ -94,6 +96,12 @@ const _: fn() = || {
     sendable::<tc_graph::Graph>();
     shareable::<tc_graph::Graph>();
     sendable::<tc_storage::StorageError>();
+    // The serving layer shares one snapshot among all worker threads
+    // behind an `Arc` — it must be `Send + Sync`, and each session's
+    // private store must at least move with its session.
+    sendable::<ClosedSnapshot>();
+    shareable::<ClosedSnapshot>();
+    sendable::<tc_storage::FrozenStore>();
 };
 
 /// Convenient glob-import surface: the types needed to load a graph and
@@ -109,6 +117,7 @@ pub mod prelude {
     pub use crate::metrics::CostMetrics;
     pub use crate::paths::PathIndex;
     pub use crate::query::Query;
+    pub use crate::snapshot::ClosedSnapshot;
     pub use tc_buffer::PagePolicy;
     pub use tc_storage::{
         Backend, FaultConfig, FaultEvent, FaultKind, FaultOutcome, PageStore, RetryPolicy,

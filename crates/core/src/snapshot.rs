@@ -1,0 +1,394 @@
+//! Frozen, shareable snapshots of a closed database.
+//!
+//! A build (or a maintenance batch) ends with a consistent triple on
+//! disk: the clustered base relation + index, the materialized closure,
+//! and — added at freeze time — the chain-decomposition reachability
+//! index. [`ClosedSnapshot`] captures exactly those files into an
+//! immutable [`FrozenPageSet`] and packages the read-only catalog next
+//! to them, so any number of serving sessions can answer
+//! `reach`/`ptc`/`path` queries concurrently:
+//!
+//! * the page images and catalog are shared behind one `Arc` — zero
+//!   copies per session;
+//! * each session opens its **own** [`FrozenStore`] (and buffer pool
+//!   above it) via [`ClosedSnapshot::open_store`], so page reads never
+//!   contend on pool or counter state and per-session I/O metrics stay
+//!   deterministic at any worker count;
+//! * updates never touch a snapshot: [`crate::DynamicClosure`] applies
+//!   batches to the *live* database and publishes the result as a new
+//!   snapshot ([`crate::DynamicClosure::freeze`]), while in-flight
+//!   queries finish on the old epoch — the snapshot-isolation model of
+//!   the serving layer in `tc-serve`.
+//!
+//! Query cost accounting mirrors the engines: `reach(u, v)` reads the
+//! label row of `u`'s component ([`tc_reach::ReachIndex`]), `ptc(u)`
+//! reads exactly the closure pages holding row `u`, and `path(u, v)`
+//! walks guided by the index, probing base-relation children one node
+//! at a time.
+
+use crate::config::SystemConfig;
+use crate::database::Database;
+use std::sync::Arc;
+use tc_graph::{Graph, NodeId};
+use tc_reach::ReachIndex;
+use tc_storage::{
+    ClusteredIndex, FileId, FrozenPageSet, FrozenStore, Pager, RelationFile, StorageError,
+    StorageResult, TuplePage, TUPLES_PER_PAGE,
+};
+
+/// An immutable, `Arc`-shared view of a closed database: catalog +
+/// frozen page images + reachability index, stamped with an epoch.
+///
+/// Cloning the struct is cheap (the page set is behind an `Arc`); the
+/// serving layer clones one `Arc<ClosedSnapshot>` per in-flight query
+/// instead.
+pub struct ClosedSnapshot {
+    /// Publication stamp: 0 for the initial build, incremented by the
+    /// service on every [`crate::DynamicClosure::freeze`] it publishes.
+    epoch: u64,
+    /// Number of nodes of the frozen graph.
+    n: usize,
+    /// Backend the snapshot was frozen from (`"sim"` / `"file"`).
+    origin: &'static str,
+    /// The captured page images, shared by every session's store.
+    pages: Arc<FrozenPageSet>,
+    /// Clustered base relation (children probes for `path`).
+    relation: RelationFile,
+    index: ClusteredIndex,
+    /// Materialized transitive closure, sorted `(source, successor)`.
+    closure: RelationFile,
+    /// Per-source tuple range `[start, end)` into `closure`; `ptc(u)`
+    /// reads exactly the pages covering `closure_rows[u]`.
+    closure_rows: Vec<(u32, u32)>,
+    /// Chain-decomposition reachability index (labels answer `reach`).
+    reach: ReachIndex,
+}
+
+impl ClosedSnapshot {
+    /// Builds a database + closure for `graph` under `cfg` and freezes
+    /// it immediately at epoch 0 — the one-shot path for serving a
+    /// static corpus. For a live corpus, keep the
+    /// [`crate::DynamicClosure`] and freeze after each batch instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` is cyclic, like [`crate::DynamicClosure::build`].
+    pub fn build(graph: &Graph, cfg: &SystemConfig) -> StorageResult<ClosedSnapshot> {
+        crate::dynamic::DynamicClosure::build(graph, cfg)?.freeze(0)
+    }
+
+    pub(crate) fn assemble(
+        epoch: u64,
+        origin: &'static str,
+        graph: &Graph,
+        pages: FrozenPageSet,
+        relation: RelationFile,
+        index: ClusteredIndex,
+        closure: RelationFile,
+        closure_rows: Vec<(u32, u32)>,
+        reach: ReachIndex,
+    ) -> ClosedSnapshot {
+        ClosedSnapshot {
+            epoch,
+            n: graph.n(),
+            origin,
+            pages: Arc::new(pages),
+            relation,
+            index,
+            closure,
+            closure_rows,
+            reach,
+        }
+    }
+
+    /// The snapshot's publication epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of nodes in the frozen graph.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Backend the snapshot was frozen from (`"sim"` / `"file"`).
+    pub fn origin(&self) -> &'static str {
+        self.origin
+    }
+
+    /// Tuples in the frozen closure.
+    pub fn closure_tuples(&self) -> usize {
+        self.closure.tuple_count()
+    }
+
+    /// Width k of the frozen reachability index.
+    pub fn width(&self) -> usize {
+        self.reach.width()
+    }
+
+    /// The frozen reachability index (label rows, decomposition).
+    pub fn reach_index(&self) -> &ReachIndex {
+        &self.reach
+    }
+
+    /// The shared frozen page images.
+    pub fn pages(&self) -> &Arc<FrozenPageSet> {
+        &self.pages
+    }
+
+    /// Opens a fresh private read-only store over the shared page
+    /// images — one per serving session, with its own counters.
+    pub fn open_store(&self) -> FrozenStore {
+        FrozenStore::new(Arc::clone(&self.pages))
+    }
+
+    /// Whether `u` reaches `v` by a non-empty path, answered from the
+    /// persisted label row of `u`'s component (page I/O charged to
+    /// `pager`). Out-of-range vertices reach nothing.
+    pub fn reach<P: Pager>(&self, pager: &mut P, u: NodeId, v: NodeId) -> StorageResult<bool> {
+        if u as usize >= self.n || v as usize >= self.n {
+            return Ok(false);
+        }
+        self.reach.reach(pager, u, v)
+    }
+
+    /// The partial transitive closure of `u`: every vertex reachable by
+    /// a non-empty path, ascending. Reads exactly the closure pages
+    /// holding row `u`. Out-of-range sources reach nothing.
+    pub fn ptc<P: Pager>(&self, pager: &mut P, u: NodeId) -> StorageResult<Vec<NodeId>> {
+        let mut out = Vec::new();
+        let Some(&(start, end)) = self.closure_rows.get(u as usize) else {
+            return Ok(out);
+        };
+        if start < end {
+            read_value_range(pager, &self.closure, start as usize, end as usize, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    /// One concrete `u → … → v` path (inclusive of both endpoints), or
+    /// `None` when `v` is unreachable. The walk is guided: at each node
+    /// it probes the base relation for the children and steps to the
+    /// first (smallest-id) child that still reaches `v`, so the answer
+    /// is deterministic and the cost is one index probe + one label row
+    /// per hop. Reachability here is irreflexive: `path(u, u)` is
+    /// `None` on the frozen DAG.
+    pub fn path<P: Pager>(
+        &self,
+        pager: &mut P,
+        u: NodeId,
+        v: NodeId,
+    ) -> StorageResult<Option<Vec<NodeId>>> {
+        if u == v || !self.reach(pager, u, v)? {
+            return Ok(None);
+        }
+        let mut hops = vec![u];
+        let mut cur = u;
+        let mut kids = Vec::new();
+        // A DAG walk strictly descends, so n hops bound any path; going
+        // past that means the catalog and index disagree.
+        for _ in 0..self.n {
+            kids.clear();
+            if let Some((lo, hi)) = self.index.probe(pager, cur)? {
+                self.relation.probe_range(pager, cur, lo, hi, &mut kids)?;
+            }
+            let mut next = None;
+            for &c in &kids {
+                if c == v {
+                    hops.push(v);
+                    return Ok(Some(hops));
+                }
+                if self.reach(pager, c, v)? {
+                    next = Some(c);
+                    break;
+                }
+            }
+            match next {
+                Some(c) => {
+                    hops.push(c);
+                    cur = c;
+                }
+                None => {
+                    return Err(StorageError::Internal(
+                        "path walk lost its target — closure and relation disagree",
+                    ))
+                }
+            }
+        }
+        Err(StorageError::Internal(
+            "path walk exceeded n hops — frozen graph is not acyclic",
+        ))
+    }
+}
+
+/// Scans the closure file once and derives the per-source tuple ranges
+/// `ptc` reads from; also returns the file ids to capture.
+pub(crate) fn closure_rows(tuples: &[(NodeId, NodeId)], n: usize) -> Vec<(u32, u32)> {
+    let mut rows = vec![(0u32, 0u32); n];
+    let mut i = 0usize;
+    while i < tuples.len() {
+        let src = tuples[i].0 as usize;
+        let start = i;
+        while i < tuples.len() && tuples[i].0 as usize == src {
+            i += 1;
+        }
+        if src < n {
+            rows[src] = (start as u32, i as u32);
+        }
+    }
+    rows
+}
+
+/// The files a snapshot captures: base relation, clustered index,
+/// closure, then the reach index's chains and labels files.
+pub(crate) fn capture_set(
+    db: &Database,
+    closure: &RelationFile,
+    reach: &ReachIndex,
+) -> Vec<FileId> {
+    let mut files = vec![db.relation.file_id(), db.index.file_id(), closure.file_id()];
+    files.extend(reach.files());
+    files
+}
+
+/// Reads the tuple *values* at global tuple indices `[start, end)` of a
+/// contiguously written relation file — the same access shape as the
+/// reach index's label-row reads: one page access per page touched.
+fn read_value_range<P: Pager>(
+    pager: &mut P,
+    file: &RelationFile,
+    start: usize,
+    end: usize,
+    out: &mut Vec<u32>,
+) -> StorageResult<()> {
+    let (lo, hi) = (start / TUPLES_PER_PAGE, (end - 1) / TUPLES_PER_PAGE);
+    for i in lo..=hi {
+        let count = file.tuples_on_page(i);
+        let base = i * TUPLES_PER_PAGE;
+        pager.with_page(file.pages()[i], &mut |pg: &tc_storage::Page| {
+            let s = start.saturating_sub(base);
+            let e = (end - base).min(count);
+            for slot in s..e {
+                out.push(TuplePage::get(pg, slot).1);
+            }
+        })?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamic::DynamicClosure;
+    use tc_buffer::{BufferPool, PagePolicy};
+    use tc_graph::{closure, DagGenerator};
+
+    fn oracle(g: &Graph, u: NodeId) -> Vec<NodeId> {
+        closure::successors_of(g, u)
+    }
+
+    fn fixture() -> (Graph, ClosedSnapshot) {
+        let g = DagGenerator::new(300, 3.0, 60).seed(5).generate();
+        let snap = ClosedSnapshot::build(&g, &SystemConfig::with_buffer(16)).unwrap();
+        (g, snap)
+    }
+
+    #[test]
+    fn ptc_matches_the_oracle_for_every_source() {
+        let (g, snap) = fixture();
+        let mut store = snap.open_store();
+        for u in 0..g.n() as NodeId {
+            assert_eq!(snap.ptc(&mut store, u).unwrap(), oracle(&g, u), "src {u}");
+        }
+    }
+
+    #[test]
+    fn reach_matches_closure_membership() {
+        let (g, snap) = fixture();
+        let mut pool = BufferPool::new(snap.open_store(), 8, PagePolicy::Lru);
+        for u in (0..g.n() as NodeId).step_by(17) {
+            let row = oracle(&g, u);
+            for v in (0..g.n() as NodeId).step_by(13) {
+                assert_eq!(
+                    snap.reach(&mut pool, u, v).unwrap(),
+                    row.binary_search(&v).is_ok(),
+                    "{u}->{v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paths_are_real_arcs_and_reach_their_target() {
+        let (g, snap) = fixture();
+        let mut store = snap.open_store();
+        let mut found = 0;
+        for u in (0..g.n() as NodeId).step_by(7) {
+            for v in (0..g.n() as NodeId).step_by(11) {
+                let p = snap.path(&mut store, u, v).unwrap();
+                match p {
+                    Some(hops) => {
+                        found += 1;
+                        assert_eq!(hops.first(), Some(&u));
+                        assert_eq!(hops.last(), Some(&v));
+                        for w in hops.windows(2) {
+                            assert!(g.has_arc(w[0], w[1]), "fabricated arc {w:?}");
+                        }
+                    }
+                    None => assert!(
+                        u == v || !snap.reach(&mut store, u, v).unwrap(),
+                        "no path yet reachable {u}->{v}"
+                    ),
+                }
+            }
+        }
+        assert!(found > 0, "fixture produced no reachable pairs");
+    }
+
+    #[test]
+    fn out_of_range_vertices_reach_nothing() {
+        let (_, snap) = fixture();
+        let mut store = snap.open_store();
+        let big = snap.n() as NodeId + 9;
+        assert!(!snap.reach(&mut store, big, 0).unwrap());
+        assert!(!snap.reach(&mut store, 0, big).unwrap());
+        assert!(snap.ptc(&mut store, big).unwrap().is_empty());
+        assert_eq!(snap.path(&mut store, 0, big).unwrap(), None);
+    }
+
+    #[test]
+    fn freeze_is_repeatable_and_does_not_disturb_the_live_side() {
+        let g = DagGenerator::new(200, 3.0, 40).seed(8).generate();
+        let cfg = SystemConfig::with_buffer(12);
+        let mut live = DynamicClosure::build(&g, &cfg).unwrap();
+        let a = live.freeze(1).unwrap();
+        let b = live.freeze(2).unwrap();
+        assert_eq!(a.closure_tuples(), b.closure_tuples());
+        let (mut sa, mut sb) = (a.open_store(), b.open_store());
+        for u in 0..g.n() as NodeId {
+            assert_eq!(a.ptc(&mut sa, u).unwrap(), b.ptc(&mut sb, u).unwrap());
+        }
+        // The live instance still answers and still applies batches.
+        assert_eq!(live.tuples().unwrap().len(), a.closure_tuples());
+        // Insert an arc between two unconnected nodes so the batch is a
+        // genuine closure change (and cannot close a cycle).
+        let r0 = oracle(&g, 0);
+        let v = (1..g.n() as NodeId)
+            .find(|&v| r0.binary_search(&v).is_err() && oracle(&g, v).binary_search(&0).is_err())
+            .unwrap();
+        let res = live.apply(&[tc_graph::UpdateOp::Insert(0, v)]).unwrap();
+        assert!(res.inserted > 0);
+        // The old snapshots are unaffected by the mutation.
+        assert_eq!(a.ptc(&mut sa, 0).unwrap(), oracle(&g, 0));
+    }
+
+    #[test]
+    fn closure_rows_ranges_cover_and_partition() {
+        let tuples = vec![(0, 1), (0, 2), (2, 3), (5, 0)];
+        let rows = closure_rows(&tuples, 6);
+        assert_eq!(rows[0], (0, 2));
+        assert_eq!(rows[1], (0, 0), "empty row");
+        assert_eq!(rows[2], (2, 3));
+        assert_eq!(rows[5], (3, 4));
+    }
+}

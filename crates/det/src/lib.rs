@@ -53,6 +53,8 @@
 pub mod bench;
 pub mod check;
 pub mod rng;
+pub mod zipf;
 
 pub use check::Checker;
 pub use rng::{cell_seed, splitmix64, Rng};
+pub use zipf::Zipf;

@@ -1,0 +1,119 @@
+//! A seeded Zipf-like sampler over `0..n` (replaces `rand_distr::Zipf`).
+//!
+//! Serving workloads are skewed: a few hot sources attract most of the
+//! queries. The classic model is the Zipf distribution — rank `i`
+//! (0-based) is drawn with probability proportional to `1 / (i+1)^theta`.
+//! `theta = 0` degenerates to uniform; `theta ≈ 1` is the textbook
+//! "80/20" web-traffic shape.
+//!
+//! The implementation precomputes the cumulative distribution once and
+//! samples by binary search on a single [`Rng::f64`] draw, so a given
+//! (n, theta, seed) triple always produces the same rank stream — the
+//! property the serve-layer load generator pins in its golden tests.
+
+use crate::rng::Rng;
+
+/// A precomputed Zipf distribution over the ranks `0..n`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// `cdf[i]` = P(rank ≤ i); monotone, `cdf[n-1] == 1.0`.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Precomputes the distribution for `n` ranks with skew `theta ≥ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative/non-finite — both are
+    /// configuration errors, not data conditions.
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "Zipf skew must be finite and non-negative"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against accumulated rounding at the top end.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws one rank in `0..n` using a single `f64` from `rng`.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.f64();
+        // First index whose cumulative mass reaches the draw.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = Rng::from_seed(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "uniform draw skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn skew_prefers_low_ranks() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = Rng::from_seed(7);
+        let mut head = 0usize;
+        for _ in 0..2000 {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With theta = 1.2 the top decile carries well over half the mass.
+        assert!(head > 1200, "only {head}/2000 draws hit the top 10 ranks");
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let z = Zipf::new(50, 0.9);
+        let draw = |seed| {
+            let mut rng = Rng::from_seed(seed);
+            (0..32).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = Rng::from_seed(9);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn rejects_empty() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

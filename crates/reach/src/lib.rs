@@ -44,3 +44,15 @@ pub mod index;
 
 pub use chain::{ChainDecomposition, NO_POS};
 pub use index::{LabelMatrix, NullMeter, ReachIndex, ReachMeter};
+
+// A frozen snapshot shares one `ReachIndex` among all serving sessions
+// behind an `Arc`; its query methods take `&self`, so the whole index
+// must stay plain shareable data. Checked at compile time.
+const _: fn() = || {
+    fn sendable<T: Send>() {}
+    fn shareable<T: Sync>() {}
+    sendable::<ReachIndex>();
+    shareable::<ReachIndex>();
+    shareable::<ChainDecomposition>();
+    shareable::<LabelMatrix>();
+};

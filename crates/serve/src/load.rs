@@ -1,0 +1,253 @@
+//! The deterministic load generator: seeded query mixes with
+//! Zipf-skewed sources.
+//!
+//! A [`QueryStream`] is the serving layer's workload artifact, playing
+//! the role `DagGenerator` plays for graphs: a pure function of its
+//! parameters and seed, so the same stream replays bit-identically on
+//! every machine and the golden tests can pin its digest. Each client
+//! draws from its own `cell_seed`-derived stream — coordinates, not
+//! scheduling, decide every bit — sources are Zipf-skewed (hot sources
+//! attract most queries, the regime the hot-source cache exists for),
+//! and destinations are uniform.
+//!
+//! Closed-loop streams issue each request as soon as the previous reply
+//! arrives; open-loop streams additionally carry deterministic
+//! exponential inter-arrival gaps ([`QueryStream::arrivals_ns`]) for
+//! the wall-time track to report against. Arrival times never
+//! influence replies or counted I/O — they are data, not schedule.
+
+use crate::request::Request;
+use tc_det::{cell_seed, Rng, Zipf};
+use tc_graph::NodeId;
+use tc_trace::Fnv;
+
+/// Relative weights of the three request shapes in a stream.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MixSpec {
+    /// Weight of `reach(u, v)` requests.
+    pub reach: u32,
+    /// Weight of `ptc(u)` requests.
+    pub ptc: u32,
+    /// Weight of `path(u, v)` requests.
+    pub path: u32,
+}
+
+impl MixSpec {
+    /// Point lookups dominate (an authorization-check workload).
+    pub const REACH_HEAVY: MixSpec = MixSpec {
+        reach: 8,
+        ptc: 1,
+        path: 1,
+    };
+    /// Full-row reads dominate (a feed-expansion workload).
+    pub const PTC_HEAVY: MixSpec = MixSpec {
+        reach: 1,
+        ptc: 8,
+        path: 1,
+    };
+    /// The canonical balanced mix.
+    pub const MIXED: MixSpec = MixSpec {
+        reach: 4,
+        ptc: 3,
+        path: 3,
+    };
+
+    fn total(&self) -> u32 {
+        self.reach + self.ptc + self.path
+    }
+}
+
+/// Whether clients wait for replies (closed loop) or follow an arrival
+/// process (open loop, deterministic exponential gaps).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum LoopMode {
+    /// Issue each request when the previous reply arrives.
+    Closed,
+    /// Issue requests on a seeded exponential arrival process.
+    Open {
+        /// Mean inter-arrival gap, in nanoseconds.
+        mean_gap_ns: u64,
+    },
+}
+
+/// Base seed of the canonical G5 serving mix pinned by the golden test.
+pub const CANONICAL_SERVE_SEED: u64 = 0x5E12_0009;
+
+/// A generated, replayable query workload: per-client request queues
+/// plus (open loop) arrival offsets.
+pub struct QueryStream {
+    per_client: Vec<Vec<Request>>,
+    /// Arrival offset of each request from its client's start, in ns;
+    /// all zeros in closed-loop mode.
+    arrivals: Vec<Vec<u64>>,
+}
+
+impl QueryStream {
+    /// Generates the stream for a corpus of `n` vertices: `clients`
+    /// queues of `per_client` requests each, shaped by `mix`, sources
+    /// Zipf-skewed with `zipf_theta` (0 = uniform), destinations
+    /// uniform. Client `c` consumes the stream
+    /// `cell_seed(seed, [c])` — adding a client never changes the
+    /// requests of the others.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, the mix has zero total weight, or
+    /// `zipf_theta` is negative/non-finite (configuration errors).
+    pub fn generate(
+        n: usize,
+        clients: usize,
+        per_client: usize,
+        mix: MixSpec,
+        zipf_theta: f64,
+        mode: LoopMode,
+        seed: u64,
+    ) -> QueryStream {
+        assert!(n > 0, "QueryStream needs a non-empty corpus");
+        assert!(mix.total() > 0, "QueryStream mix has zero total weight");
+        let zipf = Zipf::new(n, zipf_theta);
+        let mut queues = Vec::with_capacity(clients);
+        let mut arrivals = Vec::with_capacity(clients);
+        for c in 0..clients {
+            let mut rng = Rng::from_seed(cell_seed(seed, &[c as u64]));
+            let mut reqs = Vec::with_capacity(per_client);
+            let mut at = Vec::with_capacity(per_client);
+            let mut clock = 0u64;
+            for _ in 0..per_client {
+                let pick = rng.random_range(0..mix.total());
+                let u = zipf.sample(&mut rng) as NodeId;
+                let req = if pick < mix.reach {
+                    let v = rng.random_range(0..n as NodeId);
+                    Request::Reach { u, v }
+                } else if pick < mix.reach + mix.ptc {
+                    Request::Ptc { u }
+                } else {
+                    let v = rng.random_range(0..n as NodeId);
+                    Request::Path { u, v }
+                };
+                if let LoopMode::Open { mean_gap_ns } = mode {
+                    // Inverse-CDF exponential gap from one uniform draw.
+                    let gap = -(1.0 - rng.f64()).ln() * mean_gap_ns as f64;
+                    clock += gap as u64;
+                }
+                reqs.push(req);
+                at.push(clock);
+            }
+            queues.push(reqs);
+            arrivals.push(at);
+        }
+        QueryStream {
+            per_client: queues,
+            arrivals,
+        }
+    }
+
+    /// The canonical G5 serving mix the golden test pins: 4 clients ×
+    /// 64 requests over the 2000-vertex canonical corpus, balanced mix,
+    /// theta 0.8, closed loop, seed [`CANONICAL_SERVE_SEED`].
+    pub fn canonical_g5() -> QueryStream {
+        QueryStream::generate(
+            2000,
+            4,
+            64,
+            MixSpec::MIXED,
+            0.8,
+            LoopMode::Closed,
+            CANONICAL_SERVE_SEED,
+        )
+    }
+
+    /// Number of client queues.
+    pub fn clients(&self) -> usize {
+        self.per_client.len()
+    }
+
+    /// Total requests across all clients.
+    pub fn len(&self) -> usize {
+        self.per_client.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the stream holds no requests at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Client `c`'s request queue, in issue order.
+    pub fn client(&self, c: usize) -> &[Request] {
+        &self.per_client[c]
+    }
+
+    /// Client `c`'s arrival offsets (ns from client start; all zeros in
+    /// closed-loop mode).
+    pub fn arrivals_ns(&self, c: usize) -> &[u64] {
+        &self.arrivals[c]
+    }
+
+    /// FNV-1a digest of the whole stream (clients in order, each
+    /// request through its canonical encoding plus its arrival offset).
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(self.per_client.len() as u64);
+        for (reqs, ats) in self.per_client.iter().zip(&self.arrivals) {
+            h.u64(reqs.len() as u64);
+            for (req, &at) in reqs.iter().zip(ats) {
+                req.fold(&mut h);
+                h.u64(at);
+            }
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let make =
+            |seed| QueryStream::generate(100, 3, 20, MixSpec::MIXED, 0.8, LoopMode::Closed, seed);
+        assert_eq!(make(1).digest(), make(1).digest());
+        assert_ne!(make(1).digest(), make(2).digest());
+    }
+
+    #[test]
+    fn adding_clients_preserves_existing_queues() {
+        let a = QueryStream::generate(100, 2, 16, MixSpec::MIXED, 0.5, LoopMode::Closed, 9);
+        let b = QueryStream::generate(100, 4, 16, MixSpec::MIXED, 0.5, LoopMode::Closed, 9);
+        assert_eq!(a.client(0), b.client(0));
+        assert_eq!(a.client(1), b.client(1));
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_sources() {
+        let s = QueryStream::generate(1000, 1, 400, MixSpec::REACH_HEAVY, 1.2, LoopMode::Closed, 3);
+        let head = s.client(0).iter().filter(|r| r.source() < 100).count();
+        assert!(head > 200, "only {head}/400 requests hit the hot decile");
+    }
+
+    #[test]
+    fn open_loop_arrivals_are_monotone_and_closed_loop_zero() {
+        let open = QueryStream::generate(
+            50,
+            1,
+            32,
+            MixSpec::MIXED,
+            0.0,
+            LoopMode::Open { mean_gap_ns: 1000 },
+            5,
+        );
+        let at = open.arrivals_ns(0);
+        assert!(at.windows(2).all(|w| w[0] <= w[1]));
+        assert!(*at.last().unwrap() > 0);
+        let closed = QueryStream::generate(50, 1, 32, MixSpec::MIXED, 0.0, LoopMode::Closed, 5);
+        assert!(closed.arrivals_ns(0).iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn canonical_stream_has_the_pinned_shape() {
+        let s = QueryStream::canonical_g5();
+        assert_eq!(s.clients(), 4);
+        assert_eq!(s.len(), 256);
+    }
+}

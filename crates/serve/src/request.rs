@@ -1,0 +1,162 @@
+//! The typed request/reply protocol of the query service.
+//!
+//! Three point-query shapes, matching what the frozen snapshot answers
+//! cheaply: `reach(u, v)` from the reachability-index labels, `ptc(u)`
+//! from the materialized closure row, and `path(u, v)` by the guided
+//! index walk. Replies carry their full answer; [`Reply::digest`] folds
+//! it into the workspace's standard FNV-1a 64 so reply streams can be
+//! pinned and compared byte-for-byte across worker counts and backends.
+
+use tc_graph::NodeId;
+use tc_trace::Fnv;
+
+/// One point query against a frozen snapshot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Request {
+    /// Does `u` reach `v` by a non-empty path?
+    Reach {
+        /// Source vertex.
+        u: NodeId,
+        /// Destination vertex.
+        v: NodeId,
+    },
+    /// Every vertex reachable from `u` (ascending).
+    Ptc {
+        /// Source vertex.
+        u: NodeId,
+    },
+    /// One concrete `u → … → v` path, if any.
+    Path {
+        /// Source vertex.
+        u: NodeId,
+        /// Destination vertex.
+        v: NodeId,
+    },
+}
+
+impl Request {
+    /// The source vertex the request is keyed on (what the hot-source
+    /// cache and the Zipf load skew operate over).
+    pub fn source(&self) -> NodeId {
+        match *self {
+            Request::Reach { u, .. } | Request::Ptc { u } | Request::Path { u, .. } => u,
+        }
+    }
+
+    /// Folds the request through its canonical encoding (discriminant
+    /// byte, then fields).
+    pub fn fold(&self, h: &mut Fnv) {
+        match *self {
+            Request::Reach { u, v } => {
+                h.byte(0);
+                h.u32(u);
+                h.u32(v);
+            }
+            Request::Ptc { u } => {
+                h.byte(1);
+                h.u32(u);
+            }
+            Request::Path { u, v } => {
+                h.byte(2);
+                h.u32(u);
+                h.u32(v);
+            }
+        }
+    }
+}
+
+/// The service's answer to one [`Request`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Reply {
+    /// Answer to [`Request::Reach`].
+    Reach(bool),
+    /// Answer to [`Request::Ptc`]: the reachable set, ascending.
+    Ptc(Vec<NodeId>),
+    /// Answer to [`Request::Path`]: the hops `u..=v`, or `None` when
+    /// `v` is unreachable.
+    Path(Option<Vec<NodeId>>),
+}
+
+impl Reply {
+    /// Folds the reply through its canonical encoding (discriminant
+    /// byte, then the answer: bool as one byte, vectors as length +
+    /// little-endian words).
+    pub fn fold(&self, h: &mut Fnv) {
+        match self {
+            Reply::Reach(b) => {
+                h.byte(0);
+                h.bool(*b);
+            }
+            Reply::Ptc(row) => {
+                h.byte(1);
+                h.u64(row.len() as u64);
+                for &x in row {
+                    h.u32(x);
+                }
+            }
+            Reply::Path(hops) => {
+                h.byte(2);
+                match hops {
+                    None => h.bool(false),
+                    Some(hops) => {
+                        h.bool(true);
+                        h.u64(hops.len() as u64);
+                        for &x in hops {
+                            h.u32(x);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The reply's standalone FNV-1a 64 digest.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        self.fold(&mut h);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digests_distinguish_shape_and_content() {
+        let a = Reply::Reach(true);
+        let b = Reply::Reach(false);
+        let c = Reply::Ptc(vec![]);
+        let d = Reply::Ptc(vec![1, 2]);
+        let e = Reply::Path(None);
+        let f = Reply::Path(Some(vec![1, 2]));
+        let ds: Vec<u64> = [&a, &b, &c, &d, &e, &f]
+            .iter()
+            .map(|r| r.digest())
+            .collect();
+        for i in 0..ds.len() {
+            for j in i + 1..ds.len() {
+                assert_ne!(ds[i], ds[j], "collision between {i} and {j}");
+            }
+        }
+        assert_eq!(a.digest(), Reply::Reach(true).digest());
+    }
+
+    #[test]
+    fn request_fold_is_canonical() {
+        let fold = |r: &Request| {
+            let mut h = Fnv::new();
+            r.fold(&mut h);
+            h.finish()
+        };
+        assert_eq!(
+            fold(&Request::Reach { u: 1, v: 2 }),
+            fold(&Request::Reach { u: 1, v: 2 })
+        );
+        assert_ne!(
+            fold(&Request::Reach { u: 1, v: 2 }),
+            fold(&Request::Path { u: 1, v: 2 })
+        );
+        assert_eq!(Request::Path { u: 7, v: 9 }.source(), 7);
+    }
+}

@@ -1,0 +1,435 @@
+//! The in-process service loop: per-client request queues, a worker
+//! pool, and an atomically swappable snapshot.
+//!
+//! [`Service`] owns the *current* [`ClosedSnapshot`] behind a mutexed
+//! `Arc`. [`Service::serve`] plays a [`QueryStream`] against it:
+//! every client's requests are posted to a private message queue up
+//! front (the senders then hang up), and `workers` threads drain the
+//! queues. A worker claims a *whole* client at a time from an atomic
+//! cursor, opens that client's [`Session`], and answers its queue in
+//! order — so each session's counters and replies are a pure function
+//! of its own request sequence, never of thread interleaving. That is
+//! what makes the deterministic track (pages read, cache hits,
+//! per-reply digests) byte-identical at any worker count, while the
+//! wall-time track (latencies, queries/sec) remains free to vary.
+//!
+//! [`Service::publish`] swaps in a new snapshot while a serve is in
+//! flight: workers re-fetch the current `Arc` before every request and
+//! rebind their session when the epoch moved, so in-flight queries
+//! finish on the epoch they started with and each reply reflects
+//! exactly one consistent closure. Old snapshots die when the last
+//! session drops its `Arc`.
+
+use crate::load::QueryStream;
+use crate::request::Reply;
+use crate::session::{Session, SessionConfig, SessionStats};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use tc_buffer::BufferStats;
+use tc_storage::StorageError;
+use tc_trace::Fnv;
+
+/// Shape of one service run.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads draining the client queues. Changing this must
+    /// not change anything on the deterministic track.
+    pub workers: usize,
+    /// Configuration applied to every client session.
+    pub session: SessionConfig,
+    /// Keep each full [`Reply`] in its [`ReplyRecord`] (differential
+    /// tests want the payloads; benchmarks only need the digests).
+    pub collect_replies: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            session: SessionConfig::default(),
+            collect_replies: false,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Builder-style: worker thread count.
+    pub fn workers(mut self, w: usize) -> Self {
+        self.workers = w;
+        self
+    }
+
+    /// Builder-style: per-session configuration.
+    pub fn session(mut self, s: SessionConfig) -> Self {
+        self.session = s;
+        self
+    }
+
+    /// Builder-style: retain full reply payloads.
+    pub fn collect_replies(mut self, yes: bool) -> Self {
+        self.collect_replies = yes;
+        self
+    }
+}
+
+/// One answered request, in its client's issue order.
+#[derive(Clone, Debug)]
+pub struct ReplyRecord {
+    /// The client the request belonged to.
+    pub client: usize,
+    /// Position in the client's queue.
+    pub seq: usize,
+    /// Epoch of the snapshot that answered it.
+    pub epoch: u64,
+    /// FNV-1a digest of the reply (always present).
+    pub digest: u64,
+    /// Wall-clock service time — wall-time track only, never folded
+    /// into any gating digest.
+    pub latency_ns: u64,
+    /// The full payload, when [`ServeConfig::collect_replies`] is set.
+    pub reply: Option<Reply>,
+}
+
+/// Everything one client's session produced.
+#[derive(Clone, Debug)]
+pub struct ClientReport {
+    /// Answered requests, in issue order.
+    pub records: Vec<ReplyRecord>,
+    /// Physical pages the session read through its private store.
+    pub pages_read: u64,
+    /// The session's buffer-pool counters.
+    pub buffer: BufferStats,
+    /// The session's logical counters.
+    pub stats: SessionStats,
+}
+
+/// A failed request: the service stops the run and reports the first
+/// storage error it hit, attributed to client and sequence number.
+#[derive(Debug)]
+pub struct ServeError {
+    /// The client whose request failed.
+    pub client: usize,
+    /// Position in that client's queue.
+    pub seq: usize,
+    /// The underlying storage error.
+    pub source: StorageError,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "client {} request {} failed: {}",
+            self.client, self.seq, self.source
+        )
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Lock a mutex, absorbing poisoning: a panicked worker must not wedge
+/// the service's read-only state.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The query service: the current snapshot plus the serve loop.
+pub struct Service {
+    current: Mutex<Arc<tc_core::ClosedSnapshot>>,
+}
+
+impl Service {
+    /// Starts a service over `snapshot` (owned, or already shared
+    /// behind an `Arc`).
+    pub fn new(snapshot: impl Into<Arc<tc_core::ClosedSnapshot>>) -> Service {
+        Service {
+            current: Mutex::new(snapshot.into()),
+        }
+    }
+
+    /// The snapshot new requests are answered against.
+    pub fn snapshot(&self) -> Arc<tc_core::ClosedSnapshot> {
+        Arc::clone(&lock(&self.current))
+    }
+
+    /// Atomically publishes `snap` as the current snapshot. Requests
+    /// already being answered finish on the epoch they started; the
+    /// next request of every session sees the new one.
+    pub fn publish(&self, snap: impl Into<Arc<tc_core::ClosedSnapshot>>) {
+        *lock(&self.current) = snap.into();
+    }
+
+    /// Plays `stream` against the service with `cfg.workers` threads
+    /// and returns the per-client reports (clients in stream order).
+    /// Stops at the first failed request.
+    pub fn serve(
+        &self,
+        stream: &QueryStream,
+        cfg: &ServeConfig,
+    ) -> Result<ServeReport, ServeError> {
+        let clients = stream.clients();
+        // Post every client's requests to its private queue, then hang
+        // up: the queues are the only path requests travel, and a
+        // drained queue tells the worker the client is done.
+        let mut receivers: Vec<Mutex<Option<Receiver<(usize, crate::request::Request)>>>> =
+            Vec::with_capacity(clients);
+        for c in 0..clients {
+            let reqs = stream.client(c);
+            let (tx, rx): (SyncSender<_>, _) = std::sync::mpsc::sync_channel(reqs.len().max(1));
+            for (seq, req) in reqs.iter().enumerate() {
+                // A send into a fresh queue sized to the client's whole
+                // stream cannot fail; ignore the impossible error to
+                // keep the serve loop panic-free.
+                let _ = tx.send((seq, *req));
+            }
+            receivers.push(Mutex::new(Some(rx)));
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let reports: Vec<Mutex<Option<ClientReport>>> =
+            (0..clients).map(|_| Mutex::new(None)).collect();
+        let failure: Mutex<Option<ServeError>> = Mutex::new(None);
+        let started = Instant::now();
+
+        let workers = cfg.workers.clamp(1, clients.max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let c = cursor.fetch_add(1, Ordering::Relaxed);
+                    if c >= clients || lock(&failure).is_some() {
+                        return;
+                    }
+                    let rx = match lock(&receivers[c]).take() {
+                        Some(rx) => rx,
+                        None => continue,
+                    };
+                    let report = self.drive_client(c, rx, cfg, &failure);
+                    *lock(&reports[c]) = report;
+                });
+            }
+        });
+
+        if let Some(err) = lock(&failure).take() {
+            return Err(err);
+        }
+        let mut out = Vec::with_capacity(clients);
+        for slot in &reports {
+            if let Some(report) = lock(slot).take() {
+                out.push(report);
+            }
+        }
+        Ok(ServeReport {
+            clients: out,
+            wall_ns: started.elapsed().as_nanos() as u64,
+        })
+    }
+
+    /// Answers one client's whole queue on the calling worker thread.
+    fn drive_client(
+        &self,
+        client: usize,
+        rx: Receiver<(usize, crate::request::Request)>,
+        cfg: &ServeConfig,
+        failure: &Mutex<Option<ServeError>>,
+    ) -> Option<ClientReport> {
+        let mut session = Session::new(self.snapshot(), &cfg.session, client as u64);
+        let mut records = Vec::new();
+        for (seq, req) in rx {
+            // Pick up a published snapshot between requests; the one in
+            // hand keeps serving the request already being answered.
+            session.rebind(self.snapshot());
+            let t0 = Instant::now();
+            match session.handle(&req) {
+                Ok(reply) => records.push(ReplyRecord {
+                    client,
+                    seq,
+                    epoch: session.epoch(),
+                    digest: reply.digest(),
+                    latency_ns: t0.elapsed().as_nanos() as u64,
+                    reply: cfg.collect_replies.then_some(reply),
+                }),
+                Err(source) => {
+                    let mut slot = lock(failure);
+                    if slot.is_none() {
+                        *slot = Some(ServeError {
+                            client,
+                            seq,
+                            source,
+                        });
+                    }
+                    return None;
+                }
+            }
+        }
+        Some(ClientReport {
+            pages_read: session.pages_read(),
+            buffer: session.buffer_stats().clone(),
+            stats: session.stats(),
+            records,
+        })
+    }
+}
+
+/// The outcome of one [`Service::serve`] run.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Per-client reports, in stream order.
+    pub clients: Vec<ClientReport>,
+    /// Whole-run wall time — wall-time track only.
+    pub wall_ns: u64,
+}
+
+impl ServeReport {
+    /// Aggregate FNV-1a digest of every reply: clients in stream order,
+    /// each record folded as (client, seq, epoch, reply digest). The
+    /// deterministic track's headline number — identical at any worker
+    /// count.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        for report in &self.clients {
+            for r in &report.records {
+                h.u64(r.client as u64);
+                h.u64(r.seq as u64);
+                h.u64(r.epoch);
+                h.u64(r.digest);
+            }
+        }
+        h.finish()
+    }
+
+    /// Total answered requests.
+    pub fn replies(&self) -> usize {
+        self.clients.iter().map(|c| c.records.len()).sum()
+    }
+
+    /// Total physical pages read across all sessions.
+    pub fn pages_read(&self) -> u64 {
+        self.clients.iter().map(|c| c.pages_read).sum()
+    }
+
+    /// Total hot-source cache hits across all sessions.
+    pub fn cache_hits(&self) -> u64 {
+        self.clients.iter().map(|c| c.stats.cache_hits).sum()
+    }
+
+    /// Total hot-source cache probes across all sessions.
+    pub fn cache_lookups(&self) -> u64 {
+        self.clients.iter().map(|c| c.stats.cache_lookups).sum()
+    }
+
+    /// The `q`-th latency percentile in nanoseconds (`q` in 0..=100),
+    /// or 0 for an empty run. Wall-time track only.
+    pub fn latency_percentile_ns(&self, q: u32) -> u64 {
+        let mut lat: Vec<u64> = self
+            .clients
+            .iter()
+            .flat_map(|c| c.records.iter().map(|r| r.latency_ns))
+            .collect();
+        if lat.is_empty() {
+            return 0;
+        }
+        lat.sort_unstable();
+        let rank = (q.min(100) as usize * lat.len()).div_ceil(100);
+        lat[rank.saturating_sub(1)]
+    }
+
+    /// Queries per second over the whole run. Wall-time track only.
+    pub fn qps(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.replies() as f64 / (self.wall_ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::{LoopMode, MixSpec};
+    use tc_core::{ClosedSnapshot, SystemConfig};
+    use tc_graph::DagGenerator;
+
+    fn service() -> Service {
+        let g = DagGenerator::new(300, 3.0, 60).seed(21).generate();
+        Service::new(ClosedSnapshot::build(&g, &SystemConfig::with_buffer(12)).unwrap())
+    }
+
+    fn stream() -> QueryStream {
+        QueryStream::generate(300, 3, 24, MixSpec::MIXED, 0.8, LoopMode::Closed, 77)
+    }
+
+    #[test]
+    fn deterministic_track_is_invariant_under_worker_count() {
+        let svc = service();
+        let s = stream();
+        let run = |workers| {
+            let report = svc
+                .serve(&s, &ServeConfig::default().workers(workers))
+                .unwrap();
+            (
+                report.digest(),
+                report.pages_read(),
+                report.cache_hits(),
+                report.cache_lookups(),
+            )
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(8));
+    }
+
+    #[test]
+    fn every_request_is_answered_exactly_once_in_order() {
+        let svc = service();
+        let s = stream();
+        let report = svc.serve(&s, &ServeConfig::default()).unwrap();
+        assert_eq!(report.replies(), s.len());
+        assert_eq!(report.clients.len(), s.clients());
+        for (c, client) in report.clients.iter().enumerate() {
+            assert_eq!(client.records.len(), s.client(c).len());
+            for (seq, r) in client.records.iter().enumerate() {
+                assert_eq!((r.client, r.seq), (c, seq));
+            }
+        }
+    }
+
+    #[test]
+    fn publish_moves_the_epoch_for_new_sessions() {
+        let g = DagGenerator::new(200, 3.0, 40).seed(22).generate();
+        let cfg = SystemConfig::with_buffer(12);
+        let svc = Service::new(ClosedSnapshot::build(&g, &cfg).unwrap());
+        assert_eq!(svc.snapshot().epoch(), 0);
+        let mut dynamo = tc_core::DynamicClosure::build(&g, &cfg).unwrap();
+        svc.publish(dynamo.freeze(1).unwrap());
+        assert_eq!(svc.snapshot().epoch(), 1);
+    }
+
+    #[test]
+    fn collect_replies_keeps_payloads() {
+        let svc = service();
+        let s = stream();
+        let with = svc
+            .serve(&s, &ServeConfig::default().collect_replies(true))
+            .unwrap();
+        let without = svc.serve(&s, &ServeConfig::default()).unwrap();
+        assert!(with.clients[0].records[0].reply.is_some());
+        assert!(without.clients[0].records[0].reply.is_none());
+        assert_eq!(with.digest(), without.digest());
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_qps_positive() {
+        let svc = service();
+        let report = svc.serve(&stream(), &ServeConfig::default()).unwrap();
+        let p50 = report.latency_percentile_ns(50);
+        let p95 = report.latency_percentile_ns(95);
+        assert!(p50 <= p95);
+        assert!(report.qps() > 0.0);
+    }
+}

@@ -1,0 +1,320 @@
+//! Per-client serving sessions: a private buffer pool over the shared
+//! snapshot plus a seeded hot-source cache.
+//!
+//! Each connected client gets one [`Session`]. The session owns every
+//! piece of mutable state its queries touch — a [`tc_storage::FrozenStore`]
+//! over the snapshot's shared page images, a buffer pool above it, and
+//! the hot-source cache — so sessions never contend, and a session's
+//! counters are a pure function of its own request sequence. That is
+//! the serving layer's determinism contract: which worker thread runs a
+//! session, and when, cannot change any counted number.
+//!
+//! The hot-source cache is keyed on the source vertex and holds full
+//! `ptc` rows. Admission happens on `ptc` misses (the row was just paid
+//! for); `reach(u, v)` queries consult it first and answer by binary
+//! search with zero I/O on a hit. Replacement is seeded-random from
+//! `tc-det` (one victim draw per eviction, per-session stream), the
+//! cheapest policy that is still bit-reproducible.
+
+use crate::request::{Reply, Request};
+use std::sync::Arc;
+use tc_buffer::{BufferPool, BufferStats, PagePolicy};
+use tc_core::ClosedSnapshot;
+use tc_det::{cell_seed, Rng};
+use tc_graph::NodeId;
+use tc_storage::{FaultConfig, FaultPlan, PageStore, RetryPolicy, StorageResult};
+
+/// Per-session configuration: pool shape, cache size, fault/retry
+/// plumbing. One config is shared by all sessions of a service run;
+/// per-session randomness (cache replacement, fault streams) is derived
+/// from it with [`cell_seed`] on the client id.
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    /// Frames of the session's private buffer pool.
+    pub buffer_pages: usize,
+    /// Page replacement policy of the session's pool.
+    pub page_policy: PagePolicy,
+    /// Hot-source cache capacity, in sources (0 disables the cache).
+    pub cache_sources: usize,
+    /// Base seed of the cache-replacement streams (per-session streams
+    /// are `cell_seed(cache_seed, [client])`).
+    pub cache_seed: u64,
+    /// Retry policy for transient storage faults.
+    pub retry: RetryPolicy,
+    /// Optional deterministic fault injection: each session arms its
+    /// private store with a plan seeded `cell_seed(fault.seed, [client])`.
+    pub fault: Option<FaultConfig>,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            buffer_pages: 8,
+            page_policy: PagePolicy::Lru,
+            cache_sources: 4,
+            cache_seed: 0x5E12_CA5E,
+            retry: RetryPolicy::default(),
+            fault: None,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// Builder-style: pool size in frames.
+    pub fn buffer_pages(mut self, m: usize) -> Self {
+        self.buffer_pages = m;
+        self
+    }
+
+    /// Builder-style: pool replacement policy.
+    pub fn page_policy(mut self, p: PagePolicy) -> Self {
+        self.page_policy = p;
+        self
+    }
+
+    /// Builder-style: hot-source cache capacity.
+    pub fn cache_sources(mut self, n: usize) -> Self {
+        self.cache_sources = n;
+        self
+    }
+
+    /// Builder-style: base seed of the cache-replacement streams.
+    pub fn cache_seed(mut self, seed: u64) -> Self {
+        self.cache_seed = seed;
+        self
+    }
+
+    /// Builder-style: arm deterministic fault injection per session.
+    pub fn faulted(mut self, fault: FaultConfig) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Builder-style: transient-fault retry policy.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+}
+
+/// A session's logical counters (I/O counters live on its pool/store).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct SessionStats {
+    /// Requests handled.
+    pub requests: u64,
+    /// Hot-source cache probes (`reach` and `ptc` requests).
+    pub cache_lookups: u64,
+    /// Probes answered from the cache.
+    pub cache_hits: u64,
+}
+
+/// The hot-source cache: full `ptc` rows keyed by source vertex, with
+/// seeded-random replacement. Capacities are small (single digits), so
+/// lookup is a linear scan.
+struct SourceCache {
+    cap: usize,
+    entries: Vec<(NodeId, Vec<NodeId>)>,
+    rng: Rng,
+}
+
+impl SourceCache {
+    fn new(cap: usize, seed: u64) -> SourceCache {
+        SourceCache {
+            cap,
+            entries: Vec::with_capacity(cap),
+            rng: Rng::from_seed(seed),
+        }
+    }
+
+    fn get(&self, u: NodeId) -> Option<&Vec<NodeId>> {
+        self.entries.iter().find(|(k, _)| *k == u).map(|(_, v)| v)
+    }
+
+    fn admit(&mut self, u: NodeId, row: Vec<NodeId>) {
+        if self.cap == 0 || self.get(u).is_some() {
+            return;
+        }
+        if self.entries.len() >= self.cap {
+            let victim = self.rng.random_range(0..self.entries.len());
+            self.entries.swap_remove(victim);
+        }
+        self.entries.push((u, row));
+    }
+}
+
+/// One client's serving session over a frozen snapshot.
+pub struct Session {
+    snapshot: Arc<ClosedSnapshot>,
+    pool: BufferPool,
+    cache: SourceCache,
+    stats: SessionStats,
+    client: u64,
+    cfg: SessionConfig,
+}
+
+impl Session {
+    /// Opens a session for `client` over `snapshot`.
+    pub fn new(snapshot: Arc<ClosedSnapshot>, cfg: &SessionConfig, client: u64) -> Session {
+        let pool = Session::pool_for(&snapshot, cfg, client);
+        Session {
+            cache: SourceCache::new(cfg.cache_sources, cell_seed(cfg.cache_seed, &[client])),
+            snapshot,
+            pool,
+            stats: SessionStats::default(),
+            client,
+            cfg: cfg.clone(),
+        }
+    }
+
+    fn pool_for(snapshot: &Arc<ClosedSnapshot>, cfg: &SessionConfig, client: u64) -> BufferPool {
+        let mut store = snapshot.open_store();
+        if let Some(fault) = &cfg.fault {
+            let mut plan = fault.clone();
+            plan.seed = cell_seed(fault.seed, &[client]);
+            store.set_fault_plan(FaultPlan::new(plan));
+        }
+        store.set_retry_policy(cfg.retry);
+        let mut pool = BufferPool::new(store, cfg.buffer_pages.max(1), cfg.page_policy);
+        pool.set_retry_policy(cfg.retry);
+        pool
+    }
+
+    /// The epoch of the snapshot this session currently reads.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.epoch()
+    }
+
+    /// Points the session at `snap` if its epoch differs from the
+    /// current one: a fresh pool over the new page images, cache
+    /// cleared (rows of the old closure must not answer for the new),
+    /// logical counters carried over. In-flight state of other sessions
+    /// is untouched — this is how the service swaps snapshots while old
+    /// epochs keep serving.
+    pub fn rebind(&mut self, snap: Arc<ClosedSnapshot>) {
+        if snap.epoch() == self.snapshot.epoch() {
+            return;
+        }
+        self.pool = Session::pool_for(&snap, &self.cfg, self.client);
+        self.cache.entries.clear();
+        self.snapshot = snap;
+    }
+
+    /// Handles one request against the current snapshot.
+    pub fn handle(&mut self, req: &Request) -> StorageResult<Reply> {
+        self.stats.requests += 1;
+        match *req {
+            Request::Reach { u, v } => {
+                self.stats.cache_lookups += 1;
+                if let Some(row) = self.cache.get(u) {
+                    self.stats.cache_hits += 1;
+                    return Ok(Reply::Reach(row.binary_search(&v).is_ok()));
+                }
+                Ok(Reply::Reach(self.snapshot.reach(&mut self.pool, u, v)?))
+            }
+            Request::Ptc { u } => {
+                self.stats.cache_lookups += 1;
+                if let Some(row) = self.cache.get(u) {
+                    self.stats.cache_hits += 1;
+                    return Ok(Reply::Ptc(row.clone()));
+                }
+                let row = self.snapshot.ptc(&mut self.pool, u)?;
+                self.cache.admit(u, row.clone());
+                Ok(Reply::Ptc(row))
+            }
+            Request::Path { u, v } => Ok(Reply::Path(self.snapshot.path(&mut self.pool, u, v)?)),
+        }
+    }
+
+    /// Logical counters (requests, cache probes/hits).
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Buffer-pool counters of the session's private pool.
+    pub fn buffer_stats(&self) -> &BufferStats {
+        self.pool.stats()
+    }
+
+    /// Physical pages read by this session (misses of its private pool
+    /// against the frozen images; writes are impossible).
+    pub fn pages_read(&self) -> u64 {
+        self.pool.store().stats().reads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_core::SystemConfig;
+    use tc_graph::{closure, DagGenerator};
+
+    fn snapshot() -> (tc_graph::Graph, Arc<ClosedSnapshot>) {
+        let g = DagGenerator::new(200, 3.0, 40).seed(12).generate();
+        let snap = ClosedSnapshot::build(&g, &SystemConfig::with_buffer(12)).unwrap();
+        (g, Arc::new(snap))
+    }
+
+    #[test]
+    fn replies_match_the_oracle() {
+        let (g, snap) = snapshot();
+        let mut s = Session::new(Arc::clone(&snap), &SessionConfig::default(), 0);
+        for u in (0..g.n() as NodeId).step_by(23) {
+            let row = closure::successors_of(&g, u);
+            assert_eq!(
+                s.handle(&Request::Ptc { u }).unwrap(),
+                Reply::Ptc(row.clone())
+            );
+            for v in (0..g.n() as NodeId).step_by(31) {
+                let expect = row.binary_search(&v).is_ok();
+                assert_eq!(
+                    s.handle(&Request::Reach { u, v }).unwrap(),
+                    Reply::Reach(expect)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reach_after_ptc_hits_the_cache_with_zero_io() {
+        let (_, snap) = snapshot();
+        let mut s = Session::new(snap, &SessionConfig::default(), 0);
+        s.handle(&Request::Ptc { u: 0 }).unwrap();
+        let reads_before = s.pages_read();
+        let hits_before = s.stats().cache_hits;
+        s.handle(&Request::Reach { u: 0, v: 50 }).unwrap();
+        assert_eq!(
+            s.pages_read(),
+            reads_before,
+            "cached reach must cost no I/O"
+        );
+        assert_eq!(s.stats().cache_hits, hits_before + 1);
+    }
+
+    #[test]
+    fn cache_evicts_deterministically() {
+        let (_, snap) = snapshot();
+        let cfg = SessionConfig::default().cache_sources(2);
+        let run = || {
+            let mut s = Session::new(Arc::clone(&snap), &cfg, 3);
+            for u in [0u32, 5, 9, 0, 5, 9, 14, 0] {
+                s.handle(&Request::Ptc { u }).unwrap();
+            }
+            (s.stats(), s.pages_read())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sessions_do_not_share_counters() {
+        let (g, snap) = snapshot();
+        let cfg = SessionConfig::default();
+        let mut a = Session::new(Arc::clone(&snap), &cfg, 0);
+        let b = Session::new(snap, &cfg, 1);
+        let u = (0..g.n() as NodeId)
+            .find(|&u| !closure::successors_of(&g, u).is_empty())
+            .unwrap();
+        a.handle(&Request::Ptc { u }).unwrap();
+        assert!(a.pages_read() > 0);
+        assert_eq!(b.pages_read(), 0);
+    }
+}

@@ -72,6 +72,10 @@ pub enum StorageError {
     /// The simulated disk was detached (e.g. taken for a path index) when
     /// an operation needed it.
     DiskDetached,
+    /// A mutation (write, allocation, file drop) was attempted on a
+    /// read-only store — a frozen snapshot serves queries only; updates
+    /// go to the live database and are published as a *new* snapshot.
+    ReadOnlyStore,
     /// A real-I/O storage backend failed at the operating-system level
     /// (open, read, write, fsync, rename). Carries the failing operation
     /// and the OS error text; distinct from the *data* corruption errors
@@ -139,6 +143,12 @@ impl fmt::Display for StorageError {
             ),
             StorageError::DiskDetached => {
                 write!(f, "the simulated disk is detached from the database")
+            }
+            StorageError::ReadOnlyStore => {
+                write!(
+                    f,
+                    "store is read-only (a frozen snapshot serves queries, not writes)"
+                )
             }
             StorageError::Backend { op, detail } => {
                 write!(f, "storage backend failed to {op}: {detail}")

@@ -45,6 +45,7 @@ pub mod error;
 pub mod extsort;
 pub mod fault;
 pub mod file_store;
+pub mod frozen;
 pub mod index;
 pub mod layout;
 pub mod page;
@@ -61,6 +62,7 @@ pub use fault::{
 };
 pub use file_store::{FileStore, RecoveryReport, TempDir};
 pub use file_store::{HEADER_SIZE as FILE_STORE_HEADER_SIZE, SLOT_SIZE as FILE_STORE_SLOT_SIZE};
+pub use frozen::{FrozenPageSet, FrozenStore};
 pub use index::ClusteredIndex;
 pub use layout::{
     IndexPage, SuccBlockRef, SuccEntry, SuccPage, TuplePage, BLOCKS_PER_PAGE, ENTRIES_PER_BLOCK,

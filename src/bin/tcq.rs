@@ -8,10 +8,11 @@
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 use std::sync::Arc;
-use tc_study::cli::{AnalyzeArgs, CliArgs, Command, LabeledGraph, UpdateArgs, USAGE};
+use tc_study::cli::{AnalyzeArgs, CliArgs, Command, LabeledGraph, ServeArgs, UpdateArgs, USAGE};
 use tc_study::core::prelude::*;
 use tc_study::graph::UpdateStream;
 use tc_study::profile::{fold_jsonl, render, ProfileFold};
+use tc_study::serve::{LoopMode, QueryStream, ServeConfig, Service, SessionConfig};
 use tc_study::trace::{JsonlSink, Tracer};
 
 fn main() -> ExitCode {
@@ -31,6 +32,7 @@ fn main() -> ExitCode {
         Command::Run(cli) => run(cli),
         Command::Analyze(a) => analyze(a),
         Command::Update(u) => update(u),
+        Command::Serve(s) => serve(s),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -124,6 +126,109 @@ fn update(args: &UpdateArgs) -> Result<(), String> {
         stream.batches().len(),
         dyn_tc.tuple_count(),
         total_io,
+    );
+    Ok(())
+}
+
+/// Freezes the input's closure into an immutable snapshot and serves a
+/// seeded query mix against it; `--updates N` additionally applies N
+/// update batches mid-serve, publishing a fresh snapshot after each.
+fn serve(args: &ServeArgs) -> Result<(), String> {
+    let text = std::fs::read_to_string(&args.input).map_err(|e| format!("{}: {e}", args.input))?;
+    let lg = LabeledGraph::parse(&text)?;
+    if !lg.graph.is_acyclic() {
+        return Err(format!(
+            "{}: cyclic input — serving requires a DAG (condense cycles first)",
+            args.input
+        ));
+    }
+    if lg.graph.n() == 0 {
+        return Err(format!("{}: empty graph, nothing to serve", args.input));
+    }
+    let cfg = SystemConfig::with_buffer(args.buffer.max(8)).backend(args.backend.clone());
+    let mut dyn_tc = DynamicClosure::build(&lg.graph, &cfg).map_err(|e| e.to_string())?;
+    let snapshot = dyn_tc.freeze(0).map_err(|e| e.to_string())?;
+    eprintln!(
+        "{}: {} nodes, {} arcs; snapshot epoch 0 ({} closure tuples, {} backend)",
+        args.input,
+        lg.graph.n(),
+        lg.graph.arc_count(),
+        snapshot.closure_tuples(),
+        snapshot.origin(),
+    );
+
+    let service = Service::new(snapshot);
+    let stream = QueryStream::generate(
+        lg.graph.n(),
+        args.clients,
+        args.per_client,
+        args.mix,
+        args.theta,
+        LoopMode::Closed,
+        args.seed,
+    );
+    let serve_cfg = ServeConfig::default().workers(args.workers).session(
+        SessionConfig::default()
+            .buffer_pages(args.buffer)
+            .cache_sources(args.cache),
+    );
+
+    let report = std::thread::scope(|scope| {
+        let publisher = if args.updates > 0 {
+            let updates = UpdateStream::generate(
+                &lg.graph,
+                tc_study::graph::StreamKind::Mixed,
+                args.updates,
+                args.batch_size,
+                lg.graph.n().max(1),
+                args.seed,
+            );
+            let service = &service;
+            let dyn_tc = &mut dyn_tc;
+            Some(scope.spawn(move || -> Result<usize, String> {
+                let mut published = 0;
+                for (i, batch) in updates.batches().iter().enumerate() {
+                    dyn_tc.apply(batch).map_err(|e| e.to_string())?;
+                    service.publish(dyn_tc.freeze(i as u64 + 1).map_err(|e| e.to_string())?);
+                    published += 1;
+                }
+                Ok(published)
+            }))
+        } else {
+            None
+        };
+        let report = service
+            .serve(&stream, &serve_cfg)
+            .map_err(|e| e.to_string());
+        let published = match publisher.map(|h| h.join()) {
+            Some(Ok(result)) => result?,
+            Some(Err(_)) => return Err("update publisher panicked".to_string()),
+            None => 0,
+        };
+        if published > 0 {
+            eprintln!(
+                "published {published} snapshot(s) mid-serve; final epoch {}",
+                service.snapshot().epoch()
+            );
+        }
+        report
+    })?;
+
+    println!(
+        "served {} replies: stream={:016x} digest={:016x} pages_read={} cache={}/{}",
+        report.replies(),
+        stream.digest(),
+        report.digest(),
+        report.pages_read(),
+        report.cache_hits(),
+        report.cache_lookups(),
+    );
+    eprintln!(
+        "wall-time (non-gating): {:.0} q/s, latency p50 {} ns, p95 {} ns, workers {}",
+        report.qps(),
+        report.latency_percentile_ns(50),
+        report.latency_percentile_ns(95),
+        args.workers,
     );
     Ok(())
 }

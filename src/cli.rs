@@ -171,6 +171,7 @@ pub const USAGE: &str = "\
 usage: tcq <edges-file> [options]
        tcq analyze <trace.jsonl> [options]
        tcq update <edges-file> [options]
+       tcq serve <edges-file> [options]
   <edges-file>          whitespace edge list: `from to` per line, # comments
   -s, --sources A,B,..  partial closure from these nodes (default: full)
   -a, --algo NAME       btc|hyb|bj|srch|spn|jkb|jkb2|seminaive|reachindex
@@ -189,6 +190,17 @@ update options (maintains a materialized closure under a seeded stream):
       --batch-size K    operations per batch (default: 16)
       --seed S          stream seed (default: 3658619284)
       (plus --buffer, --trace and --backend as above; input must be acyclic)
+serve options (freeze the closure into a snapshot, serve a seeded mix):
+      --workers N       worker threads (default: 4)
+      --clients N       concurrent clients (default: 4)
+      --per-client N    requests per client (default: 64)
+      --mix M           reach-heavy|ptc-heavy|mixed (default: mixed)
+      --theta T         Zipf skew of query sources (default: 0.8)
+      --seed S          query-stream seed (default: the canonical seed)
+      --cache N         hot-source cache rows per session (default: 4)
+      --updates N       update batches published mid-serve (default: 0)
+      --batch-size K    operations per published batch (default: 16)
+      (plus --buffer and --backend as above; input must be acyclic)
 Cyclic inputs are condensed automatically (strongly connected components);
 the advisor default applies to acyclic inputs, cyclic ones run BTC unless
 --algo says otherwise.";
@@ -304,6 +316,150 @@ fn parse_count(args: &[String], i: usize, flag: &str) -> Result<usize, String> {
     Ok(n)
 }
 
+/// Parsed command line for `tcq serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Input edge-list path.
+    pub input: String,
+    /// Worker threads draining the client queues.
+    pub workers: usize,
+    /// Concurrent clients in the generated stream.
+    pub clients: usize,
+    /// Requests per client.
+    pub per_client: usize,
+    /// Query-shape mix.
+    pub mix: tc_serve::MixSpec,
+    /// Zipf skew of query sources.
+    pub theta: f64,
+    /// Query-stream seed.
+    pub seed: u64,
+    /// Per-session buffer pool pages.
+    pub buffer: usize,
+    /// Hot-source cache rows per session.
+    pub cache: usize,
+    /// Update batches published mid-serve (0 = static snapshot).
+    pub updates: usize,
+    /// Operations per published batch.
+    pub batch_size: usize,
+    /// Storage backend.
+    pub backend: tc_storage::Backend,
+}
+
+impl ServeArgs {
+    /// Parses the arguments following the `serve` keyword.
+    pub fn parse(args: &[String]) -> Result<ServeArgs, String> {
+        let mut input: Option<String> = None;
+        let mut out = ServeArgs {
+            input: String::new(),
+            workers: 4,
+            clients: 4,
+            per_client: 64,
+            mix: tc_serve::MixSpec::MIXED,
+            theta: 0.8,
+            seed: tc_serve::CANONICAL_SERVE_SEED,
+            buffer: 8,
+            cache: 4,
+            updates: 0,
+            batch_size: 16,
+            backend: tc_storage::Backend::Sim,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--workers" => {
+                    i += 1;
+                    out.workers = parse_count(&args, i, "--workers")?;
+                }
+                "--clients" => {
+                    i += 1;
+                    out.clients = parse_count(&args, i, "--clients")?;
+                }
+                "--per-client" => {
+                    i += 1;
+                    out.per_client = parse_count(&args, i, "--per-client")?;
+                }
+                "--mix" => {
+                    i += 1;
+                    let v = args
+                        .get(i)
+                        .ok_or("--mix needs reach-heavy, ptc-heavy or mixed")?;
+                    out.mix = match v.to_ascii_lowercase().as_str() {
+                        "reach-heavy" => tc_serve::MixSpec::REACH_HEAVY,
+                        "ptc-heavy" => tc_serve::MixSpec::PTC_HEAVY,
+                        "mixed" => tc_serve::MixSpec::MIXED,
+                        _ => {
+                            return Err(format!(
+                                "unknown mix {v:?} (try reach-heavy, ptc-heavy, mixed)"
+                            ))
+                        }
+                    };
+                }
+                "--theta" => {
+                    i += 1;
+                    out.theta = args
+                        .get(i)
+                        .ok_or("--theta needs a number ≥ 0")?
+                        .parse()
+                        .map_err(|e| format!("--theta: {e}"))?;
+                    if !out.theta.is_finite() || out.theta < 0.0 {
+                        return Err("--theta needs a finite number ≥ 0".into());
+                    }
+                }
+                "--seed" => {
+                    i += 1;
+                    out.seed = args
+                        .get(i)
+                        .ok_or("--seed needs a number")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?;
+                }
+                "--buffer" | "-m" => {
+                    i += 1;
+                    out.buffer = parse_count(&args, i, "--buffer")?;
+                }
+                "--cache" => {
+                    i += 1;
+                    // 0 is meaningful here: it disables the cache.
+                    out.cache = args
+                        .get(i)
+                        .ok_or("--cache needs a count")?
+                        .parse()
+                        .map_err(|e| format!("--cache: {e}"))?;
+                }
+                "--updates" => {
+                    i += 1;
+                    out.updates = args
+                        .get(i)
+                        .ok_or("--updates needs a count")?
+                        .parse()
+                        .map_err(|e| format!("--updates: {e}"))?;
+                }
+                "--batch-size" => {
+                    i += 1;
+                    out.batch_size = parse_count(&args, i, "--batch-size")?;
+                }
+                "--backend" => {
+                    i += 1;
+                    let v = args.get(i).ok_or("--backend needs sim, file or file:DIR")?;
+                    out.backend = tc_storage::Backend::parse(v)?;
+                }
+                "--help" | "-h" => return Err(USAGE.to_string()),
+                flag if flag.starts_with('-') => {
+                    return Err(format!("unknown flag {flag}\n{USAGE}"))
+                }
+                path => {
+                    if input.replace(path.to_string()).is_some() {
+                        return Err("only one input file is accepted".into());
+                    }
+                }
+            }
+            i += 1;
+        }
+        out.input = input.ok_or_else(|| format!("missing input file\n{USAGE}"))?;
+        Ok(out)
+    }
+}
+
 /// Parsed command line for `tcq analyze`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AnalyzeArgs {
@@ -374,15 +530,19 @@ pub enum Command {
     /// `tcq update <edges-file> ...` — maintain a materialized closure
     /// under a seeded update stream.
     Update(UpdateArgs),
+    /// `tcq serve <edges-file> ...` — freeze the closure and serve a
+    /// seeded query mix against it.
+    Serve(ServeArgs),
 }
 
 impl Command {
     /// Parses `args` (without the program name), dispatching on the
-    /// leading `analyze` / `update` keyword.
+    /// leading `analyze` / `update` / `serve` keyword.
     pub fn parse(args: &[String]) -> Result<Command, String> {
         match args.first().map(String::as_str) {
             Some("analyze") => AnalyzeArgs::parse(&args[1..]).map(Command::Analyze),
             Some("update") => UpdateArgs::parse(&args[1..]).map(Command::Update),
+            Some("serve") => ServeArgs::parse(&args[1..]).map(Command::Serve),
             _ => CliArgs::parse(args).map(Command::Run),
         }
     }
@@ -531,6 +691,60 @@ mod tests {
         assert!(UpdateArgs::parse(&["g.txt".into(), "--batches".into(), "0".into()]).is_err());
         assert!(UpdateArgs::parse(&["g.txt".into(), "--seed".into(), "x".into()]).is_err());
         assert!(UpdateArgs::parse(&["g.txt".into(), "--bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn parses_the_serve_subcommand() {
+        let args: Vec<String> = [
+            "serve",
+            "g.txt",
+            "--workers",
+            "2",
+            "--clients",
+            "3",
+            "--per-client",
+            "10",
+            "--mix",
+            "ptc-heavy",
+            "--theta",
+            "1.1",
+            "--seed",
+            "5",
+            "--cache",
+            "0",
+            "--updates",
+            "2",
+            "--batch-size",
+            "8",
+            "-m",
+            "16",
+            "--backend",
+            "file",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let Command::Serve(s) = Command::parse(&args).unwrap() else {
+            panic!("expected the serve command");
+        };
+        assert_eq!(s.input, "g.txt");
+        assert_eq!((s.workers, s.clients, s.per_client), (2, 3, 10));
+        assert_eq!(s.mix, tc_serve::MixSpec::PTC_HEAVY);
+        assert_eq!((s.theta, s.seed), (1.1, 5));
+        assert_eq!((s.cache, s.updates, s.batch_size, s.buffer), (0, 2, 8, 16));
+        assert_eq!(s.backend, tc_storage::Backend::File { dir: None });
+
+        let d = ServeArgs::parse(&["g.txt".to_string()]).unwrap();
+        assert_eq!((d.workers, d.clients, d.per_client), (4, 4, 64));
+        assert_eq!(d.mix, tc_serve::MixSpec::MIXED);
+        assert_eq!(d.seed, tc_serve::CANONICAL_SERVE_SEED);
+        assert_eq!((d.cache, d.updates), (4, 0));
+
+        assert!(ServeArgs::parse(&[]).is_err());
+        assert!(ServeArgs::parse(&["g.txt".into(), "--mix".into(), "nope".into()]).is_err());
+        assert!(ServeArgs::parse(&["g.txt".into(), "--theta".into(), "-1".into()]).is_err());
+        assert!(ServeArgs::parse(&["g.txt".into(), "--workers".into(), "0".into()]).is_err());
+        assert!(ServeArgs::parse(&["g.txt".into(), "--wat".into()]).is_err());
     }
 
     #[test]

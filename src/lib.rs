@@ -10,6 +10,7 @@
 //! * [`succ`] — the paged successor-list / successor-tree store.
 //! * [`core`] — the seven algorithm implementations and the query engine.
 //! * [`reach`] — the chain-decomposition reachability index (`REACHINDEX`).
+//! * [`serve`] — the in-process query service over frozen snapshots.
 //! * [`trace`] — typed event traces, JSONL export, trace⇒metrics replay.
 //! * [`profile`] — trace-driven profiling: phase/file/page attribution,
 //!   buffer-residency and miss-class analytics, Spearman rank correlation.
@@ -27,6 +28,7 @@ pub use tc_det as det;
 pub use tc_graph as graph;
 pub use tc_profile as profile;
 pub use tc_reach as reach;
+pub use tc_serve as serve;
 pub use tc_storage as storage;
 pub use tc_succ as succ;
 pub use tc_trace as trace;

@@ -1,0 +1,97 @@
+//! Golden serving digests: end-to-end pin of the query-service
+//! pipeline on the canonical G5 mix.
+//!
+//! `golden_seed.rs` pins the workload generator and `golden_report.rs`
+//! the experiment renderer; this test pins the serving layer — the
+//! canonical `QueryStream` (any drift in the Zipf sampler, the mix
+//! draw order, or `cell_seed` shows up here first), the frozen
+//! snapshot's shape, and the full deterministic track of a canonical
+//! serve: aggregate reply digest, physical pages read, hot-source
+//! cache counters. The same serve is then repeated at 4 workers and
+//! must reproduce every pinned number bit-for-bit — the serving
+//! layer's core contract (jobs/worker invariance), enforced here and
+//! by CI's `bench_serve --workers 1` vs `--workers 4` byte-diff.
+//!
+//! If an intentional change lands, regenerate the constants below (the
+//! failure message prints the new values) and note the break in
+//! CHANGES.md: previously recorded serving numbers become
+//! incomparable.
+
+use std::sync::Arc;
+use tc_study::core::prelude::*;
+use tc_study::graph::DagGenerator;
+use tc_study::serve::{QueryStream, ServeConfig, ServeReport, Service};
+
+/// Canonical stream: 4 clients × 64 requests, balanced mix, theta 0.8,
+/// closed loop, the canonical seed.
+const GOLDEN_STREAM_DIGEST: u64 = 0xFD93_D1E5_E56C_F60C;
+/// The canonical G5 snapshot's materialized closure size.
+const GOLDEN_CLOSURE_TUPLES: u64 = 1_482_903;
+/// Pages captured into the frozen snapshot (relation + index + closure
+/// + reachability-index files).
+const GOLDEN_SNAPSHOT_PAGES: usize = 8_615;
+/// Aggregate served-reply digest of the canonical serve.
+const GOLDEN_REPLY_DIGEST: u64 = 0xA5C3_446C_233D_2C9E;
+/// Physical pages read across all four sessions.
+const GOLDEN_PAGES_READ: u64 = 4_311;
+/// Hot-source cache hits / probes across all four sessions.
+const GOLDEN_CACHE: (u64, u64) = (1, 180);
+
+fn canonical_serve(workers: usize) -> ServeReport {
+    let g = DagGenerator::new(2000, 5.0, 200).seed(7).generate();
+    let snap = ClosedSnapshot::build(&g, &SystemConfig::with_buffer(20)).expect("freeze G5");
+    assert_eq!(
+        snap.closure_tuples(),
+        GOLDEN_CLOSURE_TUPLES as usize,
+        "closure drifted"
+    );
+    assert_eq!(
+        snap.pages().page_count(),
+        GOLDEN_SNAPSHOT_PAGES,
+        "snapshot shape drifted"
+    );
+    let service = Service::new(Arc::new(snap));
+    service
+        .serve(
+            &QueryStream::canonical_g5(),
+            &ServeConfig::default().workers(workers),
+        )
+        .expect("canonical serve")
+}
+
+#[test]
+fn canonical_stream_matches_golden_digest() {
+    let stream = QueryStream::canonical_g5();
+    assert_eq!(stream.clients(), 4);
+    assert_eq!(stream.len(), 256);
+    assert_eq!(
+        stream.digest(),
+        GOLDEN_STREAM_DIGEST,
+        "canonical QueryStream drifted: digest now {:#018x}",
+        stream.digest()
+    );
+}
+
+#[test]
+fn canonical_serve_matches_golden_track_at_1_and_4_workers() {
+    for workers in [1usize, 4] {
+        let report = canonical_serve(workers);
+        assert_eq!(report.replies(), 256, "workers {workers}: dropped replies");
+        assert_eq!(
+            report.digest(),
+            GOLDEN_REPLY_DIGEST,
+            "workers {workers}: reply digest drifted to {:#018x}",
+            report.digest()
+        );
+        assert_eq!(
+            report.pages_read(),
+            GOLDEN_PAGES_READ,
+            "workers {workers}: pages read drifted"
+        );
+        assert_eq!(
+            (report.cache_hits(), report.cache_lookups()),
+            GOLDEN_CACHE,
+            "workers {workers}: cache counters drifted"
+        );
+    }
+}

@@ -31,8 +31,10 @@ const IO_PATH_FILES: &[&str] = &[
     "crates/storage/src/extsort.rs",
     "crates/storage/src/store.rs",
     "crates/storage/src/file_store.rs",
+    "crates/storage/src/frozen.rs",
     "crates/buffer/src/pool.rs",
     "crates/core/src/dynamic.rs",
+    "crates/core/src/snapshot.rs",
     "crates/graph/src/update.rs",
 ];
 
@@ -216,6 +218,33 @@ fn reach_paths_stay_free_of_unwrap_and_expect() {
         "unwrap()/expect() in tc-reach (convert to StorageResult plumbing, \
          or add an audited allowlist entry here AND in \
          .github/workflows/ci.yml):\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn serve_paths_stay_free_of_unwrap_and_expect() {
+    // The service loop runs sessions on worker threads over shared
+    // snapshot state: a panic inside a session poisons the report
+    // mutexes of the whole serve, and an unwrap on a session's read
+    // path would turn an injectable transient fault into a torn-down
+    // run instead of a typed ServeError naming client and sequence.
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let files = rust_files_under(repo, "crates/serve/src");
+    assert!(
+        files.len() >= 5,
+        "serve audit walked only {} files — directory layout changed?",
+        files.len()
+    );
+    let mut violations = Vec::new();
+    for rel in &files {
+        violations.extend(violations_in(repo, rel));
+    }
+    assert!(
+        violations.is_empty(),
+        "unwrap()/expect() in tc-serve (propagate StorageResult, recover \
+         poisoned locks with into_inner, or add an audited allowlist entry \
+         here AND in .github/workflows/ci.yml):\n{}",
         violations.join("\n")
     );
 }
