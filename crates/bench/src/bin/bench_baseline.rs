@@ -24,8 +24,28 @@ use tc_storage::Backend;
 
 fn usage() {
     eprintln!(
-        "usage: bench_baseline [--jobs N] [--backend sim|file|file:DIR] [--timing] [--check PATH]"
+        "usage: bench_baseline [--jobs N] [--backend sim|file|file:DIR] [--timing] \
+         [--time PATH] [--check PATH]"
     );
+}
+
+/// Non-gating wall-time track: re-measures the G5 block of the suite
+/// with per-phase span attribution and writes `BENCH_TIME.json`-shaped
+/// output to `path`. Never touches stdout or the exit code.
+fn write_time_track(path: &str) -> Result<(), String> {
+    let iters = std::env::var("TC_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let cells = tc_bench::timetrack::baseline_time_cells(iters)
+        .map_err(|e| format!("time track failed: {e}"))?;
+    let json = tc_bench::timetrack::render_time_json(&cells);
+    std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+    eprintln!(
+        "wall-time track (non-gating): {} cells x {iters} iters -> {path}",
+        cells.len()
+    );
+    Ok(())
 }
 
 /// Non-gating wall-clock probe: run the whole suite serially a few times
@@ -44,10 +64,11 @@ fn print_timing(backend: &Backend) {
         );
     if let Some(rec) = runner.records().first() {
         eprintln!(
-            "timing (non-gating): backend={} suite median {:.1} ms, p95 {:.1} ms",
+            "timing (non-gating): backend={} suite median {:.1} ms, p95 {:.1} ms, p99 {:.1} ms",
             backend.name(),
             rec.median_ns as f64 / 1e6,
             rec.p95_ns as f64 / 1e6,
+            rec.p99_ns as f64 / 1e6,
         );
     }
 }
@@ -57,6 +78,7 @@ fn main() -> ExitCode {
     let mut check: Option<String> = None;
     let mut backend = Backend::Sim;
     let mut timing = false;
+    let mut time_path: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -89,6 +111,17 @@ fn main() -> ExitCode {
                 };
             }
             "--timing" => timing = true,
+            "--time" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => time_path = Some(path.clone()),
+                    None => {
+                        eprintln!("error: --time takes a path");
+                        usage();
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--check" => {
                 i += 1;
                 match args.get(i) {
@@ -118,6 +151,12 @@ fn main() -> ExitCode {
     };
     if timing {
         print_timing(&backend);
+    }
+    if let Some(path) = &time_path {
+        if let Err(e) = write_time_track(path) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     let Some(path) = check else {
         print!("{current}");

@@ -21,13 +21,16 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use tc_core::{ClosedSnapshot, SystemConfig};
 use tc_graph::DagGenerator;
-use tc_serve::{LoopMode, MixSpec, QueryStream, ServeConfig, Service, CANONICAL_SERVE_SEED};
+use tc_obs::LatencyHistogram;
+use tc_serve::{
+    LoopMode, MixSpec, QueryStream, ServeConfig, ServeObs, Service, CANONICAL_SERVE_SEED,
+};
 use tc_storage::Backend;
 
 fn usage() {
     eprintln!(
         "usage: bench_serve [--workers N] [--clients N] [--per-client N] \
-         [--backend sim|file|file:DIR] [--warmup N] [--iters N]"
+         [--backend sim|file|file:DIR] [--warmup N] [--iters N] [--time PATH]"
     );
 }
 
@@ -38,6 +41,7 @@ struct Opts {
     backend: Backend,
     warmup: u32,
     iters: u32,
+    time_path: Option<String>,
 }
 
 fn parse(args: &[String]) -> Result<Opts, String> {
@@ -48,6 +52,7 @@ fn parse(args: &[String]) -> Result<Opts, String> {
         backend: Backend::Sim,
         warmup: 1,
         iters: 5,
+        time_path: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -79,6 +84,9 @@ fn parse(args: &[String]) -> Result<Opts, String> {
             "--backend" => {
                 o.backend = Backend::parse(value.map(String::as_str).unwrap_or(""))
                     .map_err(|e| e.to_string())?;
+            }
+            "--time" => {
+                o.time_path = Some(value.ok_or("--time takes a path")?.clone());
             }
             other => return Err(format!("unknown argument {other}")),
         }
@@ -124,6 +132,9 @@ fn main() -> ExitCode {
 
     let service = Arc::new(Service::new(snapshot));
     let mut runner = tc_det::bench::Runner::new(o.warmup, o.iters);
+    // One armed recorder per mix when --time is set; histograms
+    // accumulate across every probe iteration of that mix.
+    let mut per_mix_obs: Vec<(&str, ServeObs)> = Vec::new();
     for (name, mix) in MIXES {
         let stream = QueryStream::generate(
             g.n(),
@@ -155,18 +166,25 @@ fn main() -> ExitCode {
 
         // Wall-time track through the tc-det harness: each iteration
         // replays the whole mix; the probed latencies ride stderr only.
+        let obs = if o.time_path.is_some() {
+            ServeObs::enabled()
+        } else {
+            ServeObs::disabled()
+        };
+        per_mix_obs.push((name, obs.clone()));
         let svc = Arc::clone(&service);
-        let probe_cfg = serve_cfg.clone();
+        let probe_cfg = serve_cfg.clone().observed(obs);
         runner
             .group(name)
             .bench("serve", move || match svc.serve(&stream, &probe_cfg) {
                 Ok(r) => {
                     eprintln!(
-                        "  {:>12}: {:>9.0} q/s  p50 {:>7} ns  p95 {:>7} ns",
+                        "  {:>12}: {:>9.0} q/s  p50 {:>7} ns  p95 {:>7} ns  p99 {:>7} ns",
                         "probe",
                         r.qps(),
                         r.latency_percentile_ns(50),
-                        r.latency_percentile_ns(95)
+                        r.latency_percentile_ns(95),
+                        r.latency_percentile_ns(99)
                     );
                     r.replies() as u64
                 }
@@ -177,12 +195,73 @@ fn main() -> ExitCode {
     eprintln!("wall-time track (non-gating), workers={}:", o.workers);
     for rec in runner.records() {
         eprintln!(
-            "  {}/{}: median {:.2} ms, p95 {:.2} ms per mix replay",
+            "  {}/{}: median {:.2} ms, p95 {:.2} ms, p99 {:.2} ms per mix replay",
             rec.group,
             rec.name,
             rec.median_ns as f64 / 1e6,
-            rec.p95_ns as f64 / 1e6
+            rec.p95_ns as f64 / 1e6,
+            rec.p99_ns as f64 / 1e6
         );
     }
+    if let Some(path) = &o.time_path {
+        let json = render_time_json(&o, runner.records(), &per_mix_obs);
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error: write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wall-time track (non-gating) written to {path}");
+    }
     ExitCode::SUCCESS
+}
+
+fn hist_json(h: &LatencyHistogram) -> String {
+    format!(
+        "{{\"count\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}",
+        h.count(),
+        h.mean(),
+        h.percentile(50.0),
+        h.percentile(95.0),
+        h.percentile(99.0)
+    )
+}
+
+/// The serve side of `BENCH_TIME.json`: per-mix whole-replay quantiles
+/// from the `tc-det` harness plus per-reply service and queue-wait
+/// histograms accumulated across the probe iterations. Strictly
+/// non-gating; the deterministic track on stdout never mentions it.
+fn render_time_json(
+    o: &Opts,
+    records: &[tc_det::bench::Record],
+    per_mix_obs: &[(&str, ServeObs)],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"suite\": \"tc-bench-serve-time-v1\",\n");
+    s.push_str("  \"gating\": false,\n");
+    s.push_str("  \"unit\": \"ns\",\n");
+    s.push_str(&format!("  \"workers\": {},\n", o.workers));
+    s.push_str("  \"mixes\": [\n");
+    for (i, (name, obs)) in per_mix_obs.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": \"{name}\",\n"));
+        if let Some(rec) = records.iter().find(|r| r.group == *name) {
+            s.push_str(&format!(
+                "      \"replay\": {{\"iters\": {}, \"median_ns\": {}, \"p95_ns\": {}, \
+                 \"p99_ns\": {}, \"min_ns\": {}}},\n",
+                rec.iters, rec.median_ns, rec.p95_ns, rec.p99_ns, rec.min_ns
+            ));
+        }
+        let service = obs.service_histogram().unwrap_or_default();
+        let queue = obs.queue_wait_histogram().unwrap_or_default();
+        s.push_str(&format!("      \"service\": {},\n", hist_json(&service)));
+        s.push_str(&format!("      \"queue_wait\": {}\n", hist_json(&queue)));
+        s.push_str(if i + 1 == per_mix_obs.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
 }

@@ -10,6 +10,8 @@
 //! experiment options (`--quick`, `--full`, `--instances`, `--sets`,
 //! `--jobs`, `--trace DIR` for per-cell JSONL event traces,
 //! `--profile DIR` for per-cell rendered profile reports,
+//! `--timing DIR` for per-cell wall-clock span trees (non-gating;
+//! the report bytes are identical with or without it),
 //! `--backend sim|file` for the storage backend). Run with no
 //! arguments to list the known sections.
 //! Exits non-zero on an unknown section, bad options, or a failing cell.
@@ -18,7 +20,7 @@ use tc_bench::experiments::{section, SECTIONS};
 
 fn usage() {
     eprintln!(
-        "usage: section <name> [--quick|--full] [--instances N] [--sets N] [--jobs N] [--trace DIR] [--profile DIR] [--backend sim|file|file:DIR]"
+        "usage: section <name> [--quick|--full] [--instances N] [--sets N] [--jobs N] [--trace DIR] [--profile DIR] [--timing DIR] [--backend sim|file|file:DIR]"
     );
     eprintln!(
         "known sections: {}",

@@ -52,6 +52,7 @@ use tc_graph::{
     closure, model, transitive_reduction, ArcLocalityStats, RectangleModel, StreamKind, UpdateOp,
     UpdateStream,
 };
+use tc_obs::SpanRecorder;
 use tc_profile::{render, ProfileSink};
 use tc_storage::StorageError;
 use tc_trace::{JsonlSink, TeeSink, TraceSink, Tracer};
@@ -229,6 +230,16 @@ impl Cell {
         format!("{}.profile.txt", name.trim_end_matches(".jsonl"))
     }
 
+    /// Canonical wall-clock span-tree file name for this cell at
+    /// canonical index `i`: the trace name with `.jsonl` replaced by
+    /// `.spans.json`, so a cell's timing file sorts with its trace.
+    /// Unlike the trace, its *contents* are measured times — never
+    /// byte-stable, never gating.
+    pub fn timing_file_name(&self, i: usize) -> String {
+        let name = self.trace_file_name(i);
+        format!("{}.spans.json", name.trim_end_matches(".jsonl"))
+    }
+
     /// Canonical trace file name for this cell at canonical index `i`.
     ///
     /// The index prefix disambiguates sweeps that revisit the same
@@ -268,6 +279,16 @@ impl Cell {
     /// analysis cells (`Stats`/`Shape`) run no engine and emit nothing.
     /// A disabled tracer makes this byte-identical to [`Cell::execute`].
     pub fn execute_traced(&self, tracer: Tracer) -> ExpResult<CellOutput> {
+        self.execute_instrumented(tracer, SpanRecorder::disabled())
+    }
+
+    /// [`Cell::execute_traced`] with a wall-clock [`SpanRecorder`] armed
+    /// alongside the tracer. The recorder captures the engine's phase
+    /// spans (`run` → `restructure`/`compute`/…) for the cell's run;
+    /// it reads the clock but writes nothing any gated output ever
+    /// sees, so the returned [`CellOutput`] — and every trace byte — is
+    /// identical whether the recorder is armed or not.
+    pub fn execute_instrumented(&self, tracer: Tracer, obs: SpanRecorder) -> ExpResult<CellOutput> {
         match &self.task {
             CellTask::Query {
                 algorithm,
@@ -281,7 +302,7 @@ impl Cell {
                     QuerySpec::Full => Query::full(),
                     QuerySpec::Ptc(s) => Query::partial(source_set(*s, self.instance, self.set)),
                 };
-                let cfg = cfg.clone().traced(tracer);
+                let cfg = cfg.clone().traced(tracer).observed(obs);
                 let result = db.run(&q, *algorithm, &cfg).map_err(|e| self.error(e))?;
                 Ok(CellOutput::Metrics(Box::new(result.metrics)))
             }
@@ -326,7 +347,7 @@ impl Cell {
                 );
                 // Incremental side: one closure instance, maintained
                 // batch by batch, each apply traced into the cell's sink.
-                let inc_cfg = cfg.clone().traced(tracer);
+                let inc_cfg = cfg.clone().traced(tracer).observed(obs);
                 let mut dyn_tc =
                     DynamicClosure::build(&graph, &inc_cfg).map_err(|e| self.error(e))?;
                 // Scratch side: an untraced full Seminaive recompute of
@@ -480,23 +501,27 @@ pub fn run_cells_traced(
     jobs: usize,
     trace_dir: &Path,
 ) -> ExpResult<Vec<CellOutput>> {
-    run_cells_dirs(cells, jobs, Some(trace_dir), None)
+    run_cells_dirs(cells, jobs, Some(trace_dir), None, None)
 }
 
-/// [`run_cells`] with optional per-cell JSONL traces under `trace_dir`
-/// and/or rendered profile reports under `profile_dir` (both created if
-/// absent, named by [`Cell::trace_file_name`] /
-/// [`Cell::profile_file_name`]). When both are set, one event stream is
-/// teed into both sinks, so the trace and the profile of a cell describe
-/// the same run. Like cell outputs, both files are a pure function of
-/// cell coordinates, identical at any worker count.
+/// [`run_cells`] with optional per-cell JSONL traces under `trace_dir`,
+/// rendered profile reports under `profile_dir` and/or wall-clock span
+/// trees under `timing_dir` (all created if absent, named by
+/// [`Cell::trace_file_name`] / [`Cell::profile_file_name`] /
+/// [`Cell::timing_file_name`]). When trace and profile are both set, one
+/// event stream is teed into both sinks, so the trace and the profile of
+/// a cell describe the same run; traces and profiles are a pure function
+/// of cell coordinates, identical at any worker count. Timing files are
+/// *measured wall-clock* — never byte-stable, never gating — and arming
+/// them changes no byte of any other output.
 pub fn run_cells_dirs(
     cells: &[Cell],
     jobs: usize,
     trace_dir: Option<&Path>,
     profile_dir: Option<&Path>,
+    timing_dir: Option<&Path>,
 ) -> ExpResult<Vec<CellOutput>> {
-    for dir in [trace_dir, profile_dir].into_iter().flatten() {
+    for dir in [trace_dir, profile_dir, timing_dir].into_iter().flatten() {
         fs::create_dir_all(dir)
             .map_err(|e| ExpError::Internal(format!("create sink dir {}: {e}", dir.display())))?;
     }
@@ -507,6 +532,7 @@ pub fn run_cells_dirs(
         Sinks::Dirs {
             trace: trace_dir,
             profile: profile_dir,
+            timing: timing_dir,
         },
     )
 }
@@ -552,6 +578,7 @@ enum Sinks<'a> {
     Dirs {
         trace: Option<&'a Path>,
         profile: Option<&'a Path>,
+        timing: Option<&'a Path>,
     },
     /// Caller-supplied tracer per cell index.
     Each(&'a [Tracer]),
@@ -561,7 +588,7 @@ enum Sinks<'a> {
 /// and flushed before the output is returned, so a cell's trace and
 /// profile files are complete once its result exists.
 fn exec_cell(cell: &Cell, i: usize, sinks: Sinks<'_>) -> ExpResult<CellOutput> {
-    let (trace, profile) = match sinks {
+    let (trace, profile, timing) = match sinks {
         Sinks::None => return cell.execute(),
         Sinks::Each(tracers) => {
             let Some(t) = tracers.get(i) else {
@@ -569,7 +596,11 @@ fn exec_cell(cell: &Cell, i: usize, sinks: Sinks<'_>) -> ExpResult<CellOutput> {
             };
             return cell.execute_traced(t.clone());
         }
-        Sinks::Dirs { trace, profile } => (trace, profile),
+        Sinks::Dirs {
+            trace,
+            profile,
+            timing,
+        } => (trace, profile, timing),
     };
     let file_err = |what: &str, path: &Path, e: std::io::Error| {
         ExpError::Internal(format!("{what} {}: {e}", path.display()))
@@ -589,6 +620,10 @@ fn exec_cell(cell: &Cell, i: usize, sinks: Sinks<'_>) -> ExpResult<CellOutput> {
             Arc::new(ProfileSink::new()),
         )
     });
+    let spans = timing.map(|dir| {
+        let (recorder, collector) = SpanRecorder::collecting();
+        (dir.join(cell.timing_file_name(i)), recorder, collector)
+    });
     let mut branches: Vec<Arc<dyn TraceSink>> = Vec::new();
     if let Some((_, s)) = &jsonl {
         branches.push(s.clone());
@@ -596,10 +631,19 @@ fn exec_cell(cell: &Cell, i: usize, sinks: Sinks<'_>) -> ExpResult<CellOutput> {
     if let Some((_, s)) = &prof {
         branches.push(s.clone());
     }
-    if branches.is_empty() {
+    if branches.is_empty() && spans.is_none() {
         return cell.execute();
     }
-    let out = cell.execute_traced(Tracer::new(Arc::new(TeeSink::new(branches))))?;
+    let tracer = if branches.is_empty() {
+        Tracer::disabled()
+    } else {
+        Tracer::new(Arc::new(TeeSink::new(branches)))
+    };
+    let recorder = spans
+        .as_ref()
+        .map(|(_, r, _)| r.clone())
+        .unwrap_or_else(SpanRecorder::disabled);
+    let out = cell.execute_instrumented(tracer, recorder)?;
     if let Some((path, s)) = jsonl {
         s.finish()
             .map_err(|e| file_err("write trace file", &path, e))?;
@@ -607,6 +651,10 @@ fn exec_cell(cell: &Cell, i: usize, sinks: Sinks<'_>) -> ExpResult<CellOutput> {
     if let Some((path, s)) = prof {
         fs::write(&path, render(&s.finish()))
             .map_err(|e| file_err("write profile file", &path, e))?;
+    }
+    if let Some((path, _, collector)) = spans {
+        fs::write(&path, collector.tree().to_json())
+            .map_err(|e| file_err("write timing file", &path, e))?;
     }
     Ok(out)
 }
@@ -857,14 +905,16 @@ impl Grid {
     }
 
     /// Executes every registered cell across `opts.jobs` workers,
-    /// tracing each cell into `opts.trace_dir` and writing each cell's
-    /// rendered profile report into `opts.profile_dir` when set.
+    /// tracing each cell into `opts.trace_dir`, writing each cell's
+    /// rendered profile report into `opts.profile_dir` and its
+    /// wall-clock span tree into `opts.timing_dir` when set.
     pub fn run(self) -> ExpResult<GridResults> {
         let outputs = run_cells_dirs(
             &self.cells,
             self.opts.jobs,
             self.opts.trace_dir.as_deref(),
             self.opts.profile_dir.as_deref(),
+            self.opts.timing_dir.as_deref(),
         )?;
         Ok(GridResults {
             outputs,
@@ -1039,14 +1089,7 @@ mod tests {
     use crate::corpus::family;
 
     fn quick1() -> ExpOpts {
-        ExpOpts {
-            instances: 1,
-            source_sets: 1,
-            jobs: 1,
-            trace_dir: None,
-            profile_dir: None,
-            backend: tc_storage::Backend::Sim,
-        }
+        ExpOpts::quick().jobs(1)
     }
 
     #[test]
@@ -1068,10 +1111,7 @@ mod tests {
         let opts = ExpOpts {
             instances: 2,
             source_sets: 2,
-            jobs: 1,
-            trace_dir: None,
-            profile_dir: None,
-            backend: tc_storage::Backend::Sim,
+            ..quick1()
         };
         let avg = averaged(
             family("G3"),

@@ -26,6 +26,13 @@ pub struct ExpOpts {
     /// (`--profile <dir>`). Like traces, report contents are a pure
     /// function of each cell's coordinates.
     pub profile_dir: Option<PathBuf>,
+    /// Directory for per-cell wall-clock span trees (`--timing <dir>`),
+    /// one single-line JSON tree per query/updates cell. Unlike traces
+    /// and profiles these hold *measured times* and are therefore never
+    /// byte-stable across runs — they are strictly non-gating; the
+    /// deterministic outputs of a timed sweep stay byte-identical to an
+    /// untimed one (pinned by the determinism-under-timing suite).
+    pub timing_dir: Option<PathBuf>,
     /// Storage backend every cell runs on (`--backend sim|file`,
     /// `TC_BACKEND`). The default is the simulated counting disk; the
     /// file backend gives each cell a fresh auto-cleaned temp directory
@@ -49,6 +56,7 @@ impl Default for ExpOpts {
             jobs: default_jobs(),
             trace_dir: None,
             profile_dir: None,
+            timing_dir: None,
             backend: Backend::Sim,
         }
     }
@@ -88,6 +96,12 @@ impl ExpOpts {
     /// Builder-style: write per-cell profile reports under `dir`.
     pub fn profile_dir(mut self, dir: impl Into<PathBuf>) -> ExpOpts {
         self.profile_dir = Some(dir.into());
+        self
+    }
+
+    /// Builder-style: write per-cell wall-clock span trees under `dir`.
+    pub fn timing_dir(mut self, dir: impl Into<PathBuf>) -> ExpOpts {
+        self.timing_dir = Some(dir.into());
         self
     }
 
@@ -145,6 +159,13 @@ impl ExpOpts {
                     i += 1;
                     o.profile_dir = Some(PathBuf::from(dir));
                 }
+                "--timing" => {
+                    let Some(dir) = args.get(i + 1) else {
+                        return Err("--timing takes a directory".into());
+                    };
+                    i += 1;
+                    o.timing_dir = Some(PathBuf::from(dir));
+                }
                 "--backend" => {
                     let Some(b) = args.get(i + 1) else {
                         return Err("--backend takes sim, file or file:DIR".into());
@@ -154,7 +175,7 @@ impl ExpOpts {
                 }
                 other => {
                     return Err(format!(
-                        "unknown argument {other} (try --full, --quick, --instances k, --sets k, --jobs n, --trace dir, --profile dir, --backend sim|file)"
+                        "unknown argument {other} (try --full, --quick, --instances k, --sets k, --jobs n, --trace dir, --profile dir, --timing dir, --backend sim|file)"
                     ))
                 }
             }
@@ -252,6 +273,17 @@ mod tests {
             ExpOpts::default().backend(Backend::file_temp()).backend,
             Backend::File { dir: None }
         );
+    }
+
+    #[test]
+    fn parse_timing_dir() {
+        let o = ExpOpts::parse(["--timing", "/tmp/spans"].map(String::from)).unwrap();
+        assert_eq!(
+            o.timing_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/spans"))
+        );
+        assert!(ExpOpts::parse(["--timing"].map(String::from)).is_err());
+        assert!(ExpOpts::default().timing_dir.is_none());
     }
 
     #[test]

@@ -1,0 +1,273 @@
+//! The wall-time track behind `BENCH_TIME.json`.
+//!
+//! A strictly **non-gating** companion to the byte-diffed `BENCH_5.json`
+//! baseline: the same canonical G5 cells, but measured in wall-clock
+//! nanoseconds — total per cell and split per engine phase
+//! (`restructure` / `compute` / `write_out` / …) via the `tc-obs` span
+//! recorder. Quantiles come from the `tc-det` bench harness, which also
+//! re-checks (for free) that the deterministic metric of every timed
+//! iteration is identical — running with timing armed perturbs no
+//! simulated byte.
+//!
+//! Nothing here is ever byte-compared: times vary run to run, machine
+//! to machine. CI uploads the file as an artifact for trend eyeballing
+//! and throws it away; the deterministic gates never read it.
+
+use crate::baseline::{suite, BaselineCell};
+use crate::experiments::{CellOutput, ExpError, ExpResult};
+use std::collections::BTreeMap;
+use tc_det::bench::Runner;
+use tc_obs::SpanRecorder;
+use tc_trace::Tracer;
+
+/// Version tag of the wall-time suite definition. Bump when the cell
+/// grid or the JSON shape changes (not when measured times move — they
+/// always do).
+pub const TIME_SUITE: &str = "tc-bench-time-v1";
+
+/// Wall-clock quantiles of one measured series (a cell total or a
+/// single engine phase within it).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseTime {
+    /// Series name: `"total"` for the whole cell, otherwise the span
+    /// name (`"restructure"`, `"compute"`, `"write_out"`, …).
+    pub name: String,
+    /// Median nanoseconds across iterations.
+    pub median_ns: u64,
+    /// 95th-percentile nanoseconds across iterations.
+    pub p95_ns: u64,
+    /// 99th-percentile nanoseconds across iterations.
+    pub p99_ns: u64,
+}
+
+/// Nearest-rank quantiles of a sample series (the same estimator the
+/// `tc-det` bench harness uses).
+pub fn quantiles_of(name: &str, samples: &mut Vec<u64>) -> PhaseTime {
+    samples.sort_unstable();
+    let pick = |q: f64| {
+        if samples.is_empty() {
+            0
+        } else {
+            samples[((samples.len() - 1) as f64 * q).round() as usize]
+        }
+    };
+    PhaseTime {
+        name: name.to_string(),
+        median_ns: pick(0.5),
+        p95_ns: pick(0.95),
+        p99_ns: pick(0.99),
+    }
+}
+
+/// One cell of the wall-time track: total quantiles plus a per-phase
+/// breakdown, and the deterministic metric the timed runs re-verified.
+#[derive(Clone, Debug)]
+pub struct TimeCell {
+    /// Cell name, identical to the `BENCH_5.json` cell of the same run.
+    pub name: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Timed iterations behind every quantile.
+    pub iters: u32,
+    /// Whole-cell wall-clock quantiles.
+    pub total: PhaseTime,
+    /// Per-phase quantiles, in first-observed span order under `run`.
+    pub phases: Vec<PhaseTime>,
+    /// Total simulated page I/O — stable across every timed iteration
+    /// (the harness warns otherwise), cross-checkable against
+    /// `BENCH_5.json`.
+    pub total_io: u64,
+}
+
+/// Measures one baseline cell `iters` times: each iteration runs the
+/// cell with a fresh span recorder armed, so every iteration yields a
+/// whole-run wall time *and* a span tree to split it by phase.
+fn measure_cell(bc: &BaselineCell, iters: u32) -> ExpResult<TimeCell> {
+    let algorithm = match &bc.cell.task {
+        crate::experiments::CellTask::Query { algorithm, .. } => algorithm.name().to_string(),
+        _ => "?".to_string(),
+    };
+    // Per-phase samples keyed by span name; insertion order is kept
+    // separately so the JSON lists phases in engine order, not
+    // alphabetically.
+    let mut phase_samples: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    let mut phase_order: Vec<String> = Vec::new();
+    let mut totals: Vec<u64> = Vec::with_capacity(iters as usize);
+    let mut total_io = 0u64;
+    let mut first_err: Option<ExpError> = None;
+
+    let mut runner = Runner::new(0, iters);
+    runner.group("time").bench(&bc.name, || {
+        let (recorder, collector) = SpanRecorder::collecting();
+        match bc.cell.execute_instrumented(Tracer::disabled(), recorder) {
+            Ok(CellOutput::Metrics(m)) => {
+                let tree = collector.tree();
+                if let Some(run) = tree.root.child("run") {
+                    totals.push(run.total_ns);
+                    for child in &run.children {
+                        let slot = phase_samples.entry(child.name.clone()).or_insert_with(|| {
+                            phase_order.push(child.name.clone());
+                            Vec::new()
+                        });
+                        slot.push(child.total_ns);
+                    }
+                }
+                total_io = m.total_io();
+                total_io
+            }
+            Ok(_) => {
+                if first_err.is_none() {
+                    first_err = Some(ExpError::Internal(format!(
+                        "time cell {} produced non-metrics output",
+                        bc.name
+                    )));
+                }
+                0
+            }
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+                0
+            }
+        }
+    });
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    // A phase absent from some iteration (possible only if the engine
+    // took a different path, which determinism forbids) would skew its
+    // quantiles; pad with zeros so the math stays honest either way.
+    for samples in phase_samples.values_mut() {
+        samples.resize(totals.len().max(samples.len()), 0);
+    }
+    Ok(TimeCell {
+        name: bc.name.clone(),
+        algorithm,
+        iters,
+        total: quantiles_of("total", &mut totals),
+        phases: phase_order
+            .iter()
+            .map(|name| {
+                let mut samples = phase_samples.remove(name).unwrap_or_default();
+                quantiles_of(name, &mut samples)
+            })
+            .collect(),
+        total_io,
+    })
+}
+
+/// The wall-time cells of the baseline's first block: every algorithm
+/// (all nine, including REACHINDEX) on G5 `ptc(10)`, `M = 10`, LRU —
+/// one [`TimeCell`] per algorithm, each measured over `iters`
+/// iterations with per-phase span attribution.
+pub fn baseline_time_cells(iters: u32) -> ExpResult<Vec<TimeCell>> {
+    let iters = iters.max(1);
+    suite()
+        .iter()
+        .filter(|bc| bc.name.ends_with("-g5-ptc10-m10-lru"))
+        .map(|bc| measure_cell(bc, iters))
+        .collect()
+}
+
+fn time_json(t: &PhaseTime) -> String {
+    format!(
+        "{{\"median_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}",
+        t.median_ns, t.p95_ns, t.p99_ns
+    )
+}
+
+/// Renders the wall-time cells as `BENCH_TIME.json`: same two-space
+/// indent and key discipline as `BENCH_5.json`, but explicitly labelled
+/// non-gating — the values are measured nanoseconds and differ on every
+/// run.
+pub fn render_time_json(cells: &[TimeCell]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"suite\": \"{TIME_SUITE}\",\n"));
+    s.push_str("  \"gating\": false,\n");
+    s.push_str("  \"unit\": \"ns\",\n");
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": \"{}\",\n", c.name));
+        s.push_str(&format!("      \"algorithm\": \"{}\",\n", c.algorithm));
+        s.push_str(&format!("      \"iters\": {},\n", c.iters));
+        s.push_str(&format!("      \"total_io\": {},\n", c.total_io));
+        s.push_str(&format!("      \"total\": {},\n", time_json(&c.total)));
+        s.push_str("      \"phases\": [\n");
+        for (j, p) in c.phases.iter().enumerate() {
+            s.push_str(&format!(
+                "        {{\"name\": \"{}\", \"median_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}{}\n",
+                p.name,
+                p.median_ns,
+                p.p95_ns,
+                p.p99_ns,
+                if j + 1 == c.phases.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("      ]\n");
+        s.push_str(if i + 1 == cells.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        let mut s = vec![5, 1, 3, 2, 4];
+        let q = quantiles_of("x", &mut s);
+        assert_eq!((q.median_ns, q.p95_ns, q.p99_ns), (3, 5, 5));
+        let mut empty = Vec::new();
+        let z = quantiles_of("empty", &mut empty);
+        assert_eq!((z.median_ns, z.p95_ns, z.p99_ns), (0, 0, 0));
+    }
+
+    #[test]
+    fn render_shape_on_stub_cells() {
+        let cell = TimeCell {
+            name: "btc-g5-ptc10-m10-lru".into(),
+            algorithm: "BTC".into(),
+            iters: 3,
+            total: PhaseTime {
+                name: "total".into(),
+                median_ns: 100,
+                p95_ns: 120,
+                p99_ns: 130,
+            },
+            phases: vec![PhaseTime {
+                name: "restructure".into(),
+                median_ns: 40,
+                p95_ns: 50,
+                p99_ns: 55,
+            }],
+            total_io: 7,
+        };
+        let j = render_time_json(std::slice::from_ref(&cell));
+        assert!(j.starts_with("{\n  \"suite\": \"tc-bench-time-v1\""), "{j}");
+        assert!(j.contains("\"gating\": false"), "{j}");
+        assert!(j.contains("\"name\": \"btc-g5-ptc10-m10-lru\""), "{j}");
+        assert!(j.contains("\"name\": \"restructure\""), "{j}");
+        assert!(j.ends_with("  ]\n}\n"), "{j}");
+    }
+
+    #[test]
+    fn baseline_filter_selects_all_nine_algorithms() {
+        let names: Vec<String> = suite()
+            .iter()
+            .filter(|bc| bc.name.ends_with("-g5-ptc10-m10-lru"))
+            .map(|bc| bc.name.clone())
+            .collect();
+        assert_eq!(names.len(), 9, "{names:?}");
+        assert!(names.iter().any(|n| n.starts_with("reachindex-")));
+    }
+}

@@ -25,17 +25,20 @@ use crate::database::Database;
 use crate::metrics::CostMetrics;
 use tc_buffer::BufferPool;
 use tc_graph::NodeId;
+use tc_obs::SpanRecorder;
 use tc_storage::{external_sort, FileKind, RelationFile, StorageResult, TupleWriter};
 use tc_trace::Event;
 
 /// Runs seminaive iteration for the given sources. Returns the final
-/// closure file (sorted by `(source, successor)`).
+/// closure file (sorted by `(source, successor)`). `obs` records one
+/// wall-clock span per fixpoint round (aggregated; non-gating).
 pub fn run_seminaive(
     db: &Database,
     pool: &mut BufferPool,
     sources: &[NodeId],
     metrics: &mut CostMetrics,
     answer: &mut AnswerCollector,
+    obs: &SpanRecorder,
 ) -> StorageResult<RelationFile> {
     let sort_mem = pool.capacity().saturating_sub(2).max(3);
 
@@ -61,6 +64,7 @@ pub fn run_seminaive(
     let mut round: u64 = 0;
     loop {
         metrics.trace.emit(Event::IterationBegin { i: round });
+        let _iter_span = obs.enter("iteration");
         round += 1;
         // Sort this round's candidates and merge them into the closure.
         let cand_file = cand.finish();
@@ -165,7 +169,15 @@ mod tests {
         let mut pool = BufferPool::with_store(disk, 10, PagePolicy::Lru);
         let mut metrics = CostMetrics::new(Algorithm::Seminaive);
         let mut answer = AnswerCollector::new(true);
-        let tc = run_seminaive(&db, &mut pool, sources, &mut metrics, &mut answer).unwrap();
+        let tc = run_seminaive(
+            &db,
+            &mut pool,
+            sources,
+            &mut metrics,
+            &mut answer,
+            &SpanRecorder::disabled(),
+        )
+        .unwrap();
         let on_disk = tc.scan(&mut pool).unwrap();
         (metrics, answer.into_pairs(), on_disk)
     }
@@ -238,6 +250,7 @@ mod tests {
             &(0..300).collect::<Vec<_>>(),
             &mut metrics,
             &mut answer,
+            &SpanRecorder::disabled(),
         )
         .unwrap();
         let disk = pool.into_store_discard();

@@ -1,6 +1,7 @@
 //! System configuration (paper §5.1).
 
 use tc_buffer::PagePolicy;
+use tc_obs::SpanRecorder;
 use tc_storage::{Backend, FaultConfig, IoCostModel, RetryPolicy};
 use tc_succ::ListPolicy;
 use tc_trace::Tracer;
@@ -45,6 +46,11 @@ pub struct SystemConfig {
     /// Event-trace sink for the run. Disabled by default: every emission
     /// is a single branch on a `None` and costs nothing.
     pub trace: Tracer,
+    /// Wall-clock span recorder for the run. Disabled by default (one
+    /// `None` branch, no clock read, no allocation). Span timings are
+    /// observability only — they never feed a digest, report byte, or
+    /// any other gated output.
+    pub obs: SpanRecorder,
     /// Storage backend the database is built on: the paper's simulated
     /// counting disk (the default — all published numbers use it) or the
     /// real file-backed store. Consulted by [`crate::Database::build_for`]
@@ -70,6 +76,7 @@ impl Default for SystemConfig {
             fault: None,
             retry: RetryPolicy::default(),
             trace: Tracer::disabled(),
+            obs: SpanRecorder::disabled(),
             backend: Backend::Sim,
         }
     }
@@ -130,6 +137,13 @@ impl SystemConfig {
     /// Builder-style: record the run's event trace through `tracer`.
     pub fn traced(mut self, tracer: Tracer) -> Self {
         self.trace = tracer;
+        self
+    }
+
+    /// Builder-style: record wall-clock phase spans through `obs`
+    /// (non-gating; timing never reaches a digest).
+    pub fn observed(mut self, obs: SpanRecorder) -> Self {
+        self.obs = obs;
         self
     }
 

@@ -240,6 +240,10 @@ impl DynamicClosure {
     pub fn apply(&mut self, batch: &[UpdateOp]) -> StorageResult<UpdateResult> {
         let start = Instant::now();
         let cfg = self.cfg.clone();
+        // Wall-clock spans (observability only, never in a digest):
+        // "update_apply" wraps the batch, with the restructure /
+        // compute phases as children.
+        let _apply_span = cfg.obs.enter("update_apply");
         let mut store = self.db.take_store()?;
         if let Some(fault) = &cfg.fault {
             store.set_fault_plan(FaultPlan::new(fault.clone()));
@@ -259,7 +263,9 @@ impl DynamicClosure {
 
         // ---- Restructuring: mutate the graph, rebuild relation+index
         // on the raw store (traced and charged like any bulk load).
+        let restructure_span = cfg.obs.enter("restructure");
         let applied = apply_to_base(&mut self.db, store.as_mut(), batch, &cfg);
+        drop(restructure_span);
 
         // ---- Computation: incremental maintenance through a fresh pool.
         let mut pool = BufferPool::with_store(store, cfg.buffer_pages, cfg.page_policy);
@@ -274,10 +280,12 @@ impl DynamicClosure {
         let disk_at_phase_end = pool.store().stats().clone();
         let buffer_at_phase_end = pool.stats().clone();
 
+        let compute_span = cfg.obs.enter("compute");
         let outcome = match applied {
             Ok(ops) => maintain(&self.db, &mut pool, &self.tc, &ops, &mut metrics),
             Err(e) => Err(e),
         };
+        drop(compute_span);
 
         // Finalize exactly like the engine: the store returns to the
         // database even on error, disarmed first.

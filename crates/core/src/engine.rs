@@ -44,6 +44,9 @@ pub(crate) fn run(
     cfg: &SystemConfig,
 ) -> StorageResult<RunResult> {
     let start = Instant::now();
+    // Wall-clock span for the whole run (observability only — span
+    // timings never reach the trace digest or any counted number).
+    let _run_span = cfg.obs.enter("run");
     let mut store = db.store.take().ok_or(StorageError::DiskDetached)?;
     if let Some(fault) = &cfg.fault {
         store.set_fault_plan(FaultPlan::new(fault.clone()));
@@ -159,6 +162,11 @@ fn execute(
     metrics: &mut CostMetrics,
     answer: &mut AnswerCollector,
 ) -> StorageResult<PhaseSnapshot> {
+    // The wall-clock phase span mirrors the traced phase boundary: the
+    // restructure span opens here and is swapped for the compute span
+    // inside `snapshot` (the compute span closes when `execute`
+    // returns). A `RefCell` lets the `Fn` closure rotate the guard.
+    let phase_span = std::cell::RefCell::new(Some(cfg.obs.enter("restructure")));
     // The phase-boundary events are emitted at the exact point the
     // counters are snapshot, so replay's phase attribution reproduces
     // the snapshot deltas.
@@ -169,6 +177,10 @@ fn execute(
         cfg.trace.emit(Event::PhaseBegin {
             phase: Phase::Compute,
         });
+        // Close the restructure span before opening compute, so the two
+        // are siblings under "run", not nested.
+        phase_span.borrow_mut().take();
+        *phase_span.borrow_mut() = Some(cfg.obs.enter("compute"));
         PhaseSnapshot {
             disk_at_phase_end: pool.store().stats().clone(),
             buffer_at_phase_end: pool.stats().clone(),
@@ -201,7 +213,10 @@ fn execute(
                 Algorithm::Hyb => hybrid::expand_all(pool, &mut r, metrics, answer, cfg.ilimit)?,
                 _ => btc::expand_all(pool, &mut r, metrics, answer)?,
             }
-            write_out_lists(pool, &r.store, &r.sources, query)?;
+            {
+                let _w = cfg.obs.enter("write_out");
+                write_out_lists(pool, &r.store, &r.sources, query)?;
+            }
             metrics.set_tuple_writes(r.store.stats().entries_written);
             Ok(snap)
         }
@@ -264,7 +279,7 @@ fn execute(
             // No restructuring phase at all.
             let snap = snapshot(pool);
             let sources = query.effective_sources(db.n());
-            let tc_file = seminaive::run_seminaive(db, pool, &sources, metrics, answer)?;
+            let tc_file = seminaive::run_seminaive(db, pool, &sources, metrics, answer, &cfg.obs)?;
             pool.flush_file(tc_file.file_id())?;
             metrics.set_tuple_writes(tc_file.tuple_count() as u64);
             Ok(snap)
@@ -275,7 +290,10 @@ fn execute(
             // lands before the phase boundary — the persisted index is
             // the phase's durable product, like the successor lists of
             // the list-based algorithms.
-            let idx = ReachIndex::build(pool, db.graph(), &cfg.trace, metrics)?;
+            let idx = {
+                let _s = cfg.obs.enter("reach_index_build");
+                ReachIndex::build(pool, db.graph(), &cfg.trace, metrics)?
+            };
             let cond = idx.condensation();
             metrics.set_magic_nodes(cond.component_count() as u64);
             metrics.set_magic_arcs(cond.graph.arc_count() as u64);

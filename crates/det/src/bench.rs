@@ -33,21 +33,55 @@ pub struct Record {
     pub median_ns: u64,
     /// 95th-percentile wall-clock nanoseconds per iteration.
     pub p95_ns: u64,
+    /// 99th-percentile wall-clock nanoseconds per iteration. With few
+    /// iterations this equals the maximum (nearest-rank estimate).
+    pub p99_ns: u64,
     /// Minimum wall-clock nanoseconds per iteration.
     pub min_ns: u64,
+    /// Extra configured quantiles as `(per-mille, ns)` — e.g. `(999,
+    /// ns)` for p99.9. Empty unless [`Runner::with_quantiles`] was
+    /// used.
+    pub quantiles: Vec<(u32, u64)>,
     /// The simulation metric, if stable across all iterations.
     pub metric: Option<u64>,
 }
 
 impl Record {
+    /// Renders a per-mille quantile key: `999` → `p99.9`, `990` → `p99`.
+    fn quantile_key(permille: u32) -> String {
+        if permille % 10 == 0 {
+            format!("p{}", permille / 10)
+        } else {
+            format!("p{}.{}", permille / 10, permille % 10)
+        }
+    }
+
     fn json(&self) -> String {
         let metric = match self.metric {
             Some(m) => m.to_string(),
             None => "null".to_string(),
         };
+        let extra = if self.quantiles.is_empty() {
+            String::new()
+        } else {
+            let body: Vec<String> = self
+                .quantiles
+                .iter()
+                .map(|&(q, ns)| format!("\"{}\":{ns}", Record::quantile_key(q)))
+                .collect();
+            format!(",\"quantiles\":{{{}}}", body.join(","))
+        };
         format!(
-            "{{\"group\":\"{}\",\"name\":\"{}\",\"iters\":{},\"median_ns\":{},\"p95_ns\":{},\"min_ns\":{},\"metric\":{}}}",
-            self.group, self.name, self.iters, self.median_ns, self.p95_ns, self.min_ns, metric
+            "{{\"group\":\"{}\",\"name\":\"{}\",\"iters\":{},\"median_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"min_ns\":{},\"metric\":{}{}}}",
+            self.group,
+            self.name,
+            self.iters,
+            self.median_ns,
+            self.p95_ns,
+            self.p99_ns,
+            self.min_ns,
+            metric,
+            extra
         )
     }
 }
@@ -58,6 +92,7 @@ pub struct Runner {
     warmup: u32,
     iters: u32,
     smoke: bool,
+    extra_quantiles: Vec<u32>,
     records: Vec<Record>,
 }
 
@@ -84,6 +119,7 @@ impl Runner {
                 .unwrap_or(10)
                 .max(1),
             smoke,
+            extra_quantiles: Vec::new(),
             records: Vec::new(),
         }
     }
@@ -94,8 +130,17 @@ impl Runner {
             warmup,
             iters: iters.max(1),
             smoke: false,
+            extra_quantiles: Vec::new(),
             records: Vec::new(),
         }
+    }
+
+    /// Builder-style: report additional quantiles on every record,
+    /// given in per-mille (`999` = p99.9, `250` = p25). Median, p95,
+    /// p99 and min are always reported; this extends the list.
+    pub fn with_quantiles(mut self, permille: &[u32]) -> Runner {
+        self.extra_quantiles = permille.iter().map(|&q| q.min(1000)).collect();
+        self
     }
 
     /// Starts a named group of benchmarks.
@@ -142,7 +187,13 @@ impl Runner {
             iters,
             median_ns: pick(0.5),
             p95_ns: pick(0.95),
+            p99_ns: pick(0.99),
             min_ns: times[0],
+            quantiles: self
+                .extra_quantiles
+                .iter()
+                .map(|&q| (q, pick(q as f64 / 1000.0)))
+                .collect(),
             metric: if stable { metric } else { None },
         });
     }
@@ -155,16 +206,17 @@ impl Runner {
             return;
         }
         eprintln!(
-            "\n{:<24} {:<16} {:>12} {:>12} {:>12} {:>12}",
-            "group", "bench", "median", "p95", "min", "metric"
+            "\n{:<24} {:<16} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "group", "bench", "median", "p95", "p99", "min", "metric"
         );
         for r in &self.records {
             eprintln!(
-                "{:<24} {:<16} {:>12} {:>12} {:>12} {:>12}",
+                "{:<24} {:<16} {:>12} {:>12} {:>12} {:>12} {:>12}",
                 r.group,
                 r.name,
                 fmt_ns(r.median_ns),
                 fmt_ns(r.p95_ns),
+                fmt_ns(r.p99_ns),
                 fmt_ns(r.min_ns),
                 r.metric
                     .map(|m| m.to_string())
@@ -221,6 +273,24 @@ mod tests {
         assert_eq!(rec.metric, Some(42));
         assert_eq!(rec.iters, 5);
         assert!(rec.min_ns <= rec.median_ns && rec.median_ns <= rec.p95_ns);
+        assert!(rec.p95_ns <= rec.p99_ns);
+        assert!(rec.quantiles.is_empty());
+    }
+
+    #[test]
+    fn configurable_quantiles_are_reported_in_order() {
+        let mut r = Runner::new(0, 10).with_quantiles(&[250, 999]);
+        r.group("g").bench("constant", || 1);
+        let rec = &r.records()[0];
+        assert_eq!(rec.quantiles.len(), 2);
+        assert_eq!((rec.quantiles[0].0, rec.quantiles[1].0), (250, 999));
+        assert!(rec.quantiles[0].1 <= rec.quantiles[1].1);
+        assert!(
+            rec.json().contains("\"quantiles\":{\"p25\":"),
+            "{}",
+            rec.json()
+        );
+        assert!(rec.json().contains("\"p99.9\":"), "{}", rec.json());
     }
 
     #[test]
@@ -236,18 +306,25 @@ mod tests {
 
     #[test]
     fn json_shape() {
-        let rec = Record {
+        let mut rec = Record {
             group: "g".into(),
             name: "b".into(),
             iters: 3,
             median_ns: 10,
             p95_ns: 12,
+            p99_ns: 13,
             min_ns: 9,
+            quantiles: Vec::new(),
             metric: Some(7),
         };
         assert_eq!(
             rec.json(),
-            "{\"group\":\"g\",\"name\":\"b\",\"iters\":3,\"median_ns\":10,\"p95_ns\":12,\"min_ns\":9,\"metric\":7}"
+            "{\"group\":\"g\",\"name\":\"b\",\"iters\":3,\"median_ns\":10,\"p95_ns\":12,\"p99_ns\":13,\"min_ns\":9,\"metric\":7}"
+        );
+        rec.quantiles = vec![(999, 14)];
+        assert_eq!(
+            rec.json(),
+            "{\"group\":\"g\",\"name\":\"b\",\"iters\":3,\"median_ns\":10,\"p95_ns\":12,\"p99_ns\":13,\"min_ns\":9,\"metric\":7,\"quantiles\":{\"p99.9\":14}}"
         );
     }
 }

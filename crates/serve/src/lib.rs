@@ -32,11 +32,13 @@
 //! parameters alone.
 
 pub mod load;
+pub mod obs;
 pub mod request;
 pub mod service;
 pub mod session;
 
 pub use load::{LoopMode, MixSpec, QueryStream, CANONICAL_SERVE_SEED};
+pub use obs::ServeObs;
 pub use request::{Reply, Request};
 pub use service::{ClientReport, ReplyRecord, ServeConfig, ServeError, ServeReport, Service};
 pub use session::{Session, SessionConfig, SessionStats};
@@ -54,4 +56,6 @@ const _: () = {
     sendable::<ServeReport>();
     sendable::<Reply>();
     shareable::<Reply>();
+    sendable::<ServeObs>();
+    shareable::<ServeObs>();
 };

@@ -21,7 +21,8 @@
 //! session drops its `Arc`.
 
 use crate::load::QueryStream;
-use crate::request::Reply;
+use crate::obs::ServeObs;
+use crate::request::{Reply, Request};
 use crate::session::{Session, SessionConfig, SessionStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
@@ -42,6 +43,10 @@ pub struct ServeConfig {
     /// Keep each full [`Reply`] in its [`ReplyRecord`] (differential
     /// tests want the payloads; benchmarks only need the digests).
     pub collect_replies: bool,
+    /// Wall-clock serve metrics (queue-wait / service histograms,
+    /// per-worker busy/idle). Disabled by default; arming it cannot
+    /// change anything on the deterministic track.
+    pub obs: ServeObs,
 }
 
 impl Default for ServeConfig {
@@ -50,6 +55,7 @@ impl Default for ServeConfig {
             workers: 4,
             session: SessionConfig::default(),
             collect_replies: false,
+            obs: ServeObs::disabled(),
         }
     }
 }
@@ -70,6 +76,13 @@ impl ServeConfig {
     /// Builder-style: retain full reply payloads.
     pub fn collect_replies(mut self, yes: bool) -> Self {
         self.collect_replies = yes;
+        self
+    }
+
+    /// Builder-style: record wall-clock serve metrics through `obs`
+    /// (non-gating; timing never reaches a digest).
+    pub fn observed(mut self, obs: ServeObs) -> Self {
+        self.obs = obs;
         self
     }
 }
@@ -176,9 +189,12 @@ impl Service {
         let clients = stream.clients();
         // Post every client's requests to its private queue, then hang
         // up: the queues are the only path requests travel, and a
-        // drained queue tells the worker the client is done.
-        let mut receivers: Vec<Mutex<Option<Receiver<(usize, crate::request::Request)>>>> =
+        // drained queue tells the worker the client is done. Each
+        // request carries its posting instant so the wall-time track
+        // can split queue-wait from service time.
+        let mut receivers: Vec<Mutex<Option<Receiver<(usize, Request, Instant)>>>> =
             Vec::with_capacity(clients);
+        let posted = Instant::now();
         for c in 0..clients {
             let reqs = stream.client(c);
             let (tx, rx): (SyncSender<_>, _) = std::sync::mpsc::sync_channel(reqs.len().max(1));
@@ -186,7 +202,7 @@ impl Service {
                 // A send into a fresh queue sized to the client's whole
                 // stream cannot fail; ignore the impossible error to
                 // keep the serve loop panic-free.
-                let _ = tx.send((seq, *req));
+                let _ = tx.send((seq, *req, posted));
             }
             receivers.push(Mutex::new(Some(rx)));
         }
@@ -198,19 +214,31 @@ impl Service {
         let started = Instant::now();
 
         let workers = cfg.workers.clamp(1, clients.max(1));
+        let (cursor, receivers, reports, failure) = (&cursor, &receivers, &reports, &failure);
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let c = cursor.fetch_add(1, Ordering::Relaxed);
-                    if c >= clients || lock(&failure).is_some() {
-                        return;
+            for w in 0..workers {
+                scope.spawn(move || {
+                    let worker_started = Instant::now();
+                    let mut busy_ns = 0u64;
+                    loop {
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= clients || lock(failure).is_some() {
+                            break;
+                        }
+                        let rx = match lock(&receivers[c]).take() {
+                            Some(rx) => rx,
+                            None => continue,
+                        };
+                        let claimed = Instant::now();
+                        let report = self.drive_client(c, rx, cfg, failure);
+                        busy_ns += claimed.elapsed().as_nanos() as u64;
+                        *lock(&reports[c]) = report;
                     }
-                    let rx = match lock(&receivers[c]).take() {
-                        Some(rx) => rx,
-                        None => continue,
-                    };
-                    let report = self.drive_client(c, rx, cfg, &failure);
-                    *lock(&reports[c]) = report;
+                    if cfg.obs.is_enabled() {
+                        let total = worker_started.elapsed().as_nanos() as u64;
+                        cfg.obs
+                            .record_worker(w, busy_ns, total.saturating_sub(busy_ns));
+                    }
                 });
             }
         });
@@ -219,7 +247,7 @@ impl Service {
             return Err(err);
         }
         let mut out = Vec::with_capacity(clients);
-        for slot in &reports {
+        for slot in reports {
             if let Some(report) = lock(slot).take() {
                 out.push(report);
             }
@@ -234,26 +262,31 @@ impl Service {
     fn drive_client(
         &self,
         client: usize,
-        rx: Receiver<(usize, crate::request::Request)>,
+        rx: Receiver<(usize, Request, Instant)>,
         cfg: &ServeConfig,
         failure: &Mutex<Option<ServeError>>,
     ) -> Option<ClientReport> {
         let mut session = Session::new(self.snapshot(), &cfg.session, client as u64);
         let mut records = Vec::new();
-        for (seq, req) in rx {
+        for (seq, req, posted) in rx {
             // Pick up a published snapshot between requests; the one in
             // hand keeps serving the request already being answered.
             session.rebind(self.snapshot());
             let t0 = Instant::now();
+            let queue_wait_ns = t0.saturating_duration_since(posted).as_nanos() as u64;
             match session.handle(&req) {
-                Ok(reply) => records.push(ReplyRecord {
-                    client,
-                    seq,
-                    epoch: session.epoch(),
-                    digest: reply.digest(),
-                    latency_ns: t0.elapsed().as_nanos() as u64,
-                    reply: cfg.collect_replies.then_some(reply),
-                }),
+                Ok(reply) => {
+                    let service_ns = t0.elapsed().as_nanos() as u64;
+                    cfg.obs.record_reply(&req, queue_wait_ns, service_ns);
+                    records.push(ReplyRecord {
+                        client,
+                        seq,
+                        epoch: session.epoch(),
+                        digest: reply.digest(),
+                        latency_ns: service_ns,
+                        reply: cfg.collect_replies.then_some(reply),
+                    })
+                }
                 Err(source) => {
                     let mut slot = lock(failure);
                     if slot.is_none() {

@@ -7,12 +7,15 @@
 
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 use tc_study::cli::{AnalyzeArgs, CliArgs, Command, LabeledGraph, ServeArgs, UpdateArgs, USAGE};
 use tc_study::core::prelude::*;
 use tc_study::graph::UpdateStream;
+use tc_study::obs::SpanTree;
 use tc_study::profile::{fold_jsonl, render, ProfileFold};
-use tc_study::serve::{LoopMode, QueryStream, ServeConfig, Service, SessionConfig};
+use tc_study::serve::{LoopMode, QueryStream, ServeConfig, ServeObs, Service, SessionConfig};
 use tc_study::trace::{JsonlSink, Tracer};
 
 fn main() -> ExitCode {
@@ -43,7 +46,9 @@ fn main() -> ExitCode {
     }
 }
 
-/// Folds a `--trace` JSONL file into a profile report on stdout.
+/// Folds a `--trace` JSONL file into a profile report on stdout;
+/// `--timing` additionally renders a wall-clock span tree (self/child
+/// attribution) next to it.
 fn analyze(args: &AnalyzeArgs) -> Result<(), String> {
     let file = std::fs::File::open(&args.input).map_err(|e| format!("{}: {e}", args.input))?;
     let mut fold = ProfileFold::new()
@@ -53,6 +58,12 @@ fn analyze(args: &AnalyzeArgs) -> Result<(), String> {
         fold_jsonl(BufReader::new(file), &mut fold).map_err(|e| format!("{}: {e}", args.input))?;
     eprintln!("{}: folded {events} events", args.input);
     print!("{}", render(&fold.finish()));
+    if let Some(path) = &args.timing {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let tree = SpanTree::from_json(&json).map_err(|e| format!("{path}: {e}"))?;
+        println!("\n== wall-clock spans (non-gating) ==");
+        print!("{}", tree.render());
+    }
     Ok(())
 }
 
@@ -167,13 +178,32 @@ fn serve(args: &ServeArgs) -> Result<(), String> {
         LoopMode::Closed,
         args.seed,
     );
-    let serve_cfg = ServeConfig::default().workers(args.workers).session(
-        SessionConfig::default()
-            .buffer_pages(args.buffer)
-            .cache_sources(args.cache),
-    );
+    // Wall-clock metrics are always recorded; they never touch the
+    // deterministic stdout summary. `--metrics` additionally exposes
+    // them as files, refreshed while the serve runs.
+    let obs = ServeObs::enabled();
+    let serve_cfg = ServeConfig::default()
+        .workers(args.workers)
+        .observed(obs.clone())
+        .session(
+            SessionConfig::default()
+                .buffer_pages(args.buffer)
+                .cache_sources(args.cache),
+        );
 
+    let stop_metrics = AtomicBool::new(false);
     let report = std::thread::scope(|scope| {
+        let metrics_worker = args.metrics.as_ref().map(|path| {
+            let (stop, obs) = (&stop_metrics, &obs);
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(200));
+                    // Mid-serve dumps are best-effort; the final dump
+                    // after the scope reports errors.
+                    let _ = write_metrics(path, obs);
+                }
+            })
+        });
         let publisher = if args.updates > 0 {
             let updates = UpdateStream::generate(
                 &lg.graph,
@@ -200,6 +230,12 @@ fn serve(args: &ServeArgs) -> Result<(), String> {
         let report = service
             .serve(&stream, &serve_cfg)
             .map_err(|e| e.to_string());
+        stop_metrics.store(true, Ordering::Relaxed);
+        if let Some(h) = metrics_worker {
+            if h.join().is_err() {
+                return Err("metrics writer panicked".to_string());
+            }
+        }
         let published = match publisher.map(|h| h.join()) {
             Some(Ok(result)) => result?,
             Some(Err(_)) => return Err("update publisher panicked".to_string()),
@@ -223,13 +259,45 @@ fn serve(args: &ServeArgs) -> Result<(), String> {
         report.cache_hits(),
         report.cache_lookups(),
     );
-    eprintln!(
-        "wall-time (non-gating): {:.0} q/s, latency p50 {} ns, p95 {} ns, workers {}",
-        report.qps(),
-        report.latency_percentile_ns(50),
-        report.latency_percentile_ns(95),
-        args.workers,
-    );
+    // Closing wall-time summary off the tc-obs histograms (stderr only,
+    // never gating). Falls back to the report's percentiles if the
+    // recorder was somehow empty.
+    match (obs.service_histogram(), obs.queue_wait_histogram()) {
+        (Some(service), Some(queue)) if service.count() > 0 => eprintln!(
+            "wall-time (non-gating): {:.0} q/s, service p50 {} ns, p95 {} ns, p99 {} ns, \
+             queue-wait p50 {} ns, p99 {} ns, workers {}",
+            report.qps(),
+            service.percentile(50.0),
+            service.percentile(95.0),
+            service.percentile(99.0),
+            queue.percentile(50.0),
+            queue.percentile(99.0),
+            args.workers,
+        ),
+        _ => eprintln!(
+            "wall-time (non-gating): {:.0} q/s, latency p50 {} ns, p95 {} ns, workers {}",
+            report.qps(),
+            report.latency_percentile_ns(50),
+            report.latency_percentile_ns(95),
+            args.workers,
+        ),
+    }
+    if let Some(path) = &args.metrics {
+        write_metrics(path, &obs)?;
+        eprintln!("metrics written to {path} (Prometheus text) and {path}.json");
+    }
+    Ok(())
+}
+
+/// Writes the armed recorder's metrics: Prometheus text at `path`, the
+/// JSON snapshot at `path.json`.
+fn write_metrics(path: &str, obs: &ServeObs) -> Result<(), String> {
+    let (Some(prom), Some(json)) = (obs.render_prometheus(), obs.render_json()) else {
+        return Ok(());
+    };
+    std::fs::write(path, prom).map_err(|e| format!("{path}: {e}"))?;
+    let json_path = format!("{path}.json");
+    std::fs::write(&json_path, json).map_err(|e| format!("{json_path}: {e}"))?;
     Ok(())
 }
 

@@ -184,6 +184,8 @@ usage: tcq <edges-file> [options]
 analyze options (folds a --trace file into a profile report):
       --top K           hot-page histogram size (default: 10)
       --interval N      residency sampling interval, events (default: 65536)
+      --timing PATH     also render a wall-clock span tree (a .spans.json
+                        file from `section --timing DIR`)
 update options (maintains a materialized closure under a seeded stream):
       --stream KIND     insert-only|delete-heavy|mixed (default: mixed)
       --batches N       update batches to apply (default: 4)
@@ -200,6 +202,9 @@ serve options (freeze the closure into a snapshot, serve a seeded mix):
       --cache N         hot-source cache rows per session (default: 4)
       --updates N       update batches published mid-serve (default: 0)
       --batch-size K    operations per published batch (default: 16)
+      --metrics PATH    write wall-clock metrics: Prometheus text at PATH,
+                        JSON at PATH.json (non-gating; stdout is identical
+                        with or without it)
       (plus --buffer and --backend as above; input must be acyclic)
 Cyclic inputs are condensed automatically (strongly connected components);
 the advisor default applies to acyclic inputs, cyclic ones run BTC unless
@@ -341,6 +346,11 @@ pub struct ServeArgs {
     pub updates: usize,
     /// Operations per published batch.
     pub batch_size: usize,
+    /// Write wall-clock metrics here: Prometheus text at PATH,
+    /// JSON at PATH.json, refreshed periodically during the serve and
+    /// finalized at the end. Strictly non-gating — the deterministic
+    /// stdout summary is byte-identical with or without it.
+    pub metrics: Option<String>,
     /// Storage backend.
     pub backend: tc_storage::Backend,
 }
@@ -361,11 +371,17 @@ impl ServeArgs {
             cache: 4,
             updates: 0,
             batch_size: 16,
+            metrics: None,
             backend: tc_storage::Backend::Sim,
         };
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
+                "--metrics" => {
+                    i += 1;
+                    let v = args.get(i).ok_or("--metrics needs an output path")?;
+                    out.metrics = Some(v.clone());
+                }
                 "--workers" => {
                     i += 1;
                     out.workers = parse_count(&args, i, "--workers")?;
@@ -469,6 +485,9 @@ pub struct AnalyzeArgs {
     pub top_k: usize,
     /// Residency sampling interval, in events.
     pub interval: u64,
+    /// Wall-clock span-tree JSON to render alongside the profile
+    /// (`--timing <path>`, as written by `section --timing DIR`).
+    pub timing: Option<String>,
 }
 
 impl AnalyzeArgs {
@@ -479,10 +498,16 @@ impl AnalyzeArgs {
             input: String::new(),
             top_k: 10,
             interval: 65_536,
+            timing: None,
         };
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
+                "--timing" => {
+                    i += 1;
+                    let v = args.get(i).ok_or("--timing needs a span-tree path")?;
+                    out.timing = Some(v.clone());
+                }
                 "--top" => {
                     i += 1;
                     out.top_k = args
@@ -639,8 +664,13 @@ mod tests {
                 input: "t.jsonl".into(),
                 top_k: 5,
                 interval: 1024,
+                timing: None,
             })
         );
+        let t = AnalyzeArgs::parse(&["t.jsonl".into(), "--timing".into(), "t.spans.json".into()])
+            .unwrap();
+        assert_eq!(t.timing.as_deref(), Some("t.spans.json"));
+        assert!(AnalyzeArgs::parse(&["t.jsonl".into(), "--timing".into()]).is_err());
         // Without the keyword the run path is taken.
         assert!(matches!(
             Command::parse(&["g.txt".to_string()]),
@@ -739,6 +769,11 @@ mod tests {
         assert_eq!(d.mix, tc_serve::MixSpec::MIXED);
         assert_eq!(d.seed, tc_serve::CANONICAL_SERVE_SEED);
         assert_eq!((d.cache, d.updates), (4, 0));
+        assert!(d.metrics.is_none());
+
+        let m = ServeArgs::parse(&["g.txt".into(), "--metrics".into(), "m.prom".into()]).unwrap();
+        assert_eq!(m.metrics.as_deref(), Some("m.prom"));
+        assert!(ServeArgs::parse(&["g.txt".into(), "--metrics".into()]).is_err());
 
         assert!(ServeArgs::parse(&[]).is_err());
         assert!(ServeArgs::parse(&["g.txt".into(), "--mix".into(), "nope".into()]).is_err());

@@ -12,6 +12,8 @@
 //! * [`reach`] — the chain-decomposition reachability index (`REACHINDEX`).
 //! * [`serve`] — the in-process query service over frozen snapshots.
 //! * [`trace`] — typed event traces, JSONL export, trace⇒metrics replay.
+//! * [`obs`] — wall-clock spans, latency histograms, metrics registry;
+//!   strictly outside the deterministic gate.
 //! * [`profile`] — trace-driven profiling: phase/file/page attribution,
 //!   buffer-residency and miss-class analytics, Spearman rank correlation.
 //!
@@ -26,6 +28,7 @@ pub use tc_buffer as buffer;
 pub use tc_core as core;
 pub use tc_det as det;
 pub use tc_graph as graph;
+pub use tc_obs as obs;
 pub use tc_profile as profile;
 pub use tc_reach as reach;
 pub use tc_serve as serve;

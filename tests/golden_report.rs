@@ -66,6 +66,38 @@ fn quick_grid_sections_match_golden_digests() {
 }
 
 #[test]
+fn quick_grid_sections_match_golden_digests_with_timing_armed() {
+    // The determinism-under-timing gate for the whole 14-section report:
+    // running every section with `--timing` (per-cell wall-clock span
+    // trees) must reproduce the exact same golden digests — the span
+    // layer rides beside the report, never inside it. Sharing the GOLDEN
+    // table with the plain test above keeps one source of truth.
+    let tmp = tc_study::storage::TempDir::new("tc-golden-timing").expect("temp dir");
+    let opts = ExpOpts::quick().timing_dir(tmp.path());
+    let mut mismatches = Vec::new();
+    for (name, golden) in GOLDEN {
+        let f = section(name).unwrap_or_else(|| panic!("unknown golden section {name}"));
+        let fragment = f(&opts).unwrap_or_else(|e| panic!("{name} failed with --timing: {e}"));
+        if digest(&fragment) != golden {
+            mismatches.push(name);
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "--timing changed the report bytes of: {} — wall-clock data leaked \
+         into the deterministic track",
+        mismatches.join(", ")
+    );
+    // And the sidecar span trees materialized beside the reports.
+    let spans = std::fs::read_dir(tmp.path())
+        .expect("read timing dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+        .count();
+    assert!(spans > 0, "--timing wrote no span trees");
+}
+
+#[test]
 fn golden_table_covers_every_registered_section() {
     let registered: Vec<&str> = tc_bench::experiments::SECTIONS
         .iter()

@@ -250,6 +250,33 @@ fn serve_paths_stay_free_of_unwrap_and_expect() {
 }
 
 #[test]
+fn obs_paths_stay_free_of_unwrap_and_expect() {
+    // The span recorder and metrics registry ride inside engine runs
+    // and the serve loop's worker threads; a panic in the wall-clock
+    // layer would tear down the deterministic run it is only supposed
+    // to observe. Mutex poisoning is recovered (`lock_unpoisoned`),
+    // parse errors surface as typed `Result`s, never unwrapped.
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let files = rust_files_under(repo, "crates/obs/src");
+    assert!(
+        files.len() >= 3,
+        "obs audit walked only {} files — directory layout changed?",
+        files.len()
+    );
+    let mut violations = Vec::new();
+    for rel in &files {
+        violations.extend(violations_in(repo, rel));
+    }
+    assert!(
+        violations.is_empty(),
+        "unwrap()/expect() in tc-obs (recover poisoned locks with \
+         lock_unpoisoned, return typed parse errors, or add an audited \
+         allowlist entry here AND in .github/workflows/ci.yml):\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
 fn allowlist_entries_still_exist() {
     // A stale allowlist hides future violations behind dead entries.
     let repo = Path::new(env!("CARGO_MANIFEST_DIR"));
